@@ -1,0 +1,325 @@
+(* lnd — command-line driver for the lie_not_deny simulator.
+
+   Subcommands:
+     verify        run a verifiable-register scenario (optionally adversarial)
+     sticky        run a sticky-register scenario (optionally adversarial)
+     impossibility run the Theorem 23 / Figures 1-3 attack at a given (n, f)
+     sweep         print operation-cost rows across n (like bench table T1/T3)
+
+   Examples:
+     lnd_cli verify -n 7 -f 2 --adversary deny --seed 3
+     lnd_cli sticky -n 4 -f 1 --adversary equivocate
+     lnd_cli impossibility -f 2
+     lnd_cli sweep --register sticky *)
+
+open Lnd
+open Cmdliner
+
+let pr fmt = Printf.printf fmt
+
+(* ---------------- common args ---------------- *)
+
+let n_arg =
+  Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let f_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "f" ] ~docv:"F" ~doc:"Number of tolerated Byzantine processes.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler randomness seed.")
+
+let steps_arg =
+  Arg.(
+    value & opt int 8_000_000
+    & info [ "max-steps" ] ~docv:"STEPS" ~doc:"Scheduler step budget.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Print the last 40 register accesses after the run.")
+
+let maybe_enable_trace space trace =
+  if trace then Space.set_trace space ~capacity:40
+
+let maybe_print_trace space trace =
+  if trace then begin
+    pr "\nlast register accesses:\n";
+    List.iter
+      (fun a -> pr "  %s\n" (Format.asprintf "%a" Space.pp_access a))
+      (Space.trace space)
+  end
+
+let run_to_quiescence sched ~max_steps =
+  match Sched.run ~max_steps sched with
+  | Sched.Quiescent -> ()
+  | Sched.Budget_exhausted ->
+      pr "!! step budget exhausted\n";
+      exit 2
+  | Sched.Condition_met -> ()
+
+(* ---------------- verify ---------------- *)
+
+let verify_adversaries = [ "none"; "deny"; "flipflop"; "naysay"; "garbage" ]
+
+let verify_cmd_run n f seed max_steps adversary trace =
+  if adversary = "none" && n <= 3 * f then
+    pr "warning: n <= 3f — outside Algorithm 1's requirement\n";
+  let byzantine =
+    match adversary with
+    | "deny" -> [ 0 ]
+    | "flipflop" | "naysay" | "garbage" -> List.init f (fun i -> n - 1 - i)
+    | _ -> []
+  in
+  let sys =
+    Verifiable_system.make ~policy:(Policy.random ~seed) ~n ~f ~byzantine ()
+  in
+  maybe_enable_trace sys.space trace;
+  (match adversary with
+  | "deny" ->
+      ignore
+        (Byz_verifiable.spawn_denying_writer sys.sched sys.regs ~v:"the-lie"
+           ~deny_after:2 ())
+  | "flipflop" ->
+      List.iter
+        (fun pid ->
+          ignore
+            (Byz_verifiable.spawn_flipflop sys.sched sys.regs ~pid ~v:"the-lie"))
+        byzantine
+  | "naysay" ->
+      List.iter
+        (fun pid ->
+          ignore (Byz_verifiable.spawn_naysayer sys.sched sys.regs ~pid))
+        byzantine
+  | "garbage" ->
+      List.iter
+        (fun pid ->
+          ignore (Byz_verifiable.spawn_garbage sys.sched sys.regs ~pid))
+        byzantine
+  | _ -> ());
+  if adversary <> "deny" then
+    ignore
+      (Verifiable_system.client sys ~pid:0 ~name:"writer" (fun () ->
+           Verifiable_system.op_write sys "the-lie";
+           let ok = Verifiable_system.op_sign sys "the-lie" in
+           pr "p0: WRITE+SIGN \"the-lie\" -> %s\n"
+             (if ok then "SUCCESS" else "FAIL")));
+  for pid = 1 to n - 1 do
+    if not (List.mem pid byzantine) then
+      ignore
+        (Verifiable_system.client sys ~pid
+           ~name:(Printf.sprintf "verifier%d" pid)
+           (fun () ->
+             let r = Verifiable_system.op_verify sys ~pid "the-lie" in
+             pr "p%d: VERIFY(\"the-lie\") -> %b\n" pid r))
+  done;
+  run_to_quiescence sys.sched ~max_steps;
+  pr "steps: %d, register accesses: %s\n" (Sched.steps sys.sched)
+    (Format.asprintf "%a" Space.pp_stats (Space.stats sys.space));
+  pr "Byzantine linearizable: %b\n" (Verifiable_system.byz_linearizable sys);
+  maybe_print_trace sys.space trace
+
+let verify_cmd =
+  let adversary =
+    Arg.(
+      value
+      & opt (enum (List.map (fun a -> (a, a)) verify_adversaries)) "none"
+      & info [ "adversary" ] ~docv:"ADV"
+          ~doc:
+            "Adversary: none, deny (Byzantine writer lies then denies), \
+             flipflop, naysay, garbage.")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Run a verifiable-register scenario (Algorithm 1)")
+    Term.(
+      const verify_cmd_run $ n_arg $ f_arg $ seed_arg $ steps_arg $ adversary
+      $ trace_arg)
+
+(* ---------------- sticky ---------------- *)
+
+let sticky_adversaries = [ "none"; "equivocate"; "deny"; "garbage" ]
+
+let sticky_cmd_run n f seed max_steps adversary =
+  let byzantine =
+    match adversary with
+    | "equivocate" | "deny" -> [ 0 ]
+    | "garbage" -> List.init f (fun i -> n - 1 - i)
+    | _ -> []
+  in
+  let sys =
+    Sticky_system.make ~policy:(Policy.random ~seed) ~n ~f ~byzantine ()
+  in
+  (match adversary with
+  | "equivocate" ->
+      ignore
+        (Byz_sticky.spawn_equivocating_writer sys.sched sys.regs ~va:"attack"
+           ~vb:"retreat" ~flip_after:2 ())
+  | "deny" ->
+      ignore
+        (Byz_sticky.spawn_denying_writer sys.sched sys.regs ~v:"kept"
+           ~deny_after:3 ())
+  | "garbage" ->
+      List.iter
+        (fun pid -> ignore (Byz_sticky.spawn_garbage sys.sched sys.regs ~pid))
+        byzantine
+  | _ -> ());
+  if byzantine = [] || adversary = "garbage" then
+    ignore
+      (Sticky_system.client sys ~pid:0 ~name:"writer" (fun () ->
+           Sticky_system.op_write sys "first-value";
+           pr "p0: WRITE \"first-value\" done\n"));
+  for pid = 1 to n - 1 do
+    if not (List.mem pid byzantine) then
+      ignore
+        (Sticky_system.client sys ~pid
+           ~name:(Printf.sprintf "reader%d" pid)
+           (fun () ->
+             let r = Sticky_system.op_read sys ~pid in
+             pr "p%d: READ -> %s\n" pid
+               (match r with Some v -> Printf.sprintf "%S" v | None -> "⊥")))
+  done;
+  run_to_quiescence sys.sched ~max_steps;
+  pr "steps: %d, register accesses: %s\n" (Sched.steps sys.sched)
+    (Format.asprintf "%a" Space.pp_stats (Space.stats sys.space));
+  pr "Byzantine linearizable: %b\n" (Sticky_system.byz_linearizable sys)
+
+let sticky_cmd =
+  let adversary =
+    Arg.(
+      value
+      & opt (enum (List.map (fun a -> (a, a)) sticky_adversaries)) "none"
+      & info [ "adversary" ] ~docv:"ADV"
+          ~doc:"Adversary: none, equivocate, deny, garbage.")
+  in
+  Cmd.v
+    (Cmd.info "sticky" ~doc:"Run a sticky-register scenario (Algorithm 2)")
+    Term.(const sticky_cmd_run $ n_arg $ f_arg $ seed_arg $ steps_arg $ adversary)
+
+(* ---------------- impossibility ---------------- *)
+
+let impossibility_cmd_run f seed =
+  pr "Theorem 23 / Figures 1-3 attack (register-reset + deny):\n\n";
+  List.iter
+    (fun n ->
+      let o = Impossibility.run_attack ~seed ~n ~f () in
+      pr "  %s\n" (Format.asprintf "%a" Impossibility.pp_outcome o))
+    [ 3 * f; (3 * f) + 1 ]
+
+let impossibility_cmd =
+  Cmd.v
+    (Cmd.info "impossibility"
+       ~doc:"Run the Theorem 23 attack at n = 3f and n = 3f + 1")
+    Term.(const impossibility_cmd_run $ f_arg $ seed_arg)
+
+(* ---------------- fuzz ---------------- *)
+
+let fuzz_cmd_run from count =
+  let failures = ref 0 in
+  for seed = from to from + count - 1 do
+    let scenario = Lnd_fuzz.Fuzz.generate seed in
+    match Lnd_fuzz.Fuzz.run scenario with
+    | Ok r ->
+        pr "ok   %s (%d ops, %d steps%s)\n"
+          (Format.asprintf "%a" Lnd_fuzz.Fuzz.pp_scenario scenario)
+          r.Lnd_fuzz.Fuzz.operations r.Lnd_fuzz.Fuzz.steps
+          (if r.Lnd_fuzz.Fuzz.checked_linearizability then ", linearizability checked"
+           else "")
+    | Error msg ->
+        incr failures;
+        pr "FAIL %s: %s\n"
+          (Format.asprintf "%a" Lnd_fuzz.Fuzz.pp_scenario scenario)
+          msg
+  done;
+  pr "%d scenarios, %d failures\n" count !failures;
+  if !failures > 0 then exit 1
+
+let fuzz_cmd =
+  let from =
+    Arg.(value & opt int 0 & info [ "from" ] ~docv:"SEED" ~doc:"First seed.")
+  in
+  let count =
+    Arg.(
+      value & opt int 20
+      & info [ "count" ] ~docv:"N" ~doc:"Number of scenarios to run.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generate and check random Byzantine scenarios (replayable by \
+          seed)")
+    Term.(const fuzz_cmd_run $ from $ count)
+
+(* ---------------- sweep ---------------- *)
+
+let sweep_cmd_run register =
+  let sweep = [ (4, 1); (7, 2); (10, 3); (13, 4) ] in
+  (match register with
+  | "verifiable" ->
+      pr "%4s %4s | %10s | %10s\n" "n" "f" "verify rds" "rounds";
+      List.iter
+        (fun (n, f) ->
+          let sys = Verifiable_system.make ~n ~f () in
+          ignore
+            (Verifiable_system.client sys ~pid:0 ~name:"w" (fun () ->
+                 Verifiable_system.op_write sys "v";
+                 ignore (Verifiable_system.op_sign sys "v")));
+          run_to_quiescence sys.sched ~max_steps:8_000_000;
+          let before = Space.stats_of_pid sys.space 1 in
+          ignore
+            (Verifiable_system.client sys ~pid:1 ~name:"v" (fun () ->
+                 ignore (Verifiable_system.op_verify sys ~pid:1 "v")));
+          run_to_quiescence sys.sched ~max_steps:8_000_000;
+          let after = Space.stats_of_pid sys.space 1 in
+          pr "%4d %4d | %10d | %10d\n" n f
+            (after.Space.reads - before.Space.reads)
+            (after.Space.writes - before.Space.writes))
+        sweep
+  | _ ->
+      pr "%4s %4s | %10s | %10s\n" "n" "f" "write rds" "read rds";
+      List.iter
+        (fun (n, f) ->
+          let sys = Sticky_system.make ~n ~f () in
+          let b0 = Space.stats_of_pid sys.space 0 in
+          ignore
+            (Sticky_system.client sys ~pid:0 ~name:"w" (fun () ->
+                 Sticky_system.op_write sys "v"));
+          run_to_quiescence sys.sched ~max_steps:8_000_000;
+          let a0 = Space.stats_of_pid sys.space 0 in
+          let b1 = Space.stats_of_pid sys.space 1 in
+          ignore
+            (Sticky_system.client sys ~pid:1 ~name:"r" (fun () ->
+                 ignore (Sticky_system.op_read sys ~pid:1)));
+          run_to_quiescence sys.sched ~max_steps:8_000_000;
+          let a1 = Space.stats_of_pid sys.space 1 in
+          pr "%4d %4d | %10d | %10d\n" n f
+            (a0.Space.reads - b0.Space.reads)
+            (a1.Space.reads - b1.Space.reads))
+        sweep);
+  pr "(full tables: dune exec bench/main.exe)\n"
+
+let sweep_cmd =
+  let register =
+    Arg.(
+      value
+      & opt (enum [ ("verifiable", "verifiable"); ("sticky", "sticky") ])
+          "verifiable"
+      & info [ "register" ] ~docv:"REG" ~doc:"verifiable or sticky.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Print operation-cost rows across system sizes")
+    Term.(const sweep_cmd_run $ register)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "lnd_cli" ~version:"1.0.0"
+             ~doc:
+               "Simulate SWMR verifiable and sticky registers in systems \
+                with Byzantine processes (Hu & Toueg, PODC 2025)")
+          [ verify_cmd; sticky_cmd; impossibility_cmd; sweep_cmd; fuzz_cmd ]))

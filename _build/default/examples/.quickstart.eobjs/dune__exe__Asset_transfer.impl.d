@@ -1,0 +1,1 @@
+examples/asset_transfer.ml: Array Broadcast List Lnd Policy Printf Sched Space String

@@ -1,0 +1,1 @@
+examples/asset_transfer.mli:

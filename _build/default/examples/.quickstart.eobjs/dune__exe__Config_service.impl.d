@@ -1,0 +1,1 @@
+examples/config_service.ml: List Lnd Policy Printf Sched Verifiable_system

@@ -1,0 +1,1 @@
+examples/contract_signing.ml: Cell List Lnd Option Policy Printf Register Sched Space String Verifiable

@@ -1,0 +1,1 @@
+examples/impossibility_demo.ml: Format Impossibility List Lnd Printf

@@ -1,0 +1,1 @@
+examples/non_equivocation.ml: Array Broadcast Byz_sticky List Lnd Policy Printf Sched Space

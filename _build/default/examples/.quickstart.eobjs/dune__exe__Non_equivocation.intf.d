@@ -1,0 +1,1 @@
+examples/non_equivocation.mli:

@@ -1,0 +1,1 @@
+examples/proposal_board.ml: Array Broadcast Byz_sticky List Lnd Policy Printf Sched Space String

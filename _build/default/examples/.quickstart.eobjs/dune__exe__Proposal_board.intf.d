@@ -1,0 +1,1 @@
+examples/proposal_board.mli:

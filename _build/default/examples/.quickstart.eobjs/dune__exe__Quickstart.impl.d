@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Lnd Policy Printf Sched Space Verifiable_system

@@ -1,0 +1,1 @@
+examples/relay_demo.ml: Byz_verifiable Lnd Policy Printf Sched Verifiable_system

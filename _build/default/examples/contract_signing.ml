@@ -1,0 +1,111 @@
+(* Two-party contract signing, with no cryptography.
+
+   Alice and Bob each own a verifiable register. To countersign a
+   contract, each writes the contract text into its own register and
+   SIGNs it there. Any arbiter can then check both signatures with
+   VERIFY — and because verified values are relayable (Observation 13),
+   once one arbiter has seen both signatures, NO later arbiter can be
+   convinced otherwise: neither party can repudiate.
+
+   Bob is Byzantine here: he signs, waits until an arbiter confirmed the
+   contract, then erases his registers and denies. The relay property
+   defeats the repudiation.
+
+   Run with: dune exec examples/contract_signing.exe *)
+
+open Lnd
+
+let contract = "alice-sells-bob-one-goat-for-40"
+
+let () =
+  let n = 4 and f = 1 in
+  Printf.printf "== contract signing without signatures: n=%d, f=%d ==\n" n f;
+  let space = Space.create ~n in
+  let sched = Sched.create ~space ~choose:(Policy.random ~seed:77) in
+
+  (* Two verifiable-register instances in one space: Alice (p0) writes
+     hers; Bob (p1) writes his (ownership rotated per instance). *)
+  let rotated ~writer : Cell.allocator =
+    let to_real v = (v + writer) mod n in
+    fun ~name ~owner ?single_reader ~init () ->
+      Cell.shm_allocator space
+        ~name:(Printf.sprintf "%s.%s" (if writer = 0 then "alice" else "bob") name)
+        ~owner:(to_real owner)
+        ?single_reader:(Option.map to_real single_reader)
+        ~init ()
+  in
+  let alice_regs = Verifiable.alloc_with (rotated ~writer:0) { Verifiable.n; f } in
+  let bob_regs = Verifiable.alloc_with (rotated ~writer:1) { Verifiable.n; f } in
+  (* helpers for both instances (Bob, being Byzantine, helps only until
+     he turns coat — modelled by just running his helpers; his denial is
+     an extra fiber) *)
+  List.iter
+    (fun (regs, writer) ->
+      for real = 0 to n - 1 do
+        let vpid = ((real - writer) + n) mod n in
+        ignore
+          (Sched.spawn sched ~pid:real
+             ~name:(Printf.sprintf "help%d.%d" writer real)
+             ~daemon:true (fun () -> Verifiable.help regs ~pid:vpid))
+      done)
+    [ (alice_regs, 0); (bob_regs, 1) ];
+
+  (* Both parties countersign. *)
+  ignore
+    (Sched.spawn sched ~pid:0 ~name:"alice" (fun () ->
+         let w = Verifiable.writer alice_regs in
+         Verifiable.write w contract;
+         ignore (Verifiable.sign w contract);
+         Printf.printf "alice: signed %S\n" contract));
+  ignore
+    (Sched.spawn sched ~pid:1 ~name:"bob" (fun () ->
+         let w = Verifiable.writer bob_regs in
+         Verifiable.write w contract;
+         ignore (Verifiable.sign w contract);
+         Printf.printf "bob:   signed %S (but he is plotting)\n" contract));
+  (match Sched.run ~max_steps:8_000_000 sched with
+  | Sched.Quiescent -> ()
+  | _ -> failwith "signing did not quiesce");
+
+  (* Arbiter 1 (p2) confirms both signatures. *)
+  let confirmed = ref false in
+  ignore
+    (Sched.spawn sched ~pid:2 ~name:"arbiter1" (fun () ->
+         let a = Verifiable.verify (Verifiable.reader alice_regs ~pid:2) contract in
+         (* p2 is virtual pid ((2-1)+n) mod n = 1 in Bob's instance *)
+         let b = Verifiable.verify (Verifiable.reader bob_regs ~pid:1) contract in
+         confirmed := a && b;
+         Printf.printf "arbiter1: alice-signed=%b bob-signed=%b -> contract %s\n"
+           a b (if !confirmed then "BINDING" else "not binding")));
+  (match Sched.run ~max_steps:8_000_000 sched with
+  | Sched.Quiescent -> ()
+  | _ -> failwith "arbitration did not quiesce");
+
+  (* Bob repudiates: erases every register he owns in his instance. *)
+  ignore
+    (Sched.spawn sched ~pid:1 ~name:"bob-repudiates" (fun () ->
+         List.iter
+           (fun (r : Register.t) ->
+             if String.length r.Register.name >= 3
+                && String.sub r.Register.name 0 3 = "bob"
+             then Sched.write r r.Register.init)
+           (Space.owned space ~pid:1);
+         Printf.printf "bob:   erased his registers — 'I never signed that!'\n"));
+  (match Sched.run ~max_steps:8_000_000 sched with
+  | Sched.Quiescent -> ()
+  | _ -> failwith "repudiation did not quiesce");
+
+  (* Arbiter 2 (p3) re-checks after the repudiation. *)
+  ignore
+    (Sched.spawn sched ~pid:3 ~name:"arbiter2" (fun () ->
+         let a = Verifiable.verify (Verifiable.reader alice_regs ~pid:3) contract in
+         let b = Verifiable.verify (Verifiable.reader bob_regs ~pid:2) contract in
+         Printf.printf "arbiter2 (after repudiation): alice=%b bob=%b\n" a b;
+         if !confirmed && not (a && b) then
+           failwith "BUG: repudiation succeeded — relay violated!"));
+  (match Sched.run ~max_steps:8_000_000 sched with
+  | Sched.Quiescent -> ()
+  | _ -> failwith "re-arbitration did not quiesce");
+  Printf.printf
+    "\nBob lied — and still could not deny: the witnesses formed during\n\
+     arbiter1's check keep his signature verifiable forever.\n"

@@ -1,0 +1,1 @@
+lib/asset/asset.ml: Array Format List Lnd_broadcast Lnd_support Printf String Value

@@ -1,0 +1,1 @@
+lib/asset/asset.mli: Format Lnd_broadcast Lnd_runtime Lnd_shm Lnd_support Value

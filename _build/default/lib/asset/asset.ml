@@ -1,0 +1,179 @@
+(* Asset transfer, signature-free — the third Cohen-Keidar object the
+   paper's Section 1.1/2 says can be translated onto its registers.
+
+   The object: every process owns one account with an initial balance.
+   TRANSFER(dst, amount) by the owner moves funds; BALANCE(acct) reads a
+   (conservative) balance. Asset transfer famously needs no consensus:
+   only the *owner* orders its own outgoing transfers. What it does need
+   is exactly what sticky registers provide without signatures:
+
+   - authenticity: a transfer in account a's ledger really was issued by
+     a's owner (the SWMR write port);
+   - non-equivocation: a Byzantine owner cannot show different k-th
+     transfers to different validators (stickiness / uniqueness);
+   - durability: once a validator has seen transfer k, it cannot be
+     denied (stickiness again).
+
+   Each account's outgoing transfers occupy the sticky slots of one
+   sender row in a [Broadcast.Neq] grid. Validators replay transfers in
+   deterministic (owner, slot) order, skipping any transfer that would
+   overdraw — so a Byzantine owner's overdraft attempt is rejected
+   identically by every correct validator.
+
+   Balance semantics: BALANCE returns the balance according to the
+   validator's current (prefix-closed) view. Views grow monotonically:
+   stickiness means a later view can only extend an earlier one, never
+   contradict it — tested as the "settled prefix agreement" property. *)
+
+open Lnd_support
+module Neq = Lnd_broadcast.Broadcast.Neq
+
+(* Sequential specification (pid-indexed: a TRANSFER's source account is
+   the invoking process). Balances start at [initial_balance] per
+   account; a transfer succeeds iff the source can afford it. *)
+module Asset_spec = struct
+  type op = Transfer of { dst : int; amount : int } | Balance of int
+  type res = Ack of bool | Amount of int
+  type state = { balances : int array }
+
+  let init ~n ~initial_balance = { balances = Array.make n initial_balance }
+
+  let apply_by (s : state) ~pid = function
+    | Transfer { dst; amount } ->
+        let n = Array.length s.balances in
+        if
+          amount > 0 && dst >= 0 && dst < n && dst <> pid
+          && s.balances.(pid) >= amount
+        then begin
+          let balances = Array.copy s.balances in
+          balances.(pid) <- balances.(pid) - amount;
+          balances.(dst) <- balances.(dst) + amount;
+          ({ balances }, Ack true)
+        end
+        else (s, Ack false)
+    | Balance acct -> (s, Amount s.balances.(acct))
+
+  let res_equal a b =
+    match (a, b) with
+    | Ack x, Ack y -> x = y
+    | Amount x, Amount y -> x = y
+    | (Ack _ | Amount _), _ -> false
+
+  let pp_op fmt = function
+    | Transfer { dst; amount } ->
+        Format.fprintf fmt "TRANSFER(->p%d, %d)" dst amount
+    | Balance acct -> Format.fprintf fmt "BALANCE(p%d)" acct
+
+  let pp_res fmt = function
+    | Ack b -> Format.fprintf fmt "ack(%b)" b
+    | Amount k -> Format.fprintf fmt "%d" k
+end
+
+type transfer = { dst : int; amount : int }
+
+let encode (tr : transfer) : Value.t = Printf.sprintf "%d:%d" tr.dst tr.amount
+
+let decode (s : Value.t) : transfer option =
+  match String.split_on_char ':' s with
+  | [ d; a ] -> (
+      match (int_of_string_opt d, int_of_string_opt a) with
+      | Some dst, Some amount -> Some { dst; amount }
+      | _ -> None)
+  | _ -> None
+
+type t = {
+  n : int;
+  slots : int;
+  initial_balance : int;
+  grid : Neq.t;
+  next_slot : int array; (* per-owner, owner-maintained *)
+  issued : transfer list array; (* per-owner local record of own issues *)
+}
+
+let create space sched ~n ~f ~slots ~initial_balance ?(byzantine = []) () : t =
+  {
+    n;
+    slots;
+    initial_balance;
+    grid = Neq.create space sched ~n ~f ~slots ~byzantine ();
+    next_slot = Array.make n 0;
+    issued = Array.make n [];
+  }
+
+(* Replay a set of (owner, slot, transfer-string) triples in deterministic
+   order; invalid and overdrawing transfers are skipped. Returns balances. *)
+let replay (t : t) (entries : (int * int * Value.t) list) : int array =
+  let balance = Array.make t.n t.initial_balance in
+  List.iter
+    (fun (owner, _slot, raw) ->
+      match decode raw with
+      | Some { dst; amount }
+        when dst >= 0 && dst < t.n && dst <> owner && amount > 0
+             && balance.(owner) >= amount ->
+          balance.(owner) <- balance.(owner) - amount;
+          balance.(dst) <- balance.(dst) + amount
+      | _ -> () (* rejected deterministically *))
+    (List.sort compare entries);
+  balance
+
+(* The validator's current view: every delivered slot of every account,
+   plus its own issued transfers (local knowledge). Call from a fiber of
+   [pid]. *)
+let view (t : t) ~pid : (int * int * Value.t) list =
+  let entries = ref [] in
+  List.iteri
+    (fun slot tr -> entries := (pid, slot, encode tr) :: !entries)
+    (List.rev t.issued.(pid));
+  for owner = 0 to t.n - 1 do
+    if owner <> pid then
+      for slot = 0 to t.slots - 1 do
+        match Neq.deliver t.grid ~reader:pid ~sender:owner ~slot with
+        | Some raw -> entries := (owner, slot, raw) :: !entries
+        | None -> ()
+      done
+  done;
+  !entries
+
+(* TRANSFER by the owner [src]; validated against the owner's own current
+   view before issuing. Returns true iff the transfer was issued. Call
+   from a fiber of [src]. *)
+let transfer (t : t) ~src ~dst ~amount : bool =
+  if amount <= 0 || dst < 0 || dst >= t.n || dst = src then false
+  else begin
+    let balances = replay t (view t ~pid:src) in
+    if balances.(src) < amount || t.next_slot.(src) >= t.slots then false
+    else begin
+      let slot = t.next_slot.(src) in
+      t.next_slot.(src) <- slot + 1;
+      let tr = { dst; amount } in
+      t.issued.(src) <- t.issued.(src) @ [ tr ];
+      Neq.bcast t.grid ~sender:src ~slot (encode tr);
+      true
+    end
+  end
+
+(* BALANCE of [acct] according to [pid]'s current view. *)
+let balance (t : t) ~pid ~acct : int =
+  if acct < 0 || acct >= t.n then invalid_arg "Asset.balance: bad account";
+  (replay t (view t ~pid)).(acct)
+
+(* Full ledger according to [pid]'s view. *)
+let ledger (t : t) ~pid : int array = replay t (view t ~pid)
+
+(* Conservation: any replayed ledger sums to n * initial_balance. *)
+let conserved (t : t) (ledger : int array) : bool =
+  Array.fold_left ( + ) 0 ledger = t.n * t.initial_balance
+
+(* Settled-prefix agreement: [earlier] is consistent with [later] if every
+   (owner, slot) transfer in the earlier view appears identically in the
+   later one (stickiness guarantees this across validators and time). *)
+let prefix_consistent ~(earlier : (int * int * Value.t) list)
+    ~(later : (int * int * Value.t) list) : bool =
+  List.for_all
+    (fun (o, s, v) ->
+      match
+        List.find_opt (fun (o', s', _) -> o = o' && s = s') later
+      with
+      | Some (_, _, v') -> Value.equal v v'
+      | None -> false)
+    earlier

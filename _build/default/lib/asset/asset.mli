@@ -1,0 +1,78 @@
+(** Asset transfer, signature-free — the third Cohen-Keidar application
+    the paper's Sections 1.1/2 say can be translated onto its registers.
+
+    Every process owns one account; TRANSFER(dst, amount) by the owner
+    moves funds; BALANCE reads a validator's current view. Asset transfer
+    needs no consensus — only the owner orders its own outgoing
+    transfers — but it needs exactly what sticky registers provide
+    without signatures: authenticity (the SWMR write port),
+    non-equivocation and durability (stickiness). Validators replay
+    transfers in deterministic (owner, slot) order, skipping overdrafts,
+    so a Byzantine owner's double-spend or overdraft is rejected
+    identically everywhere. *)
+
+open Lnd_support
+
+(** Sequential specification (pid-indexed: a TRANSFER's source account is
+    the invoking process). *)
+module Asset_spec : sig
+  type op = Transfer of { dst : int; amount : int } | Balance of int
+  type res = Ack of bool | Amount of int
+  type state = { balances : int array }
+
+  val init : n:int -> initial_balance:int -> state
+  val apply_by : state -> pid:int -> op -> state * res
+  val res_equal : res -> res -> bool
+  val pp_op : Format.formatter -> op -> unit
+  val pp_res : Format.formatter -> res -> unit
+end
+
+type transfer = { dst : int; amount : int }
+
+val encode : transfer -> Value.t
+val decode : Value.t -> transfer option
+
+type t = {
+  n : int;
+  slots : int; (** pre-allocated outgoing transfers per account *)
+  initial_balance : int;
+  grid : Lnd_broadcast.Broadcast.Neq.t; (** transparent for adversaries *)
+  next_slot : int array;
+  issued : transfer list array; (** per-owner local record of own issues *)
+}
+
+val create :
+  Lnd_shm.Space.t ->
+  Lnd_runtime.Sched.t ->
+  n:int ->
+  f:int ->
+  slots:int ->
+  initial_balance:int ->
+  ?byzantine:int list ->
+  unit ->
+  t
+
+val replay : t -> (int * int * Value.t) list -> int array
+(** Deterministic replay of (owner, slot, transfer) triples; invalid and
+    overdrawing transfers are skipped. Returns balances. *)
+
+val view : t -> pid:int -> (int * int * Value.t) list
+(** The validator's current prefix-closed view (delivered slots plus its
+    own issues). Call from a fiber of [pid]. *)
+
+val transfer : t -> src:int -> dst:int -> amount:int -> bool
+(** TRANSFER by the owner [src], validated against its own view before
+    issuing; [true] iff issued. Call from a fiber of [src]. *)
+
+val balance : t -> pid:int -> acct:int -> int
+val ledger : t -> pid:int -> int array
+
+val conserved : t -> int array -> bool
+(** Any replayed ledger sums to [n * initial_balance]. *)
+
+val prefix_consistent :
+  earlier:(int * int * Value.t) list ->
+  later:(int * int * Value.t) list ->
+  bool
+(** Stickiness across time and validators: every transfer in an earlier
+    view appears identically in a later one. *)

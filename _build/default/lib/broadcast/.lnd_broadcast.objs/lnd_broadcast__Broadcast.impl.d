@@ -1,0 +1,1 @@
+lib/broadcast/broadcast.ml: Array Cell List Lnd_runtime Lnd_sticky Lnd_support Option Printf Sched Value

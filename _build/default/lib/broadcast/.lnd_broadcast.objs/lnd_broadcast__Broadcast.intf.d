@@ -1,0 +1,1 @@
+lib/broadcast/broadcast.mli: Lnd_runtime Lnd_shm Lnd_sticky Lnd_support Value

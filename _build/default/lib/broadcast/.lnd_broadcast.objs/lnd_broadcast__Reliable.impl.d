@@ -1,0 +1,1 @@
+lib/broadcast/reliable.ml: Array Broadcast Format Int List Lnd_runtime Lnd_support Map Option Printf Sched Value

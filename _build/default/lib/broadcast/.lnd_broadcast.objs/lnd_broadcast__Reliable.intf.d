@@ -1,0 +1,1 @@
+lib/broadcast/reliable.mli: Broadcast Format Lnd_runtime Lnd_shm Lnd_support Map Value

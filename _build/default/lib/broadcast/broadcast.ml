@@ -1,0 +1,112 @@
+(* Broadcast objects built on the paper's registers (Sections 1.1-1.2).
+
+   [Neq] — non-equivocating broadcast from sticky registers, exactly the
+   construction of Section 1.2: "to broadcast a message m, a process p
+   simply writes m into a SWMR sticky register R; to deliver p's message,
+   a process reads R". One sticky-register instance per (sender, slot)
+   gives a multi-shot, multi-sender reliable broadcast in the style of the
+   Cohen-Keidar object, without signatures, for n > 3f.
+
+   [Auth_broadcast] (from lnd_msgpass) is the Srikanth-Toueg message-
+   passing counterpart; it provides correctness/unforgeability/relay but
+   NOT uniqueness — the gap between the two is demonstrated in the test
+   suite, motivating sticky registers. *)
+
+open Lnd_support
+open Lnd_runtime
+module Sticky = Lnd_sticky.Sticky
+
+(* Rotate pids so that [sender] plays the sticky register's writer role
+   (virtual p0). *)
+let rotation ~n ~sender : (int -> int) * (int -> int) =
+  let to_real v = (v + sender) mod n in
+  let to_virtual r = ((r - sender) + n) mod n in
+  (to_real, to_virtual)
+
+module Neq = struct
+  type instance = {
+    sender : int;
+    regs : Sticky.regs;
+    to_virtual : int -> int;
+    writer : Sticky.writer; (* only meaningful for the sender *)
+    readers : Sticky.reader option array;
+        (* persistent per real reader pid: a reader's round counter C_k
+           must be monotone across ALL its reads of this register *)
+  }
+
+  type t = {
+    n : int;
+    f : int;
+    slots : int;
+    instances : instance array array; (* instances.(sender).(slot) *)
+  }
+
+  (* Build the sticky grid and spawn the Help daemons of every correct
+     process for every instance. *)
+  let create space sched ~n ~f ~slots ?(byzantine : int list = []) () : t =
+    let instances =
+      Array.init n (fun sender ->
+          Array.init slots (fun slot ->
+              let to_real, to_virtual = rotation ~n ~sender in
+              let mk : Cell.allocator =
+               fun ~name ~owner ?single_reader ~init () ->
+                Cell.shm_allocator space
+                  ~name:(Printf.sprintf "bc[%d.%d].%s" sender slot name)
+                  ~owner:(to_real owner)
+                  ?single_reader:(Option.map to_real single_reader)
+                  ~init ()
+              in
+              let regs = Sticky.alloc_with mk { Sticky.n; f } in
+              let readers =
+                Array.init n (fun pid ->
+                    let vpid = to_virtual pid in
+                    if vpid = 0 then None
+                    else Some (Sticky.reader regs ~pid:vpid))
+              in
+              { sender; regs; to_virtual; writer = Sticky.writer regs;
+                readers }))
+    in
+    (* one Help daemon per (correct process, instance) *)
+    for pid = 0 to n - 1 do
+      if not (List.mem pid byzantine) then
+        Array.iteri
+          (fun sender row ->
+            Array.iteri
+              (fun slot inst ->
+                let vpid = inst.to_virtual pid in
+                ignore
+                  (Sched.spawn sched ~pid
+                     ~name:(Printf.sprintf "bc-help%d[%d.%d]" pid sender slot)
+                     ~daemon:true (fun () -> Sticky.help inst.regs ~pid:vpid)))
+              row)
+          instances
+    done;
+    { n; f; slots; instances }
+
+  (* BCAST: the sender writes m into its sticky register for [slot]. Must
+     be called from a fiber of [sender]. *)
+  let bcast (t : t) ~sender ~slot (m : Value.t) : unit =
+    Sticky.write t.instances.(sender).(slot).writer m
+
+  (* DELIVER: read the (sender, slot) sticky register; None = nothing to
+     deliver yet. Must be called from a fiber of [reader]. *)
+  let deliver (t : t) ~reader ~sender ~slot : Value.t option =
+    if reader = sender then
+      invalid_arg "Neq.deliver: a sender delivers its own broadcast locally";
+    let inst = t.instances.(sender).(slot) in
+    match inst.readers.(reader) with
+    | Some rd -> Sticky.read rd
+    | None -> invalid_arg "Neq.deliver: reader is the sender"
+
+  (* Deliver, retrying until a message is present (eventual delivery of a
+     correct sender's broadcast). *)
+  let deliver_blocking (t : t) ~reader ~sender ~slot : Value.t =
+    let rec go () =
+      match deliver t ~reader ~sender ~slot with
+      | Some m -> m
+      | None ->
+          Sched.yield ();
+          go ()
+    in
+    go ()
+end

@@ -1,0 +1,56 @@
+(** Non-equivocating broadcast from sticky registers — exactly the
+    construction of Section 1.2: "to broadcast a message m, a process p
+    simply writes m into a SWMR sticky register R; to deliver p's
+    message, a process reads R." One sticky-register instance per
+    (sender, slot); process ids are rotated per instance so that the
+    sender plays the sticky register's writer role. *)
+
+open Lnd_support
+module Sticky = Lnd_sticky.Sticky
+
+val rotation : n:int -> sender:int -> (int -> int) * (int -> int)
+(** [(to_real, to_virtual)] pid rotations placing [sender] at virtual
+    p0. *)
+
+module Neq : sig
+  type instance = {
+    sender : int;
+    regs : Sticky.regs; (** transparent: adversaries aim at this *)
+    to_virtual : int -> int;
+    writer : Sticky.writer; (** only meaningful for the sender *)
+    readers : Sticky.reader option array;
+        (** persistent per real reader pid: a reader's round counter must
+            be monotone across ALL its reads of this register *)
+  }
+
+  type t = {
+    n : int;
+    f : int;
+    slots : int;
+    instances : instance array array; (** [instances.(sender).(slot)] *)
+  }
+
+  val create :
+    Lnd_shm.Space.t ->
+    Lnd_runtime.Sched.t ->
+    n:int ->
+    f:int ->
+    slots:int ->
+    ?byzantine:int list ->
+    unit ->
+    t
+  (** Builds the sticky grid and spawns the Help daemons of every correct
+      process for every instance. *)
+
+  val bcast : t -> sender:int -> slot:int -> Value.t -> unit
+  (** BCAST: the sender writes m into its sticky register for [slot].
+      Call from a fiber of [sender]. *)
+
+  val deliver : t -> reader:int -> sender:int -> slot:int -> Value.t option
+  (** DELIVER: read the (sender, slot) sticky register; [None] = nothing
+      visible yet. Call from a fiber of [reader]; [reader <> sender]. *)
+
+  val deliver_blocking : t -> reader:int -> sender:int -> slot:int -> Value.t
+  (** Retry until a message is present (eventual delivery of a correct
+      sender's broadcast). *)
+end

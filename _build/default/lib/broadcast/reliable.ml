@@ -1,0 +1,131 @@
+(* The reliable-broadcast *object* (Cohen-Keidar [4]), signature-free.
+
+   Operations (Byzantine-linearizable object semantics):
+     BCAST(m)        by any sender: broadcast m as its next message.
+     DELIVER(s, k)   by any process: the k-th message of sender s, or ⊥ if
+                     none is visible yet.
+
+   Construction (Section 1.2 of the paper): one SWMR sticky register per
+   (sender, slot). A sender's k-th BCAST writes its k-th sticky register;
+   DELIVER(s, k) reads it. Stickiness gives the non-equivocation /
+   uniqueness guarantee that [4] obtained from signatures: a Byzantine
+   sender cannot make two correct processes deliver different k-th
+   messages, and once any correct process delivers m as (s, k), every
+   later DELIVER(s, k) by a correct process returns m.
+
+   Works for n > 3f without signatures — the paper's translation of [4]
+   (which needed only n > 2f *with* signatures). *)
+
+open Lnd_support
+open Lnd_runtime
+
+(* Sequential specification. *)
+module Rb_spec = struct
+  type op = Bcast of Value.t (* sender implicit: the invoking pid *) | Deliver of int * int
+  type res = Done | Msg of Value.t option
+
+  module IntMap = Map.Make (Int)
+
+  type state = Value.t list IntMap.t (* sender -> messages, oldest first *)
+
+  let init : state = IntMap.empty
+
+  let apply_by (s : state) ~pid = function
+    | Bcast m ->
+        let cur = Option.value ~default:[] (IntMap.find_opt pid s) in
+        (IntMap.add pid (cur @ [ m ]) s, Done)
+    | Deliver (sender, k) ->
+        let msgs = Option.value ~default:[] (IntMap.find_opt sender s) in
+        (s, Msg (List.nth_opt msgs k))
+
+  let res_equal a b =
+    match (a, b) with
+    | Done, Done -> true
+    | Msg x, Msg y -> Value.equal_opt x y
+    | (Done | Msg _), _ -> false
+
+  let pp_op fmt = function
+    | Bcast m -> Format.fprintf fmt "BCAST(%a)" Value.pp m
+    | Deliver (s, k) -> Format.fprintf fmt "DELIVER(p%d,#%d)" s k
+
+  let pp_res fmt = function
+    | Done -> Format.fprintf fmt "done"
+    | Msg m -> Format.fprintf fmt "%a" Value.pp_opt m
+end
+
+type t = {
+  neq : Broadcast.Neq.t;
+  n : int;
+  slots : int;
+  next_slot : int array; (* per sender, maintained by the sender itself *)
+  (* recorded history of (pid, op, result) for observational checking *)
+  mutable log : (int * Rb_spec.op * Rb_spec.res * int) list; (* + logical time *)
+}
+
+let create space sched ~n ~f ~slots ?(byzantine = []) () : t =
+  {
+    neq = Broadcast.Neq.create space sched ~n ~f ~slots ~byzantine ();
+    n;
+    slots;
+    next_slot = Array.make n 0;
+    log = [];
+  }
+
+let record t pid op res =
+  t.log <- (pid, op, res, Sched.tick ()) :: t.log
+
+(* BCAST by [sender] (call from a fiber of that pid). Returns the slot
+   used. *)
+let bcast (t : t) ~sender (m : Value.t) : int =
+  let slot = t.next_slot.(sender) in
+  if slot >= t.slots then invalid_arg "Reliable.bcast: slot space exhausted";
+  t.next_slot.(sender) <- slot + 1;
+  Broadcast.Neq.bcast t.neq ~sender ~slot m;
+  record t sender (Rb_spec.Bcast m) Rb_spec.Done;
+  slot
+
+(* DELIVER(s, k) by [reader]. *)
+let deliver (t : t) ~reader ~sender ~slot : Value.t option =
+  let r = Broadcast.Neq.deliver t.neq ~reader ~sender ~slot in
+  record t reader (Rb_spec.Deliver (sender, slot)) (Rb_spec.Msg r);
+  r
+
+(* ---- Observational checks over the recorded log ---- *)
+
+(* UNIQUENESS: no two correct delivers of (s, k) return different non-⊥
+   messages; and a non-⊥ deliver is never followed by a ⊥ deliver of the
+   same (s, k). *)
+let uniqueness_violations (t : t) ~correct : string list =
+  let delivers =
+    List.filter_map
+      (fun (pid, op, res, time) ->
+        match (op, res) with
+        | Rb_spec.Deliver (s, k), Rb_spec.Msg m when correct pid ->
+            Some (s, k, m, time)
+        | _ -> None)
+      t.log
+  in
+  let viols = ref [] in
+  List.iter
+    (fun (s1, k1, m1, t1) ->
+      List.iter
+        (fun (s2, k2, m2, t2) ->
+          if s1 = s2 && k1 = k2 then begin
+            (match (m1, m2) with
+            | Some a, Some b when not (Value.equal a b) ->
+                viols :=
+                  Printf.sprintf "(p%d,#%d): delivered both %s and %s" s1 k1 a
+                    b
+                  :: !viols
+            | _ -> ());
+            match (m1, m2) with
+            | Some a, None when t1 < t2 ->
+                viols :=
+                  Printf.sprintf
+                    "(p%d,#%d): delivered %s at %d then ⊥ at %d" s1 k1 a t1 t2
+                  :: !viols
+            | _ -> ()
+          end)
+        delivers)
+    delivers;
+  List.sort_uniq compare !viols

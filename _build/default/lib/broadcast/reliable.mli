@@ -1,0 +1,54 @@
+(** The reliable-broadcast {e object} (Cohen-Keidar [4]), signature-free
+    on the paper's sticky registers: BCAST(m) appends to the sender's
+    sequence; DELIVER(s, k) reads its k-th sticky slot. Stickiness gives
+    the non-equivocation and durability that [4] obtained from
+    signatures; works for n > 3f without any. *)
+
+open Lnd_support
+
+(** Sequential specification (pid-indexed: BCAST's sender is the invoking
+    process). *)
+module Rb_spec : sig
+  type op = Bcast of Value.t | Deliver of int * int (** sender, slot *)
+
+  type res = Done | Msg of Value.t option
+
+  module IntMap : Map.S with type key = int
+
+  type state = Value.t list IntMap.t
+
+  val init : state
+  val apply_by : state -> pid:int -> op -> state * res
+  val res_equal : res -> res -> bool
+  val pp_op : Format.formatter -> op -> unit
+  val pp_res : Format.formatter -> res -> unit
+end
+
+type t = {
+  neq : Broadcast.Neq.t; (** transparent: adversaries aim at the grid *)
+  n : int;
+  slots : int;
+  next_slot : int array;
+  mutable log : (int * Rb_spec.op * Rb_spec.res * int) list;
+}
+
+val create :
+  Lnd_shm.Space.t ->
+  Lnd_runtime.Sched.t ->
+  n:int ->
+  f:int ->
+  slots:int ->
+  ?byzantine:int list ->
+  unit ->
+  t
+
+val bcast : t -> sender:int -> Value.t -> int
+(** BCAST by [sender] (call from a fiber of that pid); returns the slot
+    used. Raises if the pre-allocated slot space is exhausted. *)
+
+val deliver : t -> reader:int -> sender:int -> slot:int -> Value.t option
+
+val uniqueness_violations : t -> correct:(int -> bool) -> string list
+(** Over the recorded log: no two correct delivers of (s, k) return
+    different non-⊥ messages, and a non-⊥ deliver is never followed by a
+    ⊥ deliver of the same (s, k). Empty = no violations. *)

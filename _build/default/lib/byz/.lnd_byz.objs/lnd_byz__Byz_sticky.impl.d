@@ -1,0 +1,1 @@
+lib/byz/byz_sticky.ml: Array Cell Codecs Lnd_runtime Lnd_sticky Lnd_support Printf Sched Univ Value

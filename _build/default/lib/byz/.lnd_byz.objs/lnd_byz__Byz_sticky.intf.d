@@ -1,0 +1,1 @@
+lib/byz/byz_sticky.mli: Lnd_runtime Lnd_sticky Lnd_support Sched Value

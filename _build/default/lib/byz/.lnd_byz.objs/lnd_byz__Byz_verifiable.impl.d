@@ -1,0 +1,1 @@
+lib/byz/byz_verifiable.ml: Array Cell Codecs Lnd_runtime Lnd_support Lnd_verifiable Printf Sched Univ Value

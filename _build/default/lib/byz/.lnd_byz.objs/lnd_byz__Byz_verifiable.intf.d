@@ -1,0 +1,1 @@
+lib/byz/byz_verifiable.mli: Lnd_runtime Lnd_support Lnd_verifiable Sched Value

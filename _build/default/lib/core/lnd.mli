@@ -1,0 +1,66 @@
+(** lie_not_deny — public facade.
+
+    Reproduction of Hu & Toueg, "You can lie but not deny: SWMR registers
+    with signature properties in systems with Byzantine processes"
+    (PODC 2025). See README.md for a tour and DESIGN.md for the system
+    inventory and faithfulness notes.
+
+    The modules below are aliases into the underlying libraries; see each
+    module's own interface for its documentation. *)
+
+(** {1 Substrate} *)
+
+module Value = Lnd_support.Value
+module Univ = Lnd_support.Univ
+module Codecs = Lnd_support.Codecs
+module Rng = Lnd_support.Rng
+module Register = Lnd_shm.Register
+module Space = Lnd_shm.Space
+module Sched = Lnd_runtime.Sched
+module Policy = Lnd_runtime.Policy
+module Cell = Lnd_runtime.Cell
+module Explore = Lnd_runtime.Explore
+
+(** {1 Histories and correctness checking} *)
+
+module History = Lnd_history.History
+module Spec = Lnd_history.Spec
+module Byzlin = Lnd_history.Byzlin
+module Monitors = Lnd_history.Monitors
+
+(** {1 The paper's contributions} *)
+
+module Verifiable = Lnd_verifiable.Verifiable
+(** Algorithm 1. *)
+
+module Verifiable_system = Lnd_verifiable.System
+
+module Sticky = Lnd_sticky.Sticky
+(** Algorithm 2. *)
+
+module Sticky_system = Lnd_sticky.System
+
+module Testorset = Lnd_testorset.Testorset
+(** Observation 25. *)
+
+module Impossibility = Lnd_testorset.Impossibility
+(** Theorem 23 / Figures 1-3, executable. *)
+
+(** {1 Adversaries} *)
+
+module Byz_verifiable = Lnd_byz.Byz_verifiable
+module Byz_sticky = Lnd_byz.Byz_sticky
+
+(** {1 Baselines and derived systems} *)
+
+module Sigoracle = Lnd_crypto.Sigoracle
+module Sig_verifiable = Lnd_sigbase.Sig_verifiable
+module Net = Lnd_msgpass.Net
+module Auth_broadcast = Lnd_msgpass.Auth_broadcast
+module Regemu = Lnd_msgpass.Regemu
+module Broadcast = Lnd_broadcast.Broadcast
+module Reliable_broadcast = Lnd_broadcast.Reliable
+module Bracha = Lnd_msgpass.Bracha
+module Snapshot = Lnd_snapshot.Snapshot
+module Asset = Lnd_asset.Asset
+module Fuzz = Lnd_fuzz.Fuzz

@@ -1,0 +1,1 @@
+lib/crypto/sigoracle.ml: Format Hashtbl String

@@ -1,0 +1,1 @@
+lib/crypto/sigoracle.mli: Format Hashtbl

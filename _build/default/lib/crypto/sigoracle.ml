@@ -1,0 +1,52 @@
+(* A simulated unforgeable-signature oracle.
+
+   The paper's baseline algorithms assume "unforgeable digital signatures"
+   (footnote 1) and use only three axioms: (1) only p can produce a
+   signature of p on a message; (2) anyone can verify a signature; (3)
+   signatures are transferable (a relayed signature still verifies). The
+   oracle provides exactly those axioms without cryptography: it records
+   every signature it issues and [verify] checks membership. Byzantine
+   code in the simulation goes through the same API with its own pid, so
+   it can replay or relay signatures (axiom 3) but cannot fabricate a
+   signature for another process. *)
+
+type signature = { token : int; sig_signer : int; sig_msg : string }
+
+type t = {
+  mutable next_token : int;
+  issued : (int, int * string) Hashtbl.t; (* token -> (signer, msg) *)
+  mutable signs_performed : int;
+  mutable verifies_performed : int;
+}
+
+let create () : t =
+  {
+    next_token = 1;
+    issued = Hashtbl.create 64;
+    signs_performed = 0;
+    verifies_performed = 0;
+  }
+
+(* [by] is the calling process; the harness passes the caller's real pid,
+   which is what makes forging impossible in the simulation. *)
+let sign (t : t) ~(by : int) (msg : string) : signature =
+  let token = t.next_token in
+  t.next_token <- t.next_token + 1;
+  t.signs_performed <- t.signs_performed + 1;
+  Hashtbl.replace t.issued token (by, msg);
+  { token; sig_signer = by; sig_msg = msg }
+
+let verify (t : t) ~(signer : int) ~(msg : string) (s : signature) : bool =
+  t.verifies_performed <- t.verifies_performed + 1;
+  match Hashtbl.find_opt t.issued s.token with
+  | Some (by, m) -> by = signer && String.equal m msg
+  | None -> false
+
+(* What a forger can do: fabricate a signature record out of thin air.
+   [verify] rejects it because the oracle never issued the token. Used by
+   tests to show the baseline's unforgeability. *)
+let forge ~(signer : int) ~(msg : string) : signature =
+  { token = -1; sig_signer = signer; sig_msg = msg }
+
+let pp_signature fmt (s : signature) =
+  Format.fprintf fmt "sig[p%d:%S#%d]" s.sig_signer s.sig_msg s.token

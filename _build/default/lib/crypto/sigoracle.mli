@@ -1,0 +1,36 @@
+(** A simulated unforgeable-signature oracle.
+
+    The paper's baseline algorithms assume "unforgeable digital
+    signatures" (footnote 1) and use only three axioms: (1) only p can
+    produce a signature of p on a message; (2) anyone can verify a
+    signature; (3) signatures are transferable. The oracle provides
+    exactly those axioms without cryptography: it records every signature
+    it issues and {!verify} checks membership. Byzantine code goes
+    through the same API with its own pid, so it can replay or relay
+    signatures (axiom 3) but cannot fabricate one for another process. *)
+
+type signature = { token : int; sig_signer : int; sig_msg : string }
+(** Transparent for debugging/printing; {!verify} trusts only the
+    oracle's issuance table, never these fields. *)
+
+type t = {
+  mutable next_token : int;
+  issued : (int, int * string) Hashtbl.t;
+  mutable signs_performed : int;
+  mutable verifies_performed : int;
+}
+
+val create : unit -> t
+
+val sign : t -> by:int -> string -> signature
+(** [by] is the calling process; harnesses pass the caller's real pid,
+    which is what makes forging impossible in the simulation. *)
+
+val verify : t -> signer:int -> msg:string -> signature -> bool
+
+val forge : signer:int -> msg:string -> signature
+(** What a forger can do: fabricate a signature record out of thin air.
+    {!verify} rejects it. Used by tests to demonstrate the baseline's
+    unforgeability. *)
+
+val pp_signature : Format.formatter -> signature -> unit

@@ -1,0 +1,1 @@
+lib/fuzz/fuzz.ml: Array Format List Lnd_byz Lnd_history Lnd_runtime Lnd_sticky Lnd_support Lnd_verifiable Printexc Printf Rng

@@ -1,0 +1,1 @@
+lib/fuzz/fuzz.mli: Format

@@ -1,0 +1,1 @@
+lib/history/byzlin.ml: History List Lnd_support Spec Value

@@ -1,0 +1,1 @@
+lib/history/byzlin.mli: History Spec

@@ -1,0 +1,1 @@
+lib/history/monitors.ml: Format History List Lnd_support Printf Spec String Value

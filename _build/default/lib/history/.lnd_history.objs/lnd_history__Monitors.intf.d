@@ -1,0 +1,1 @@
+lib/history/monitors.mli: Format History Spec

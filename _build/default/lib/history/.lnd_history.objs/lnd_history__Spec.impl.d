@@ -1,0 +1,1 @@
+lib/history/spec.ml: Array Format History List Lnd_support Value

@@ -1,0 +1,1 @@
+lib/history/spec.mli: Format History Lnd_support Value

@@ -1,0 +1,1 @@
+lib/history/trace_invariants.ml: Codecs Format Hashtbl List Lnd_shm Lnd_support Option Printf Space String Univ Value

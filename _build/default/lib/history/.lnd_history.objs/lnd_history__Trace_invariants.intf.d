@@ -1,0 +1,1 @@
+lib/history/trace_invariants.mli: Format Lnd_shm Space

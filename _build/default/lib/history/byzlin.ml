@@ -1,0 +1,127 @@
+(* Byzantine linearizability (Definition 7, Cohen-Keidar [4]).
+
+   A history H is Byzantine linearizable w.r.t. an object O iff there is a
+   history H' with H'|CORRECT = H|CORRECT that is linearizable w.r.t. O.
+   Since only the writer's operations matter for the objects in this paper
+   (readers' operations are their own), H' can be taken to be H|CORRECT
+   plus some WRITE/SIGN operations by the (faulty) writer.
+
+   We add those writer operations with *free* intervals ([0, ∞)): a free
+   operation imposes no precedence constraints, so the generic checker
+   searches over all placements of the writer's operations. This is sound
+   and complete: a linearization of {correct ops with their real intervals}
+   ∪ {free writer ops} exists iff point-intervals for the writer ops can be
+   laid down making a legal sequential-writer history H' whose restriction
+   to CORRECT is exactly H|CORRECT (choose each free op's point between its
+   linearization neighbours). This generalizes the constructive completion
+   of Definitions 73 and 140 in the paper's appendices. *)
+
+open Lnd_support
+
+(* ---------------- Verifiable register ---------------- *)
+
+module V = Spec.Verifiable_spec
+module VC = Spec.Checker (V)
+
+let free_entry ~pid op ret : VC.centry =
+  { VC.pid; op; inv = 0; ret = Some ret; res_time = max_int }
+
+(* [writer] is the writing process; [correct pid] says whether a process is
+   correct in the run. Returns true iff the history is Byzantine
+   linearizable w.r.t. a SWMR verifiable register. *)
+let verifiable ?node_budget ~writer ~correct (h : (V.op, V.res) History.t) :
+    bool =
+  let hc = History.restrict h ~correct in
+  let base = VC.of_history hc in
+  let extra =
+    if correct writer then []
+    else begin
+      (* One WRITE per READ occurrence, plus SIGN+WRITE per distinct value
+         that some VERIFY accepted. *)
+      let writes =
+        List.filter_map
+          (fun (e : VC.centry) ->
+            match (e.op, e.ret) with
+            | V.Read, Some (V.Val v) ->
+                Some (free_entry ~pid:writer (V.Write v) V.Done)
+            | _ -> None)
+          base
+      in
+      let verified =
+        List.fold_left
+          (fun acc (e : VC.centry) ->
+            match (e.op, e.ret) with
+            | V.Verify v, Some (V.Verified true) -> Value.Set.add v acc
+            | _ -> acc)
+          Value.Set.empty base
+      in
+      let signs =
+        Value.Set.fold
+          (fun v acc ->
+            free_entry ~pid:writer (V.Write v) V.Done
+            :: free_entry ~pid:writer (V.Sign v) (V.Signed true)
+            :: acc)
+          verified []
+      in
+      writes @ signs
+    end
+  in
+  match VC.linearization ?node_budget (base @ extra) with
+  | Some _ -> true
+  | None -> false
+
+(* ---------------- Sticky register ---------------- *)
+
+module S = Spec.Sticky_spec
+module SC = Spec.Checker (S)
+
+let sticky ?node_budget ~writer ~correct (h : (S.op, S.res) History.t) : bool =
+  let hc = History.restrict h ~correct in
+  let base = SC.of_history hc in
+  let extra =
+    if correct writer then []
+    else begin
+      let returned =
+        List.fold_left
+          (fun acc (e : SC.centry) ->
+            match (e.op, e.ret) with
+            | S.Read, Some (S.Val (Some v)) -> Value.Set.add v acc
+            | _ -> acc)
+          Value.Set.empty base
+      in
+      Value.Set.fold
+        (fun v acc ->
+          { SC.pid = writer; op = S.Write v; inv = 0; ret = Some S.Done;
+            res_time = max_int }
+          :: acc)
+        returned []
+    end
+  in
+  match SC.linearization ?node_budget (base @ extra) with
+  | Some _ -> true
+  | None -> false
+
+(* ---------------- Test-or-set ---------------- *)
+
+module T = Spec.Testorset_spec
+module TC = Spec.Checker (T)
+
+let testorset ?node_budget ~setter ~correct (h : (T.op, T.res) History.t) :
+    bool =
+  let hc = History.restrict h ~correct in
+  let base = TC.of_history hc in
+  let extra =
+    if correct setter then []
+    else if
+      List.exists
+        (fun (e : TC.centry) ->
+          match (e.op, e.ret) with T.Test, Some (T.Bit 1) -> true | _ -> false)
+        base
+    then
+      [ { TC.pid = setter; op = T.Set; inv = 0; ret = Some T.Done;
+          res_time = max_int } ]
+    else []
+  in
+  match TC.linearization ?node_budget (base @ extra) with
+  | Some _ -> true
+  | None -> false

@@ -1,0 +1,38 @@
+(** Byzantine linearizability (Definition 7, Cohen-Keidar [4]).
+
+    A history H is Byzantine linearizable w.r.t. an object O iff there is
+    a history H' with H'|CORRECT = H|CORRECT that is linearizable w.r.t.
+    O. Since only the writer's operations matter for the paper's objects,
+    H' is taken to be H|CORRECT plus some WRITE/SIGN operations by the
+    (faulty) writer, added with {e free} intervals: a free operation
+    imposes no precedence constraints, so the generic checker searches
+    over all placements. This is sound and complete for these
+    single-writer objects and generalizes the constructive completions of
+    Definitions 73 and 140 in the paper's appendices. *)
+
+val verifiable :
+  ?node_budget:int ->
+  writer:int ->
+  correct:(int -> bool) ->
+  (Spec.Verifiable_spec.op, Spec.Verifiable_spec.res) History.t ->
+  bool
+(** Byzantine linearizability w.r.t. a SWMR verifiable register
+    (checks Theorem 14's guarantee on a recorded history). *)
+
+val sticky :
+  ?node_budget:int ->
+  writer:int ->
+  correct:(int -> bool) ->
+  (Spec.Sticky_spec.op, Spec.Sticky_spec.res) History.t ->
+  bool
+(** Byzantine linearizability w.r.t. a SWMR sticky register
+    (Theorem 19). *)
+
+val testorset :
+  ?node_budget:int ->
+  setter:int ->
+  correct:(int -> bool) ->
+  (Spec.Testorset_spec.op, Spec.Testorset_spec.res) History.t ->
+  bool
+(** Byzantine linearizability w.r.t. test-or-set (Observation 25 /
+    Lemma 22). *)

@@ -1,0 +1,58 @@
+(* Operation histories.
+
+   An entry is one operation instance with its [invocation, response]
+   interval in logical time. Timestamps come from the scheduler's logical
+   clock (advanced by every shared access and every stamp request), so
+   distinct events always carry distinct times and interval order reflects
+   real-time order of the simulation. *)
+
+type ('op, 'res) entry = {
+  pid : int;
+  op : 'op;
+  inv : int;
+  mutable ret : ('res * int) option; (* (result, response time); None = incomplete *)
+}
+
+type ('op, 'res) t = { mutable entries : ('op, 'res) entry list (* newest first *) }
+
+let create () : ('op, 'res) t = { entries = [] }
+
+(* Record an operation executed inside a fiber: stamps invocation and
+   response with the scheduler's logical clock. *)
+let record (h : ('op, 'res) t) ~pid (op : 'op) (body : unit -> 'res) : 'res =
+  let inv = Lnd_runtime.Sched.tick () in
+  let e = { pid; op; inv; ret = None } in
+  h.entries <- e :: h.entries;
+  let r = body () in
+  let t = Lnd_runtime.Sched.tick () in
+  e.ret <- Some (r, t);
+  r
+
+let entries (h : ('op, 'res) t) : ('op, 'res) entry list =
+  List.sort (fun a b -> compare a.inv b.inv) h.entries
+
+let complete_entries h =
+  List.filter (fun e -> e.ret <> None) (entries h)
+
+let incomplete_entries h =
+  List.filter (fun e -> e.ret = None) (entries h)
+
+(* Restriction to a set of (correct) processes: H|CORRECT. *)
+let restrict (h : ('op, 'res) t) ~(correct : int -> bool) : ('op, 'res) t =
+  { entries = List.filter (fun e -> correct e.pid) h.entries }
+
+let response_time (e : ('op, 'res) entry) : int =
+  match e.ret with Some (_, t) -> t | None -> max_int
+
+(* o precedes o' (Definition 1). *)
+let precedes a b = response_time a < b.inv
+
+let pp ~pp_op ~pp_res fmt (h : ('op, 'res) t) =
+  List.iter
+    (fun e ->
+      match e.ret with
+      | Some (r, t) ->
+          Format.fprintf fmt "  [%d,%d] p%d: %a -> %a@." e.inv t e.pid pp_op
+            e.op pp_res r
+      | None -> Format.fprintf fmt "  [%d,∞) p%d: %a (incomplete)@." e.inv e.pid pp_op e.op)
+    (entries h)

@@ -1,0 +1,48 @@
+(** Operation histories.
+
+    An entry is one operation instance with its [invocation, response]
+    interval in logical time. Timestamps come from the scheduler's
+    logical clock, so distinct events carry distinct times and interval
+    order reflects real-time order of the simulation.
+
+    The records are transparent so that tests can also hand-craft
+    histories. *)
+
+type ('op, 'res) entry = {
+  pid : int;
+  op : 'op;
+  inv : int; (** invocation time *)
+  mutable ret : ('res * int) option;
+      (** (result, response time); [None] = incomplete *)
+}
+
+type ('op, 'res) t = { mutable entries : ('op, 'res) entry list (** newest first *) }
+
+val create : unit -> ('op, 'res) t
+
+val record : ('op, 'res) t -> pid:int -> 'op -> (unit -> 'res) -> 'res
+(** Record one operation executed inside a fiber: stamps invocation and
+    response with the scheduler's logical clock. *)
+
+val entries : ('op, 'res) t -> ('op, 'res) entry list
+(** All entries, sorted by invocation time. *)
+
+val complete_entries : ('op, 'res) t -> ('op, 'res) entry list
+val incomplete_entries : ('op, 'res) t -> ('op, 'res) entry list
+
+val restrict : ('op, 'res) t -> correct:(int -> bool) -> ('op, 'res) t
+(** H|CORRECT: the sub-history of the correct processes' operations. *)
+
+val response_time : ('op, 'res) entry -> int
+(** [max_int] for incomplete entries. *)
+
+val precedes : ('op, 'res) entry -> ('op, 'res) entry -> bool
+(** Definition 1: o precedes o' iff o's response is before o''s
+    invocation. *)
+
+val pp :
+  pp_op:(Format.formatter -> 'op -> unit) ->
+  pp_res:(Format.formatter -> 'res -> unit) ->
+  Format.formatter ->
+  ('op, 'res) t ->
+  unit

@@ -1,0 +1,252 @@
+(* Streaming property monitors for the paper's observational properties.
+
+   Each monitor consumes a completed history (or entries one at a time)
+   and reports every violation it finds. They check the *observational*
+   properties the paper states as Observations — relay, uniqueness,
+   validity, unforgeability — which are necessary conditions for
+   Byzantine linearizability but much cheaper than the full search in
+   [Byzlin], so tests can run them on large histories and use [Byzlin] on
+   the smaller ones. *)
+
+open Lnd_support
+
+type violation = { property : string; detail : string }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "%s: %s" v.property v.detail
+
+(* ------------------------------------------------------------------ *)
+(* Verifiable register (Observations 11-13)                            *)
+(* ------------------------------------------------------------------ *)
+
+module V = Spec.Verifiable_spec
+
+type vevent = {
+  v_pid : int;
+  v_value : Value.t;
+  v_result : bool;
+  v_inv : int;
+  v_res : int;
+}
+
+let verify_events ~correct (h : (V.op, V.res) History.t) : vevent list =
+  List.filter_map
+    (fun (e : (V.op, V.res) History.entry) ->
+      if not (correct e.pid) then None
+      else
+        match (e.op, e.ret) with
+        | V.Verify value, Some (V.Verified result, rt) ->
+            Some { v_pid = e.pid; v_value = value; v_result = result;
+                   v_inv = e.inv; v_res = rt }
+        | _ -> None)
+    (History.complete_entries h)
+
+(* RELAY (Observation 13): no VERIFY(v) -> true strictly precedes a
+   VERIFY(v) -> false by correct readers. *)
+let relay ~correct (h : (V.op, V.res) History.t) : violation list =
+  let events = verify_events ~correct h in
+  List.concat_map
+    (fun a ->
+      if not a.v_result then []
+      else
+        List.filter_map
+          (fun b ->
+            if
+              Value.equal a.v_value b.v_value
+              && (not b.v_result)
+              && a.v_res < b.v_inv
+            then
+              Some
+                {
+                  property = "RELAY";
+                  detail =
+                    Printf.sprintf
+                      "VERIFY(%s)=true by p%d (ends %d) precedes \
+                       VERIFY(%s)=false by p%d (starts %d)"
+                      a.v_value a.v_pid a.v_res b.v_value b.v_pid b.v_inv;
+                }
+            else None)
+          events)
+    events
+
+(* VALIDITY (Observation 11): a successful SIGN(v) by a correct writer
+   makes every subsequent correct VERIFY(v) return true. *)
+let validity ~correct (h : (V.op, V.res) History.t) : violation list =
+  let signs =
+    List.filter_map
+      (fun (e : (V.op, V.res) History.entry) ->
+        if not (correct e.pid) then None
+        else
+          match (e.op, e.ret) with
+          | V.Sign value, Some (V.Signed true, rt) -> Some (value, rt)
+          | _ -> None)
+      (History.complete_entries h)
+  in
+  let events = verify_events ~correct h in
+  List.concat_map
+    (fun (sv, srt) ->
+      List.filter_map
+        (fun b ->
+          if Value.equal sv b.v_value && (not b.v_result) && srt < b.v_inv
+          then
+            Some
+              {
+                property = "VALIDITY";
+                detail =
+                  Printf.sprintf
+                    "SIGN(%s) succeeded (ends %d) but VERIFY(%s)=false by \
+                     p%d (starts %d)"
+                    sv srt b.v_value b.v_pid b.v_inv;
+              }
+          else None)
+        events)
+    signs
+
+(* UNFORGEABILITY (Observation 12), checkable when the writer is correct:
+   no VERIFY(v)=true without a prior-or-concurrent successful SIGN(v). *)
+let unforgeability ~correct ~writer (h : (V.op, V.res) History.t) :
+    violation list =
+  if not (correct writer) then []
+  else begin
+    let signs =
+      List.filter_map
+        (fun (e : (V.op, V.res) History.entry) ->
+          match (e.op, e.ret) with
+          | V.Sign value, Some (V.Signed true, _) -> Some (value, e.inv)
+          | _ -> None)
+        (History.complete_entries h)
+    in
+    List.filter_map
+      (fun b ->
+        if not b.v_result then None
+        else if
+          List.exists
+            (fun (sv, sinv) -> Value.equal sv b.v_value && sinv < b.v_res)
+            signs
+        then None
+        else
+          Some
+            {
+              property = "UNFORGEABILITY";
+              detail =
+                Printf.sprintf
+                  "VERIFY(%s)=true by p%d (ends %d) with no sign invocation \
+                   before it"
+                  b.v_value b.v_pid b.v_res;
+            })
+      (verify_events ~correct h)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sticky register (Observations 16-18)                                *)
+(* ------------------------------------------------------------------ *)
+
+module S = Spec.Sticky_spec
+
+type sevent = {
+  s_pid : int;
+  s_value : Value.t option;
+  s_inv : int;
+  s_res : int;
+}
+
+let read_events ~correct (h : (S.op, S.res) History.t) : sevent list =
+  List.filter_map
+    (fun (e : (S.op, S.res) History.entry) ->
+      if not (correct e.pid) then None
+      else
+        match (e.op, e.ret) with
+        | S.Read, Some (S.Val r, rt) ->
+            Some { s_pid = e.pid; s_value = r; s_inv = e.inv; s_res = rt }
+        | _ -> None)
+    (History.complete_entries h)
+
+(* UNIQUENESS (Observation 18): agreement among all non-⊥ reads, and no
+   ⊥-read after a completed non-⊥ read. *)
+let uniqueness ~correct (h : (S.op, S.res) History.t) : violation list =
+  let events = read_events ~correct h in
+  let agreement =
+    let non_bot = List.filter_map (fun e -> e.s_value) events in
+    match List.sort_uniq Value.compare non_bot with
+    | [] | [ _ ] -> []
+    | vs ->
+        [
+          {
+            property = "UNIQUENESS";
+            detail =
+              Printf.sprintf "correct readers returned distinct values: %s"
+                (String.concat ", " vs);
+          };
+        ]
+  in
+  let stickiness =
+    List.concat_map
+      (fun a ->
+        match a.s_value with
+        | None -> []
+        | Some v ->
+            List.filter_map
+              (fun b ->
+                if b.s_value = None && a.s_res < b.s_inv then
+                  Some
+                    {
+                      property = "UNIQUENESS";
+                      detail =
+                        Printf.sprintf
+                          "READ=%s by p%d (ends %d) precedes READ=⊥ by p%d \
+                           (starts %d)"
+                          v a.s_pid a.s_res b.s_pid b.s_inv;
+                    }
+                else None)
+              events)
+      events
+  in
+  agreement @ stickiness
+
+(* VALIDITY (Observation 16): once a correct writer's first WRITE(v)
+   completes, every subsequent correct READ returns v. *)
+let sticky_validity ~correct ~writer (h : (S.op, S.res) History.t) :
+    violation list =
+  if not (correct writer) then []
+  else begin
+    let first_write =
+      List.filter_map
+        (fun (e : (S.op, S.res) History.entry) ->
+          if e.pid <> writer then None
+          else
+            match (e.op, e.ret) with
+            | S.Write v, Some (S.Done, rt) -> Some (v, e.inv, rt)
+            | _ -> None)
+        (History.complete_entries h)
+      |> List.sort (fun (_, i1, _) (_, i2, _) -> compare i1 i2)
+      |> function
+      | [] -> None
+      | x :: _ -> Some x
+    in
+    match first_write with
+    | None -> []
+    | Some (v, _, wrt) ->
+        List.filter_map
+          (fun b ->
+            if wrt < b.s_inv && b.s_value <> Some v then
+              Some
+                {
+                  property = "VALIDITY";
+                  detail =
+                    Printf.sprintf
+                      "WRITE(%s) completed (ends %d) but READ by p%d \
+                       (starts %d) returned %s"
+                      v wrt b.s_pid b.s_inv
+                      (match b.s_value with Some x -> x | None -> "⊥");
+                }
+            else None)
+          (read_events ~correct h)
+  end
+
+let check_all (violations : violation list) : (unit, string) result =
+  match violations with
+  | [] -> Ok ()
+  | vs ->
+      Error
+        (String.concat "; "
+           (List.map (fun v -> Format.asprintf "%a" pp_violation v) vs))

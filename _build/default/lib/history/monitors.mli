@@ -1,0 +1,58 @@
+(** Streaming property monitors for the paper's observational properties.
+
+    Each monitor consumes a completed history and reports every violation
+    it finds. They check the observational properties the paper states as
+    Observations — relay, uniqueness, validity, unforgeability — which
+    are necessary conditions for Byzantine linearizability but far
+    cheaper than the exhaustive search in {!Byzlin}. *)
+
+type violation = { property : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** {2 Verifiable register (Observations 11-13)} *)
+
+val relay :
+  correct:(int -> bool) ->
+  (Spec.Verifiable_spec.op, Spec.Verifiable_spec.res) History.t ->
+  violation list
+(** Observation 13: no VERIFY(v)=true strictly precedes a
+    VERIFY(v)=false by correct readers. *)
+
+val validity :
+  correct:(int -> bool) ->
+  (Spec.Verifiable_spec.op, Spec.Verifiable_spec.res) History.t ->
+  violation list
+(** Observation 11: a successful SIGN(v) by a correct writer makes every
+    subsequent correct VERIFY(v) return true. *)
+
+val unforgeability :
+  correct:(int -> bool) ->
+  writer:int ->
+  (Spec.Verifiable_spec.op, Spec.Verifiable_spec.res) History.t ->
+  violation list
+(** Observation 12, checkable when the writer is correct: no
+    VERIFY(v)=true without a prior-or-concurrent successful SIGN(v).
+    Returns [] when the writer is faulty (not applicable). *)
+
+(** {2 Sticky register (Observations 16-18)} *)
+
+val uniqueness :
+  correct:(int -> bool) ->
+  (Spec.Sticky_spec.op, Spec.Sticky_spec.res) History.t ->
+  violation list
+(** Observation 18: all non-⊥ reads agree, and no ⊥-read follows a
+    completed non-⊥ read. *)
+
+val sticky_validity :
+  correct:(int -> bool) ->
+  writer:int ->
+  (Spec.Sticky_spec.op, Spec.Sticky_spec.res) History.t ->
+  violation list
+(** Observation 16: once a correct writer's first WRITE(v) completes,
+    every subsequent correct READ returns v. Returns [] when the writer
+    is faulty. *)
+
+val check_all : violation list -> (unit, string) result
+(** [Ok ()] iff the list is empty; otherwise all violations joined into
+    one message. *)

@@ -1,0 +1,234 @@
+(* Sequential specifications of the objects in the paper, and a generic
+   linearizability checker (Definition 4 / Herlihy-Wing).
+
+   The checker is an exhaustive backtracking search over linearization
+   orders that respect the precedence relation; it is meant for the short,
+   highly concurrent histories our tests record (≤ ~20 operations). *)
+
+open Lnd_support
+
+module type SPEC = sig
+  type op
+  type res
+  type state
+
+  val init : state
+  val apply : state -> op -> state * res
+  val res_equal : res -> res -> bool
+  val pp_op : Format.formatter -> op -> unit
+  val pp_res : Format.formatter -> res -> unit
+end
+
+exception Search_too_large
+
+module Checker (S : SPEC) = struct
+  type centry = {
+    pid : int;
+    op : S.op;
+    inv : int;
+    ret : S.res option; (* None: incomplete; may be dropped or matched freely *)
+    res_time : int; (* max_int for incomplete entries *)
+  }
+
+  let of_history (h : (S.op, S.res) History.t) : centry list =
+    List.map
+      (fun (e : (S.op, S.res) History.entry) ->
+        match e.ret with
+        | Some (r, t) ->
+            { pid = e.pid; op = e.op; inv = e.inv; ret = Some r; res_time = t }
+        | None ->
+            { pid = e.pid; op = e.op; inv = e.inv; ret = None; res_time = max_int })
+      (History.entries h)
+
+  (* Is there a linearization of [entries] conforming to S? Incomplete
+     entries may be linearized (with any result) or dropped (Definition 2).
+     Returns the witness linearization when one exists. *)
+  let linearization ?(node_budget = 2_000_000) (entries : centry list) :
+      (centry * S.res) list option =
+    let arr = Array.of_list entries in
+    let n = Array.length arr in
+    let taken = Array.make n false in
+    let nodes = ref 0 in
+    let rec search state acc remaining_complete =
+      incr nodes;
+      if !nodes > node_budget then raise Search_too_large;
+      if remaining_complete = 0 then Some (List.rev acc)
+      else begin
+        (* Minimal invocation among untaken entries that no untaken entry
+           strictly precedes. *)
+        let min_res = ref max_int in
+        for i = 0 to n - 1 do
+          if not taken.(i) && arr.(i).res_time < !min_res then
+            min_res := arr.(i).res_time
+        done;
+        let result = ref None in
+        let i = ref 0 in
+        while !result = None && !i < n do
+          let e = arr.(!i) in
+          if (not taken.(!i)) && e.inv <= !min_res then begin
+            let state', r = S.apply state e.op in
+            let ok =
+              match e.ret with Some expected -> S.res_equal r expected | None -> true
+            in
+            if ok then begin
+              taken.(!i) <- true;
+              let rc =
+                if e.ret = None then remaining_complete
+                else remaining_complete - 1
+              in
+              (match search state' ((e, r) :: acc) rc with
+              | Some _ as s -> result := s
+              | None -> ());
+              taken.(!i) <- false
+            end
+          end;
+          incr i
+        done;
+        !result
+      end
+    in
+    let remaining_complete =
+      List.length (List.filter (fun e -> e.ret <> None) entries)
+    in
+    search S.init [] remaining_complete
+
+  let linearizable ?node_budget (h : (S.op, S.res) History.t) : bool =
+    match linearization ?node_budget (of_history h) with
+    | Some _ -> true
+    | None -> false
+
+  let pp_centry fmt (e : centry) =
+    Format.fprintf fmt "[%d,%s] p%d: %a -> %s" e.inv
+      (if e.res_time = max_int then "∞" else string_of_int e.res_time)
+      e.pid S.pp_op e.op
+      (match e.ret with
+      | Some r -> Format.asprintf "%a" S.pp_res r
+      | None -> "?")
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sequential specs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Plain SWMR register. *)
+module Register_spec = struct
+  type op = Write of Value.t | Read
+  type res = Done | Val of Value.t
+  type state = Value.t
+
+  let init = Value.v0
+
+  let apply s = function
+    | Write v -> (v, Done)
+    | Read -> (s, Val s)
+
+  let res_equal a b =
+    match (a, b) with
+    | Done, Done -> true
+    | Val x, Val y -> Value.equal x y
+    | Done, Val _ | Val _, Done -> false
+
+  let pp_op fmt = function
+    | Write v -> Format.fprintf fmt "WRITE(%a)" Value.pp v
+    | Read -> Format.fprintf fmt "READ"
+
+  let pp_res fmt = function
+    | Done -> Format.fprintf fmt "done"
+    | Val v -> Format.fprintf fmt "%a" Value.pp v
+end
+
+(* SWMR verifiable register (Definition 10). *)
+module Verifiable_spec = struct
+  type op = Write of Value.t | Read | Sign of Value.t | Verify of Value.t
+
+  type res = Done | Val of Value.t | Signed of bool | Verified of bool
+
+  type state = {
+    cur : Value.t;
+    written : Value.Set.t;
+    signed : Value.Set.t;
+  }
+
+  let init = { cur = Value.v0; written = Value.Set.empty; signed = Value.Set.empty }
+
+  let apply s = function
+    | Write v -> ({ s with cur = v; written = Value.Set.add v s.written }, Done)
+    | Read -> (s, Val s.cur)
+    | Sign v ->
+        if Value.Set.mem v s.written then
+          ({ s with signed = Value.Set.add v s.signed }, Signed true)
+        else (s, Signed false)
+    | Verify v -> (s, Verified (Value.Set.mem v s.signed))
+
+  let res_equal a b =
+    match (a, b) with
+    | Done, Done -> true
+    | Val x, Val y -> Value.equal x y
+    | Signed x, Signed y -> x = y
+    | Verified x, Verified y -> x = y
+    | (Done | Val _ | Signed _ | Verified _), _ -> false
+
+  let pp_op fmt = function
+    | Write v -> Format.fprintf fmt "WRITE(%a)" Value.pp v
+    | Read -> Format.fprintf fmt "READ"
+    | Sign v -> Format.fprintf fmt "SIGN(%a)" Value.pp v
+    | Verify v -> Format.fprintf fmt "VERIFY(%a)" Value.pp v
+
+  let pp_res fmt = function
+    | Done -> Format.fprintf fmt "done"
+    | Val v -> Format.fprintf fmt "%a" Value.pp v
+    | Signed b -> Format.fprintf fmt "%s" (if b then "SUCCESS" else "FAIL")
+    | Verified b -> Format.fprintf fmt "%b" b
+end
+
+(* SWMR sticky register (Definition 15). *)
+module Sticky_spec = struct
+  type op = Write of Value.t | Read
+  type res = Done | Val of Value.t option
+  type state = Value.t option
+
+  let init = None
+
+  let apply s = function
+    | Write v -> ((match s with None -> Some v | Some _ -> s), Done)
+    | Read -> (s, Val s)
+
+  let res_equal a b =
+    match (a, b) with
+    | Done, Done -> true
+    | Val x, Val y -> Value.equal_opt x y
+    | (Done | Val _), _ -> false
+
+  let pp_op fmt = function
+    | Write v -> Format.fprintf fmt "WRITE(%a)" Value.pp v
+    | Read -> Format.fprintf fmt "READ"
+
+  let pp_res fmt = function
+    | Done -> Format.fprintf fmt "done"
+    | Val v -> Format.fprintf fmt "%a" Value.pp_opt v
+end
+
+(* Test-or-set (Definition 20). *)
+module Testorset_spec = struct
+  type op = Set | Test
+  type res = Done | Bit of int
+  type state = int
+
+  let init = 0
+
+  let apply s = function Set -> (1, Done) | Test -> (s, Bit s)
+
+  let res_equal a b =
+    match (a, b) with
+    | Done, Done -> true
+    | Bit x, Bit y -> x = y
+    | (Done | Bit _), _ -> false
+
+  let pp_op fmt = function
+    | Set -> Format.fprintf fmt "SET"
+    | Test -> Format.fprintf fmt "TEST"
+
+  let pp_res fmt = function
+    | Done -> Format.fprintf fmt "done"
+    | Bit b -> Format.fprintf fmt "%d" b
+end

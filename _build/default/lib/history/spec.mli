@@ -1,0 +1,86 @@
+(** Sequential specifications of the paper's objects, and a generic
+    linearizability checker (Definition 4 / Herlihy-Wing).
+
+    The checker is an exhaustive backtracking search over linearization
+    orders that respect the precedence relation; it is meant for short,
+    highly concurrent histories (≤ ~20 operations). *)
+
+open Lnd_support
+
+module type SPEC = sig
+  type op
+  type res
+  type state
+
+  val init : state
+  val apply : state -> op -> state * res
+  val res_equal : res -> res -> bool
+  val pp_op : Format.formatter -> op -> unit
+  val pp_res : Format.formatter -> res -> unit
+end
+
+exception Search_too_large
+(** Raised when the search exceeds its node budget. *)
+
+module Checker (S : SPEC) : sig
+  type centry = {
+    pid : int;
+    op : S.op;
+    inv : int;
+    ret : S.res option; (** [None]: incomplete — may be dropped or completed *)
+    res_time : int; (** [max_int] for incomplete entries *)
+  }
+
+  val of_history : (S.op, S.res) History.t -> centry list
+
+  val linearization :
+    ?node_budget:int -> centry list -> (centry * S.res) list option
+  (** A witness linearization conforming to [S], if one exists.
+      Incomplete entries may be linearized with any result or dropped
+      (Definition 2). *)
+
+  val linearizable : ?node_budget:int -> (S.op, S.res) History.t -> bool
+
+  val pp_centry : Format.formatter -> centry -> unit
+end
+
+(** Plain SWMR register. *)
+module Register_spec : sig
+  type op = Write of Value.t | Read
+  type res = Done | Val of Value.t
+  type state = Value.t
+
+  include SPEC with type op := op and type res := res and type state := state
+end
+
+(** SWMR verifiable register (Definition 10). *)
+module Verifiable_spec : sig
+  type op = Write of Value.t | Read | Sign of Value.t | Verify of Value.t
+  type res = Done | Val of Value.t | Signed of bool | Verified of bool
+
+  type state = {
+    cur : Value.t;
+    written : Value.Set.t;
+    signed : Value.Set.t;
+  }
+
+  include SPEC with type op := op and type res := res and type state := state
+end
+
+(** SWMR sticky register (Definition 15). *)
+module Sticky_spec : sig
+  type op = Write of Value.t | Read
+  type res = Done | Val of Value.t option
+  type state = Value.t option
+
+  include SPEC with type op := op and type res := res and type state := state
+end
+
+(** Test-or-set (Definition 20). *)
+module Testorset_spec : sig
+  type op = Set | Test
+  type res = Done | Bit of int
+  type state = int
+
+  include SPEC with type op := op and type res := res and type state := state
+end

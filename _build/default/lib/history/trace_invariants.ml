@@ -1,0 +1,170 @@
+(* Execution-trace invariants: the low-level observations the paper's
+   appendix proofs rest on, checked against recorded register traces.
+
+   Appendix A:  Observation 28 (C_k non-decreasing),
+                Observation 30 (v ∈ R_i is stable for correct p_i).
+   Appendix B:  Observation 92/93 (E_i / R_i, once a value, keep it),
+                Observation 94 (C_k non-decreasing).
+
+   The checkers consume the [Lnd_shm.Space] access trace (enable with
+   [Space.set_trace]) and only constrain writes by CORRECT processes —
+   Byzantine owners may of course scribble anything into their own
+   registers. Registers are classified by the algorithms' naming
+   convention: "R*", "R_<i>", "E_<i>", "C_<k>", "R_{<j>,<k>}". *)
+
+open Lnd_support
+open Lnd_shm
+
+type violation = { invariant : string; detail : string }
+
+let pp_violation fmt v = Format.fprintf fmt "%s: %s" v.invariant v.detail
+
+let is_prefixed ~prefix name =
+  String.length name > String.length prefix
+  && String.sub name 0 (String.length prefix) = prefix
+
+(* "R_3" yes; "R_{3,4}" no; "R*" no. *)
+let is_simple ~prefix name =
+  is_prefixed ~prefix name && not (String.contains name '{')
+
+let writes_of ~correct (trace : Space.access list) =
+  List.filter_map
+    (fun (a : Space.access) ->
+      match a.Space.acc_kind with
+      | `Write when correct a.Space.acc_pid -> Some a
+      | `Write | `Read -> None)
+    trace
+
+(* Observation 28 / 94: every correct reader's C_k register is
+   non-decreasing. *)
+let counters_monotone ~correct (trace : Space.access list) : violation list =
+  let last : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.filter_map
+    (fun (a : Space.access) ->
+      if not (is_simple ~prefix:"C_" a.Space.acc_reg) then None
+      else
+        match Univ.prj Codecs.counter a.Space.acc_value with
+        | None -> None (* ill-typed writes only happen on Byzantine C_k *)
+        | Some c ->
+            let prev =
+              Option.value ~default:min_int
+                (Hashtbl.find_opt last a.Space.acc_reg)
+            in
+            Hashtbl.replace last a.Space.acc_reg c;
+            if c < prev then
+              Some
+                {
+                  invariant = "Obs 28/94 (C_k non-decreasing)";
+                  detail =
+                    Printf.sprintf "%s went %d -> %d at access #%d"
+                      a.Space.acc_reg prev c a.Space.acc_seq;
+                }
+            else None)
+    (writes_of ~correct trace)
+
+(* Observation 30: for a correct process, the witness set R_i only
+   grows. *)
+let witness_sets_monotone ~correct (trace : Space.access list) :
+    violation list =
+  let last : (string, Value.Set.t) Hashtbl.t = Hashtbl.create 16 in
+  List.filter_map
+    (fun (a : Space.access) ->
+      if not (is_simple ~prefix:"R_" a.Space.acc_reg) then None
+      else
+        match Univ.prj Codecs.vset a.Space.acc_value with
+        | None -> None
+        | Some s ->
+            let prev =
+              Option.value ~default:Value.Set.empty
+                (Hashtbl.find_opt last a.Space.acc_reg)
+            in
+            Hashtbl.replace last a.Space.acc_reg s;
+            if not (Value.Set.subset prev s) then
+              Some
+                {
+                  invariant = "Obs 30 (witness sets grow)";
+                  detail =
+                    Printf.sprintf "%s dropped values at access #%d"
+                      a.Space.acc_reg a.Space.acc_seq;
+                }
+            else None)
+    (writes_of ~correct trace)
+
+(* Observation 92/93: once a correct process's E_i or R_i holds a value,
+   every later write keeps that same value. *)
+let sticky_registers_write_once ~correct (trace : Space.access list) :
+    violation list =
+  let last : (string, Value.t) Hashtbl.t = Hashtbl.create 16 in
+  List.filter_map
+    (fun (a : Space.access) ->
+      let relevant =
+        is_simple ~prefix:"E_" a.Space.acc_reg
+        || is_simple ~prefix:"R_" a.Space.acc_reg
+      in
+      if not relevant then None
+      else
+        match Univ.prj Codecs.value_opt a.Space.acc_value with
+        | None | Some None -> None
+        | Some (Some v) -> (
+            match Hashtbl.find_opt last a.Space.acc_reg with
+            | None ->
+                Hashtbl.replace last a.Space.acc_reg v;
+                None
+            | Some prev when Value.equal prev v -> None
+            | Some prev ->
+                Some
+                  {
+                    invariant = "Obs 92/93 (E_i/R_i keep their value)";
+                    detail =
+                      Printf.sprintf "%s changed %s -> %s at access #%d"
+                        a.Space.acc_reg prev v a.Space.acc_seq;
+                  }))
+    (writes_of ~correct trace)
+
+(* Mailbox freshness: a correct helper writes strictly increasing stamps
+   into each R_jk (it only answers when C_k grew past prev_c_k). *)
+let mailbox_stamps_increase ~correct (trace : Space.access list) :
+    violation list =
+  let last : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.filter_map
+    (fun (a : Space.access) ->
+      if not (is_prefixed ~prefix:"R_{" a.Space.acc_reg) then None
+      else
+        let stamp =
+          match Univ.prj Codecs.vset_stamped a.Space.acc_value with
+          | Some (_, c) -> Some c
+          | None -> (
+              match Univ.prj Codecs.vopt_stamped a.Space.acc_value with
+              | Some (_, c) -> Some c
+              | None -> None)
+        in
+        match stamp with
+        | None -> None
+        | Some c ->
+            let prev =
+              Option.value ~default:min_int
+                (Hashtbl.find_opt last a.Space.acc_reg)
+            in
+            Hashtbl.replace last a.Space.acc_reg c;
+            if c <= prev then
+              Some
+                {
+                  invariant = "mailbox stamps strictly increase";
+                  detail =
+                    Printf.sprintf "%s stamp %d after %d at access #%d"
+                      a.Space.acc_reg c prev a.Space.acc_seq;
+                }
+            else None)
+    (writes_of ~correct trace)
+
+(* All invariants relevant to an Algorithm 1 (verifiable) trace. *)
+let check_verifiable ~correct trace : violation list =
+  counters_monotone ~correct trace
+  @ witness_sets_monotone ~correct trace
+  @ mailbox_stamps_increase ~correct trace
+
+(* All invariants relevant to an Algorithm 2 (sticky) trace. *)
+let check_sticky ~correct trace : violation list =
+  counters_monotone ~correct trace
+  @ sticky_registers_write_once ~correct trace
+  @ mailbox_stamps_increase ~correct trace

@@ -1,0 +1,41 @@
+(** Execution-trace invariants: the low-level observations the paper's
+    appendix proofs rest on, checked against recorded register traces
+    (enable with [Lnd_shm.Space.set_trace]).
+
+    Only writes by CORRECT processes are constrained — Byzantine owners
+    may scribble anything into their own registers. Registers are
+    classified by the algorithms' naming convention ("R*", "R_<i>",
+    "E_<i>", "C_<k>", "R_{<j>,<k>}"). *)
+
+open Lnd_shm
+
+type violation = { invariant : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val counters_monotone :
+  correct:(int -> bool) -> Space.access list -> violation list
+(** Observations 28 and 94: every correct reader's C_k register is
+    non-decreasing. *)
+
+val witness_sets_monotone :
+  correct:(int -> bool) -> Space.access list -> violation list
+(** Observation 30: a correct process's witness set R_i only grows
+    (Algorithm 1). *)
+
+val sticky_registers_write_once :
+  correct:(int -> bool) -> Space.access list -> violation list
+(** Observations 92 and 93: once a correct process's E_i or R_i holds a
+    value, every later write keeps that value (Algorithm 2). *)
+
+val mailbox_stamps_increase :
+  correct:(int -> bool) -> Space.access list -> violation list
+(** A correct helper writes strictly increasing stamps into each R_jk. *)
+
+val check_verifiable :
+  correct:(int -> bool) -> Space.access list -> violation list
+(** All invariants relevant to an Algorithm 1 trace. *)
+
+val check_sticky :
+  correct:(int -> bool) -> Space.access list -> violation list
+(** All invariants relevant to an Algorithm 2 trace. *)

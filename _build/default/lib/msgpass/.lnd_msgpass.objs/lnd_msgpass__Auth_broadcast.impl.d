@@ -1,0 +1,1 @@
+lib/msgpass/auth_broadcast.ml: Format Int List Lnd_runtime Lnd_support Map Net Set Univ Value

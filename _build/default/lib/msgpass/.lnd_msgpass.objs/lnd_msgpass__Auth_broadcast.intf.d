@@ -1,0 +1,1 @@
+lib/msgpass/auth_broadcast.mli: Lnd_support Net Univ Value

@@ -1,0 +1,1 @@
+lib/msgpass/bracha.ml: Format Hashtbl Int List Lnd_runtime Lnd_support Map Net Set Univ Value

@@ -1,0 +1,1 @@
+lib/msgpass/bracha.mli: Lnd_support Net Univ Value

@@ -1,0 +1,1 @@
+lib/msgpass/net.ml: Array Format List Lnd_runtime Lnd_shm Lnd_support Printf Register Sched Space Univ

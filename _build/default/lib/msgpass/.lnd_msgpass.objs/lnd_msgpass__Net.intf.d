@@ -1,0 +1,1 @@
+lib/msgpass/net.mli: Lnd_shm Lnd_support Univ

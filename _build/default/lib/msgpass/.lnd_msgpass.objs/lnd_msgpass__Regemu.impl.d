@@ -1,0 +1,1 @@
+lib/msgpass/regemu.ml: Array Cell Format Hashtbl Int List Lnd_runtime Lnd_shm Lnd_support Net Option Printf Sched Set Space Univ

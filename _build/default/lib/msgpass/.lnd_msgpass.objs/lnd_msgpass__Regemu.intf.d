@@ -1,0 +1,1 @@
+lib/msgpass/regemu.mli: Hashtbl Int Lnd_runtime Lnd_shm Lnd_support Net Set Univ

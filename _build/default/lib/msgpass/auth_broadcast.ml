@@ -1,0 +1,123 @@
+(* Srikanth-Toueg authenticated broadcast without signatures [10], the
+   message-passing ancestor of Algorithm 1 (Section 2 of the paper).
+
+   To broadcast the k-th message m of sender s:
+     - s sends (init, s, m, k) to all;
+     - on receiving (init, s, m, k) from s, a correct process sends
+       (echo, s, m, k) to all;
+     - on receiving (echo, s, m, k) from f+1 distinct processes, a correct
+       process sends (echo, s, m, k) to all (if it has not already);
+     - on receiving (echo, s, m, k) from 2f+1 distinct processes, a
+       correct process accepts (s, m, k).
+
+   Guarantees for n > 3f: correctness (a correct sender's broadcast is
+   eventually accepted by every correct process), unforgeability (if a
+   correct process accepts (s,m,k) and s is correct, then s broadcast m as
+   its k-th message), and relay (if any correct process accepts (s,m,k),
+   every correct process eventually accepts it).
+
+   Note what is NOT guaranteed: uniqueness. A Byzantine sender can get two
+   different k-th messages accepted — the gap the paper's sticky register
+   closes in shared memory (Section 1.2). The test suite demonstrates
+   this difference explicitly. *)
+
+open Lnd_support
+
+type tag = Init | Echo
+
+type bmsg = { tag : tag; sender : int; value : Value.t; seq : int }
+
+let bmsg_key : bmsg Univ.key =
+  Univ.key ~name:"st-bcast"
+    ~pp:(fun fmt m ->
+      Format.fprintf fmt "(%s,p%d,%a,#%d)"
+        (match m.tag with Init -> "init" | Echo -> "echo")
+        m.sender Value.pp m.value m.seq)
+    ~equal:( = )
+
+module Key = struct
+  type t = int * Value.t * int (* sender, value, seq *)
+
+  let compare = compare
+end
+
+module KeyMap = Map.Make (Key)
+module PidSet = Set.Make (Int)
+module KeySet = Set.Make (Key)
+
+type t = {
+  st_port : Net.port;
+  st_n : int;
+  st_f : int;
+  mutable st_echoes : PidSet.t KeyMap.t;
+  mutable st_echoed : KeySet.t; (* keys this process has echoed *)
+  mutable st_accepted : KeySet.t;
+  mutable st_next_seq : int;
+  accept_cb : sender:int -> value:Value.t -> seq:int -> unit;
+}
+
+let create (port : Net.port) ~n ~f ~accept_cb : t =
+  {
+    st_port = port;
+    st_n = n;
+    st_f = f;
+    st_echoes = KeyMap.empty;
+    st_echoed = KeySet.empty;
+    st_accepted = KeySet.empty;
+    st_next_seq = 0;
+    accept_cb;
+  }
+
+let accepted (t : t) ~sender ~value ~seq =
+  KeySet.mem (sender, value, seq) t.st_accepted
+
+(* Broadcast my next message. *)
+let broadcast (t : t) (value : Value.t) : int =
+  let seq = t.st_next_seq in
+  t.st_next_seq <- seq + 1;
+  Net.broadcast t.st_port
+    (Univ.inj bmsg_key { tag = Init; sender = t.st_port.Net.pid; value; seq });
+  seq
+
+let send_echo (t : t) ((sender, value, seq) as key : Key.t) : unit =
+  if not (KeySet.mem key t.st_echoed) then begin
+    t.st_echoed <- KeySet.add key t.st_echoed;
+    Net.broadcast t.st_port (Univ.inj bmsg_key { tag = Echo; sender; value; seq })
+  end
+
+let note_echo (t : t) (key : Key.t) ~(from : int) : unit =
+  let cur =
+    match KeyMap.find_opt key t.st_echoes with
+    | Some s -> s
+    | None -> PidSet.empty
+  in
+  let cur = PidSet.add from cur in
+  t.st_echoes <- KeyMap.add key cur t.st_echoes;
+  let count = PidSet.cardinal cur in
+  if count >= t.st_f + 1 then send_echo t key;
+  if count >= (2 * t.st_f) + 1 && not (KeySet.mem key t.st_accepted) then begin
+    t.st_accepted <- KeySet.add key t.st_accepted;
+    let sender, value, seq = key in
+    t.accept_cb ~sender ~value ~seq
+  end
+
+(* Handle all pending messages once (n register reads). *)
+let poll (t : t) : unit =
+  List.iter
+    (fun (src, payload) ->
+      match Univ.prj bmsg_key payload with
+      | None -> () (* garbage from a Byzantine sender *)
+      | Some m -> (
+          match m.tag with
+          | Init ->
+              (* only the sender's own channel counts as an init *)
+              if src = m.sender then send_echo t (m.sender, m.value, m.seq)
+          | Echo -> note_echo t (m.sender, m.value, m.seq) ~from:src))
+    (Net.poll_all t.st_port)
+
+(* Run as a daemon fiber: keep processing messages forever. *)
+let daemon (t : t) : unit =
+  while true do
+    poll t;
+    Lnd_runtime.Sched.yield ()
+  done

@@ -1,0 +1,39 @@
+(** Srikanth-Toueg authenticated broadcast without signatures [10] — the
+    message-passing ancestor of Algorithm 1 (paper, Section 2).
+
+    Guarantees for n > 3f: correctness (a correct sender's broadcast is
+    eventually accepted by every correct process), unforgeability, and
+    relay. NOT guaranteed: uniqueness — a Byzantine sender can get two
+    different k-th messages accepted, the gap the paper's sticky register
+    closes in shared memory (Section 1.2); the test suite demonstrates
+    the difference explicitly. *)
+
+open Lnd_support
+
+type tag = Init | Echo
+
+type bmsg = { tag : tag; sender : int; value : Value.t; seq : int }
+
+val bmsg_key : bmsg Univ.key
+(** Exposed so Byzantine test fibers can inject raw protocol messages. *)
+
+type t
+(** Per-process protocol state. *)
+
+val create :
+  Net.port ->
+  n:int ->
+  f:int ->
+  accept_cb:(sender:int -> value:Value.t -> seq:int -> unit) ->
+  t
+
+val accepted : t -> sender:int -> value:Value.t -> seq:int -> bool
+
+val broadcast : t -> Value.t -> int
+(** Broadcast my next message; returns its sequence number. *)
+
+val poll : t -> unit
+(** Handle all pending messages once (n register reads). *)
+
+val daemon : t -> unit
+(** Run as a daemon fiber: poll forever. *)

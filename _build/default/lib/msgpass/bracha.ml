@@ -1,0 +1,147 @@
+(* Bracha-style reliable broadcast over Byzantine message passing
+   (n > 3f), the message-passing protocol that — unlike Srikanth-Toueg
+   authenticated broadcast — also provides per-(sender, seq) agreement:
+
+     - sender s sends (init, s, m, k) to all;
+     - on (init, s, m, k) from s: if no echo was sent for (s, k) yet,
+       send (echo, s, m, k) to all — at most one echo per (s, k);
+     - on 2f+1 echoes or f+1 readies for (s, m, k): send (ready, s, m, k)
+       to all (once per (s, k));
+     - on 2f+1 readies for (s, m, k): deliver m as the k-th message of s.
+
+   Agreement: two echo quorums of size 2f+1 intersect in >= f+1 processes,
+   at least one correct — and a correct process echoes at most one value
+   per (s, k) — so no two correct processes deliver different k-th
+   messages of s, even when s equivocates. Totality: f+1 readies make
+   every correct process ready (amplification), so if one correct process
+   delivers, all eventually do.
+
+   This is the message-passing analogue of the sticky register's
+   uniqueness; Section 2 of the paper explains why simulating such a
+   protocol over registers still does not yield a *linearizable* shared
+   object — eventual delivery is not an instantaneous read. The test
+   suite contrasts all three: ST broadcast (no uniqueness), Bracha
+   (uniqueness, eventual), sticky register (uniqueness, linearizable). *)
+
+open Lnd_support
+
+type tag = Init | Echo | Ready
+
+type bmsg = { tag : tag; sender : int; value : Value.t; seq : int }
+
+let bmsg_key : bmsg Univ.key =
+  Univ.key ~name:"bracha"
+    ~pp:(fun fmt m ->
+      Format.fprintf fmt "(%s,p%d,%a,#%d)"
+        (match m.tag with Init -> "init" | Echo -> "echo" | Ready -> "ready")
+        m.sender Value.pp m.value m.seq)
+    ~equal:( = )
+
+module Slot = struct
+  type t = int * int (* sender, seq *)
+
+  let compare = compare
+end
+
+module SlotMap = Map.Make (Slot)
+module PidSet = Set.Make (Int)
+
+(* Per-(sender,seq,value) support counters. *)
+type support = {
+  mutable echoes : PidSet.t;
+  mutable readies : PidSet.t;
+}
+
+type proc = {
+  port : Net.port;
+  n : int;
+  f : int;
+  mutable echoed_for : Value.t SlotMap.t; (* the unique value echoed per slot *)
+  mutable ready_for : Value.t SlotMap.t;
+  mutable delivered : Value.t SlotMap.t;
+  support : (int * int * Value.t, support) Hashtbl.t;
+  mutable next_seq : int;
+  deliver_cb : sender:int -> value:Value.t -> seq:int -> unit;
+}
+
+let create (port : Net.port) ~n ~f ~deliver_cb : proc =
+  {
+    port;
+    n;
+    f;
+    echoed_for = SlotMap.empty;
+    ready_for = SlotMap.empty;
+    delivered = SlotMap.empty;
+    support = Hashtbl.create 32;
+    next_seq = 0;
+    deliver_cb;
+  }
+
+let delivered (p : proc) ~sender ~seq : Value.t option =
+  SlotMap.find_opt (sender, seq) p.delivered
+
+let broadcast (p : proc) (value : Value.t) : int =
+  let seq = p.next_seq in
+  p.next_seq <- seq + 1;
+  Net.broadcast p.port
+    (Univ.inj bmsg_key { tag = Init; sender = p.port.Net.pid; value; seq });
+  seq
+
+let support_of (p : proc) key =
+  match Hashtbl.find_opt p.support key with
+  | Some s -> s
+  | None ->
+      let s = { echoes = PidSet.empty; readies = PidSet.empty } in
+      Hashtbl.replace p.support key s;
+      s
+
+let send_echo (p : proc) ~sender ~value ~seq =
+  if not (SlotMap.mem (sender, seq) p.echoed_for) then begin
+    p.echoed_for <- SlotMap.add (sender, seq) value p.echoed_for;
+    Net.broadcast p.port (Univ.inj bmsg_key { tag = Echo; sender; value; seq })
+  end
+
+let send_ready (p : proc) ~sender ~value ~seq =
+  if not (SlotMap.mem (sender, seq) p.ready_for) then begin
+    p.ready_for <- SlotMap.add (sender, seq) value p.ready_for;
+    Net.broadcast p.port (Univ.inj bmsg_key { tag = Ready; sender; value; seq })
+  end
+
+let try_deliver (p : proc) ~sender ~value ~seq =
+  if not (SlotMap.mem (sender, seq) p.delivered) then begin
+    p.delivered <- SlotMap.add (sender, seq) value p.delivered;
+    p.deliver_cb ~sender ~value ~seq
+  end
+
+let handle (p : proc) ~src (m : bmsg) =
+  let key = (m.sender, m.seq, m.value) in
+  match m.tag with
+  | Init ->
+      if src = m.sender then
+        send_echo p ~sender:m.sender ~value:m.value ~seq:m.seq
+  | Echo ->
+      let s = support_of p key in
+      s.echoes <- PidSet.add src s.echoes;
+      if PidSet.cardinal s.echoes >= (2 * p.f) + 1 then
+        send_ready p ~sender:m.sender ~value:m.value ~seq:m.seq
+  | Ready ->
+      let s = support_of p key in
+      s.readies <- PidSet.add src s.readies;
+      if PidSet.cardinal s.readies >= p.f + 1 then
+        send_ready p ~sender:m.sender ~value:m.value ~seq:m.seq;
+      if PidSet.cardinal s.readies >= (2 * p.f) + 1 then
+        try_deliver p ~sender:m.sender ~value:m.value ~seq:m.seq
+
+let poll (p : proc) : unit =
+  List.iter
+    (fun (src, payload) ->
+      match Univ.prj bmsg_key payload with
+      | Some m -> handle p ~src m
+      | None -> ())
+    (Net.poll_all p.port)
+
+let daemon (p : proc) : unit =
+  while true do
+    poll p;
+    Lnd_runtime.Sched.yield ()
+  done

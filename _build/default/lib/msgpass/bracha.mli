@@ -1,0 +1,40 @@
+(** Bracha-style reliable broadcast over Byzantine message passing
+    (n > 3f) — the protocol that, unlike Srikanth-Toueg authenticated
+    broadcast, also provides per-(sender, seq) agreement: a correct
+    process echoes at most one value per slot, and two 2f+1 echo quorums
+    intersect in a correct process, so an equivocating sender cannot get
+    two different k-th messages delivered. Totality comes from the f+1
+    ready amplification.
+
+    Section 2 of the paper explains why simulating such a protocol over
+    registers still does not yield a {e linearizable} shared object —
+    eventual delivery is not an instantaneous read. The test suite
+    contrasts all three: ST broadcast (no uniqueness), Bracha
+    (uniqueness, eventual), sticky register (uniqueness, linearizable). *)
+
+open Lnd_support
+
+type tag = Init | Echo | Ready
+
+type bmsg = { tag : tag; sender : int; value : Value.t; seq : int }
+
+val bmsg_key : bmsg Univ.key
+(** Exposed so Byzantine test fibers can inject raw protocol messages. *)
+
+type proc
+(** Per-process protocol state. *)
+
+val create :
+  Net.port ->
+  n:int ->
+  f:int ->
+  deliver_cb:(sender:int -> value:Value.t -> seq:int -> unit) ->
+  proc
+
+val delivered : proc -> sender:int -> seq:int -> Value.t option
+
+val broadcast : proc -> Value.t -> int
+(** Broadcast my next message; returns its sequence number. *)
+
+val poll : proc -> unit
+val daemon : proc -> unit

@@ -1,0 +1,92 @@
+(* Asynchronous message passing, modelled on top of the shared-register
+   scheduler: the channel from i to j is an append-only log register owned
+   by i and readable by j. Receivers poll with a private cursor, so a
+   message is delivered whenever the receiver's fiber is next scheduled —
+   i.e. delivery is asynchronous (arbitrary finite delay), exactly the
+   model of Srikanth-Toueg [10] and MPRJ [9].
+
+   Channel identity gives authenticated channels: a receiver knows which
+   process a message came from, because only pid i can write the i→j log;
+   a Byzantine process can send arbitrary and inconsistent messages but
+   cannot forge the sender identity. Multiple fibers of one pid (a client
+   and a protocol daemon) each use their own [port]: logs are never
+   consumed, so independent cursors see every message. *)
+
+open Lnd_support
+open Lnd_shm
+open Lnd_runtime
+
+(* A channel log is (count, messages-newest-first); carrying the count in
+   the payload keeps every poll O(new messages) instead of O(log length). *)
+let log_key : (int * Univ.t list) Univ.key =
+  Univ.key ~name:"msglog"
+    ~pp:(fun fmt (c, _) -> Format.fprintf fmt "[%d msgs]" c)
+    ~equal:(fun (c1, a) (c2, b) ->
+      c1 = c2
+      && (try List.for_all2 Univ.equal a b with Invalid_argument _ -> false))
+
+type t = {
+  n : int;
+  chan : Register.t array array; (* chan.(src).(dst) *)
+  mutable sends : int; (* messages sent, for the cost tables *)
+}
+
+let create space ~n : t =
+  let chan =
+    Array.init n (fun src ->
+        Array.init n (fun dst ->
+            Space.alloc space
+              ~name:(Printf.sprintf "chan_%d_%d" src dst)
+              ~owner:src ~single_reader:dst
+              ~init:(Univ.inj log_key (0, []))
+              ()))
+  in
+  { n; chan; sends = 0 }
+
+(* A process endpoint: [pid] plus receive cursors. Create one port per
+   fiber that wants to receive independently. *)
+type port = { net : t; pid : int; cursors : int array }
+
+let port (net : t) ~pid : port = { net; pid; cursors = Array.make net.n 0 }
+
+(* Append atomically: a process's client fiber and its protocol daemon may
+   send on the same channel concurrently, and a read-then-write append
+   across a scheduling point would lose messages. *)
+let send (p : port) ~(dst : int) (payload : Univ.t) : unit =
+  let reg = p.net.chan.(p.pid).(dst) in
+  p.net.sends <- p.net.sends + 1;
+  ignore
+    (Sched.rmw reg (fun old ->
+         let count, log = Univ.prj_default log_key ~default:(0, []) old in
+         Univ.inj log_key (count + 1, payload :: log)))
+
+let broadcast (p : port) (payload : Univ.t) : unit =
+  for dst = 0 to p.net.n - 1 do
+    send p ~dst payload
+  done
+
+(* All not-yet-seen messages from [src], oldest first. One register read. *)
+let poll_from (p : port) ~(src : int) : Univ.t list =
+  let reg = p.net.chan.(src).(p.pid) in
+  let total, log = Univ.prj_default log_key ~default:(0, []) (Sched.read reg) in
+  let fresh_count = total - p.cursors.(src) in
+  if fresh_count <= 0 then []
+  else begin
+    p.cursors.(src) <- total;
+    (* the first [fresh_count] entries are the new ones (newest first) *)
+    let rec take k acc = function
+      | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+      | _ -> acc
+    in
+    take fresh_count [] log
+  end
+
+(* Poll every channel once; returns (src, payload) pairs, oldest first per
+   source. n register reads. *)
+let poll_all (p : port) : (int * Univ.t) list =
+  let acc = ref [] in
+  for src = p.net.n - 1 downto 0 do
+    let msgs = poll_from p ~src in
+    acc := List.map (fun m -> (src, m)) msgs @ !acc
+  done;
+  !acc

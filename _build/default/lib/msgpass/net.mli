@@ -1,0 +1,47 @@
+(** Asynchronous message passing, modelled on top of the shared-register
+    scheduler: the channel from i to j is an append-only log register
+    owned by i and readable by j. Receivers poll with private cursors, so
+    delivery is asynchronous (arbitrary finite delay) — the model of
+    Srikanth-Toueg [10] and MPRJ [9].
+
+    Channel identity gives authenticated channels: a receiver knows which
+    process a message came from, because only pid i can write the i→j
+    log; a Byzantine process can send arbitrary and inconsistent messages
+    but cannot forge the sender identity. Logs are never consumed, so any
+    number of ports (client fiber, protocol daemon) can receive
+    independently. *)
+
+open Lnd_support
+
+val log_key : (int * Univ.t list) Univ.key
+(** The channel payload: (count, messages-newest-first). Exposed for
+    introspection in tests. *)
+
+type t = {
+  n : int;
+  chan : Lnd_shm.Register.t array array; (** [chan.(src).(dst)] *)
+  mutable sends : int; (** messages sent, for the cost tables *)
+}
+
+val create : Lnd_shm.Space.t -> n:int -> t
+
+(** A process endpoint: pid plus receive cursors. Create one port per
+    fiber that wants to receive independently. *)
+type port = { net : t; pid : int; cursors : int array }
+
+val port : t -> pid:int -> port
+
+val send : port -> dst:int -> Univ.t -> unit
+(** Appends atomically (a process's client fiber and its protocol daemon
+    may send on the same channel concurrently). *)
+
+val broadcast : port -> Univ.t -> unit
+(** Send to every process, including self. *)
+
+val poll_from : port -> src:int -> Univ.t list
+(** All not-yet-seen messages from [src], oldest first. One register
+    read. *)
+
+val poll_all : port -> (int * Univ.t) list
+(** Poll every channel once; [(src, payload)] pairs, oldest first per
+    source. n register reads. *)

@@ -1,0 +1,374 @@
+(* SWMR register emulation over Byzantine message passing (the Section 9
+   corollary: everything in the paper lifts to message-passing systems
+   because SWMR registers are implementable there for n > 3f, citing
+   Mostéfaoui-Petrolia-Raynal-Jard [9]).
+
+   Design (echo-broadcast dissemination + Byzantine-quorum reads):
+
+   - WRITE(reg, v) by the owner: pick the next timestamp ts, send
+     (wreq, reg, ts, v) to all. A replica that receives a wreq *on the
+     owner's own channel* echoes (wecho, reg, ts, v) to all; a replica
+     echoes after f+1 matching echoes even without the owner's wreq, and
+     ACCEPTS the triple after 2f+1 matching echoes — the Srikanth-Toueg
+     discipline, which gives unforgeability and relay: whatever one
+     correct replica accepts, all correct replicas eventually accept.
+     A replica stores, per register, the accepted triple with the largest
+     (ts, value-fingerprint); on acceptance it acks the owner. The write
+     returns after n-f acks.
+
+   - READ(reg): send (rreq, reg, rid) to all; collect (rrep) replies for
+     this rid; once >= n-f distinct replicas replied, return the pair
+     supported by >= 2f+1 of them, largest first; if no pair has that
+     support (replicas mid-convergence), start a new round with a fresh
+     rid. Relay-convergence of the echo layer makes every read terminate,
+     and 2f+1 support means at least f+1 correct vouchers.
+
+   Semantics note (documented in DESIGN.md): this emulation is simpler
+   than [9]'s full atomic construction; it guarantees that reads return
+   genuinely-written (or initial) values and that each replica's view is
+   monotone, and the recorded histories are checked for linearizability
+   empirically in the test suite. A Byzantine *owner* can of course feed
+   the emulation inconsistent writes — exactly the situation the sticky
+   register stacked on top must survive. *)
+
+open Lnd_support
+open Lnd_shm
+open Lnd_runtime
+
+module PidSet = Set.Make (Int)
+
+type emsg =
+  | Wreq of int * int * Univ.t (* reg, ts, v *)
+  | Wecho of int * int * Univ.t
+  | Wack of int * int (* reg, ts *)
+  | Rreq of int * int (* reg, rid *)
+  | Rrep of int * int * int * Univ.t (* reg, rid, ts, v *)
+  | Batch of emsg list
+      (* A replica bundles all its replies to one destination from one
+         poll iteration into a single message. Without batching the
+         aggregate reply work (one send per request) exceeds the
+         replicas' fair share of scheduling steps once several client
+         fibers poll emulated registers continuously, and backlogs grow
+         without bound. *)
+
+let rec emsg_equal a b =
+  match (a, b) with
+  | Wreq (r1, t1, v1), Wreq (r2, t2, v2)
+  | Wecho (r1, t1, v1), Wecho (r2, t2, v2) ->
+      r1 = r2 && t1 = t2 && Univ.equal v1 v2
+  | Wack (r1, t1), Wack (r2, t2) -> r1 = r2 && t1 = t2
+  | Rreq (r1, i1), Rreq (r2, i2) -> r1 = r2 && i1 = i2
+  | Rrep (r1, i1, t1, v1), Rrep (r2, i2, t2, v2) ->
+      r1 = r2 && i1 = i2 && t1 = t2 && Univ.equal v1 v2
+  | Batch l1, Batch l2 -> (
+      try List.for_all2 emsg_equal l1 l2 with Invalid_argument _ -> false)
+  | (Wreq _ | Wecho _ | Wack _ | Rreq _ | Rrep _ | Batch _), _ -> false
+
+let emsg_key : emsg Univ.key =
+  Univ.key ~name:"regemu"
+    ~pp:(fun fmt -> function
+      | Wreq (r, t, _) -> Format.fprintf fmt "wreq(r%d,ts%d)" r t
+      | Wecho (r, t, _) -> Format.fprintf fmt "wecho(r%d,ts%d)" r t
+      | Wack (r, t) -> Format.fprintf fmt "wack(r%d,ts%d)" r t
+      | Rreq (r, i) -> Format.fprintf fmt "rreq(r%d,#%d)" r i
+      | Rrep (r, i, t, _) -> Format.fprintf fmt "rrep(r%d,#%d,ts%d)" r i t
+      | Batch l -> Format.fprintf fmt "batch(%d)" (List.length l))
+    ~equal:emsg_equal
+
+(* Value fingerprint used for deterministic tie-breaking and echo-count
+   bucketing. *)
+let fp (v : Univ.t) : string = Format.asprintf "%a" Univ.pp v
+
+type meta = { owner : int; init : Univ.t }
+
+type t = {
+  net : Net.t;
+  n : int;
+  f : int;
+  metas : (int, meta) Hashtbl.t; (* reg id -> meta *)
+  mutable next_reg : int;
+  (* per-pid endpoint state, created lazily *)
+  replicas : replica option array;
+  clients : client option array;
+}
+
+and replica = {
+  rep_port : Net.port;
+  (* reg -> current accepted (ts, fingerprint, value) *)
+  current : (int, int * string * Univ.t) Hashtbl.t;
+  (* (reg, ts, fingerprint) -> (value, echoers) *)
+  rep_echoes : (int * int * string, Univ.t * PidSet.t ref) Hashtbl.t;
+  rep_echoed : (int * int * string, unit) Hashtbl.t;
+  rep_accepted : (int * int * string, unit) Hashtbl.t;
+}
+
+and client = {
+  cl_port : Net.port;
+  mutable next_rid : int;
+  wts : (int, int ref) Hashtbl.t; (* per-register write timestamp *)
+  acks : (int * int, PidSet.t ref) Hashtbl.t; (* (reg, ts) -> ackers *)
+  reps : (int, (int * int * Univ.t) list ref) Hashtbl.t;
+      (* rid -> (src, ts, v) replies *)
+}
+
+let create space ~n ~f : t =
+  {
+    net = Net.create space ~n;
+    n;
+    f;
+    metas = Hashtbl.create 64;
+    next_reg = 0;
+    replicas = Array.make n None;
+    clients = Array.make n None;
+  }
+
+let meta t reg =
+  match Hashtbl.find_opt t.metas reg with
+  | Some m -> m
+  | None -> invalid_arg "Regemu: unknown register"
+
+(* ---------------- Replica (one daemon per process) ---------------- *)
+
+let replica_state t ~pid : replica =
+  match t.replicas.(pid) with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          rep_port = Net.port t.net ~pid;
+          current = Hashtbl.create 64;
+          rep_echoes = Hashtbl.create 64;
+          rep_echoed = Hashtbl.create 64;
+          rep_accepted = Hashtbl.create 64;
+        }
+      in
+      t.replicas.(pid) <- Some r;
+      r
+
+let rep_current t (r : replica) reg : int * string * Univ.t =
+  match Hashtbl.find_opt r.current reg with
+  | Some c -> c
+  | None ->
+      let m = meta t reg in
+      (0, fp m.init, m.init)
+
+let rep_adopt t (r : replica) reg ts f_ v =
+  let cts, cfp, _ = rep_current t r reg in
+  if (ts, f_) > (cts, cfp) then Hashtbl.replace r.current reg (ts, f_, v)
+
+let rep_send_echo (r : replica) reg ts f_ v =
+  if not (Hashtbl.mem r.rep_echoed (reg, ts, f_)) then begin
+    Hashtbl.replace r.rep_echoed (reg, ts, f_) ();
+    Net.broadcast r.rep_port (Univ.inj emsg_key (Wecho (reg, ts, v)))
+  end
+
+let rep_note_echo t (r : replica) reg ts f_ v ~from =
+  let _, set =
+    match Hashtbl.find_opt r.rep_echoes (reg, ts, f_) with
+    | Some p -> p
+    | None ->
+        let p = (v, ref PidSet.empty) in
+        Hashtbl.replace r.rep_echoes (reg, ts, f_) p;
+        p
+  in
+  set := PidSet.add from !set;
+  let count = PidSet.cardinal !set in
+  if count >= t.f + 1 then rep_send_echo r reg ts f_ v;
+  if count >= (2 * t.f) + 1 && not (Hashtbl.mem r.rep_accepted (reg, ts, f_))
+  then begin
+    Hashtbl.replace r.rep_accepted (reg, ts, f_) ();
+    rep_adopt t r reg ts f_ v;
+    Net.send r.rep_port ~dst:(meta t reg).owner (Univ.inj emsg_key (Wack (reg, ts)))
+  end
+
+let rec rep_handle t (r : replica) ~src ~out (m : emsg) =
+  match m with
+  | Wreq (reg, ts, v) ->
+      if Hashtbl.mem t.metas reg && src = (meta t reg).owner then
+        rep_send_echo r reg ts (fp v) v
+  | Wecho (reg, ts, v) ->
+      if Hashtbl.mem t.metas reg then rep_note_echo t r reg ts (fp v) v ~from:src
+  | Rreq (reg, rid) ->
+      if Hashtbl.mem t.metas reg then begin
+        let ts, _, v = rep_current t r reg in
+        out ~dst:src (Rrep (reg, rid, ts, v))
+      end
+  | Batch l -> List.iter (rep_handle t r ~src ~out) l
+  | Wack _ | Rrep _ -> () (* client-side messages *)
+
+(* Handle one batch of incoming messages; all read-replies to the same
+   destination leave as a single Batch message, so the per-iteration reply
+   cost is bounded by n sends however large the backlog. *)
+let rep_poll t (r : replica) =
+  let outbox : (int, emsg list ref) Hashtbl.t = Hashtbl.create 8 in
+  let out ~dst m =
+    match Hashtbl.find_opt outbox dst with
+    | Some l -> l := m :: !l
+    | None -> Hashtbl.replace outbox dst (ref [ m ])
+  in
+  List.iter
+    (fun (src, payload) ->
+      match Univ.prj emsg_key payload with
+      | Some m -> rep_handle t r ~src ~out m
+      | None -> ())
+    (Net.poll_all r.rep_port);
+  Hashtbl.iter
+    (fun dst l ->
+      let msg = match !l with [ m ] -> m | ms -> Batch (List.rev ms) in
+      Net.send r.rep_port ~dst (Univ.inj emsg_key msg))
+    outbox
+
+(* The replica daemon each correct process must run. *)
+let replica_daemon t ~pid : unit =
+  let r = replica_state t ~pid in
+  while true do
+    rep_poll t r;
+    Sched.yield ()
+  done
+
+(* ---------------- Client side (the emulated Cell operations) -------- *)
+
+let client_state t ~pid : client =
+  match t.clients.(pid) with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          cl_port = Net.port t.net ~pid;
+          next_rid = 0;
+          wts = Hashtbl.create 16;
+          acks = Hashtbl.create 16;
+          reps = Hashtbl.create 16;
+        }
+      in
+      t.clients.(pid) <- Some c;
+      c
+
+let cl_pump (c : client) =
+  let rec handle src m =
+    match m with
+    | Wack (reg, ts) ->
+        let set =
+          match Hashtbl.find_opt c.acks (reg, ts) with
+          | Some s -> s
+          | None ->
+              let s = ref PidSet.empty in
+              Hashtbl.replace c.acks (reg, ts) s;
+              s
+        in
+        set := PidSet.add src !set
+    | Rrep (_, rid, ts, v) ->
+        let l =
+          match Hashtbl.find_opt c.reps rid with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace c.reps rid l;
+              l
+        in
+        if not (List.exists (fun (s, _, _) -> s = src) !l) then
+          l := (src, ts, v) :: !l
+    | Batch l -> List.iter (handle src) l
+    | Wreq _ | Wecho _ | Rreq _ -> ()
+  in
+  List.iter
+    (fun (src, payload) ->
+      match Univ.prj emsg_key payload with
+      | Some m -> handle src m
+      | None -> ())
+    (Net.poll_all c.cl_port)
+
+let emu_write t reg (v : Univ.t) : unit =
+  let pid = Sched.self () in
+  let m = meta t reg in
+  if pid <> m.owner then
+    raise
+      (Space.Permission_violation
+         { pid; reg = Printf.sprintf "emu#%d" reg; op = "write" });
+  let c = client_state t ~pid in
+  let tsr =
+    match Hashtbl.find_opt c.wts reg with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.replace c.wts reg r;
+        r
+  in
+  incr tsr;
+  let ts = !tsr in
+  Net.broadcast c.cl_port (Univ.inj emsg_key (Wreq (reg, ts, v)));
+  let done_ = ref false in
+  while not !done_ do
+    cl_pump c;
+    (match Hashtbl.find_opt c.acks (reg, ts) with
+    | Some s when PidSet.cardinal !s >= t.n - t.f -> done_ := true
+    | _ -> ());
+    if not !done_ then Sched.yield ()
+  done
+
+let emu_read t reg : Univ.t =
+  let pid = Sched.self () in
+  let c = client_state t ~pid in
+  let result = ref None in
+  while !result = None do
+    let rid = c.next_rid in
+    c.next_rid <- rid + 1;
+    Net.broadcast c.cl_port (Univ.inj emsg_key (Rreq (reg, rid)));
+    (* collect replies for this rid from >= n-f distinct replicas *)
+    let round_done = ref false in
+    while not !round_done do
+      cl_pump c;
+      match Hashtbl.find_opt c.reps rid with
+      | Some l when List.length !l >= t.n - t.f -> round_done := true
+      | _ -> Sched.yield ()
+    done;
+    let replies = !(Hashtbl.find c.reps rid) in
+    (* Bucket by (ts, fingerprint). A bucket with >= f+1 distinct vouchers
+       contains at least one correct replica, and correct replicas only
+       hold ST-accepted (genuine) triples, so the value is genuine.
+       Demanding more support (e.g. 2f+1 of the n-f replies) would
+       livelock under continuous writes: at n = 3f+1 it requires unanimity
+       of every collected reply. *)
+    let buckets : (int * string, Univ.t * int ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    List.iter
+      (fun (_, ts, v) ->
+        let key = (ts, fp v) in
+        match Hashtbl.find_opt buckets key with
+        | Some (_, cnt) -> incr cnt
+        | None -> Hashtbl.replace buckets key (v, ref 1))
+      replies;
+    let best = ref None in
+    Hashtbl.iter
+      (fun (ts, f_) (v, cnt) ->
+        if !cnt >= t.f + 1 then
+          match !best with
+          | Some (bts, bf, _) when (bts, bf) >= (ts, f_) -> ()
+          | _ -> best := Some (ts, f_, v))
+      buckets;
+    (match !best with
+    | Some (_, _, v) -> result := Some v
+    | None -> () (* replicas still converging: new round *));
+    Hashtbl.remove c.reps rid
+  done;
+  Option.get !result
+
+(* ---------------- Allocator ---------------- *)
+
+(* Allocate emulated registers (call during system setup, before running
+   fibers). The returned cells can be fed straight into
+   [Verifiable.alloc_with] / [Sticky.alloc_with]. *)
+let allocator (t : t) : Cell.allocator =
+ fun ~name ~owner ?single_reader ~init () ->
+  ignore single_reader (* readability not enforced by the emulation *);
+  let reg = t.next_reg in
+  t.next_reg <- reg + 1;
+  Hashtbl.replace t.metas reg { owner; init };
+  {
+    Cell.cell_name = Printf.sprintf "emu:%s" name;
+    cell_read = (fun () -> emu_read t reg);
+    cell_write = (fun v -> emu_write t reg v);
+  }
+
+let messages_sent t = t.net.Net.sends

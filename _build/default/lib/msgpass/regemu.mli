@@ -1,0 +1,85 @@
+(** SWMR register emulation over Byzantine message passing — the
+    Section 9 corollary: everything in the paper lifts to message-passing
+    systems because SWMR registers are implementable there for n > 3f
+    (citing Mostéfaoui-Petrolia-Raynal-Jard [9]).
+
+    Writes are disseminated with Srikanth-Toueg echo thresholds
+    (unforgeability + relay: what one correct replica accepts, all
+    eventually accept); replicas keep the largest accepted
+    (timestamp, value) per register and ack the owner; a write returns
+    after n-f acks. Reads collect replies from n-f distinct replicas and
+    trust the largest pair reported identically by >= f+1 of them (at
+    least one correct voucher), retrying while replicas converge.
+    Replies are batched per destination per poll iteration — without
+    batching, aggregate reply work exceeds the replicas' fair share of
+    scheduling steps and backlogs grow without bound.
+
+    Fidelity note (DESIGN.md §4.7): simpler than [9]'s full atomic
+    construction; genuineness and per-replica monotonicity are
+    guaranteed, full atomicity is validated empirically per recorded run.
+    A Byzantine {e owner} can feed the emulation inconsistent writes —
+    exactly what the sticky register stacked on top must survive. *)
+
+open Lnd_support
+
+(** Protocol messages; exposed so Byzantine test fibers can inject raw
+    (even fabricated) protocol traffic. *)
+type emsg =
+  | Wreq of int * int * Univ.t (** reg, ts, v — write request from the owner *)
+  | Wecho of int * int * Univ.t
+  | Wack of int * int (** reg, ts *)
+  | Rreq of int * int (** reg, rid *)
+  | Rrep of int * int * int * Univ.t (** reg, rid, ts, v *)
+  | Batch of emsg list
+      (** a replica's bundled replies to one destination from one poll
+          iteration (caps the per-iteration reply cost at n sends) *)
+
+val emsg_equal : emsg -> emsg -> bool
+val emsg_key : emsg Univ.key
+
+val fp : Univ.t -> string
+(** Value fingerprint used for deterministic tie-breaking and echo-count
+    bucketing. *)
+
+(** Per-process replica state (transparent for test introspection). *)
+type replica = {
+  rep_port : Net.port;
+  current : (int, int * string * Univ.t) Hashtbl.t;
+      (** reg -> accepted (ts, fingerprint, value) *)
+  rep_echoes : (int * int * string, Univ.t * Set.Make(Int).t ref) Hashtbl.t;
+  rep_echoed : (int * int * string, unit) Hashtbl.t;
+  rep_accepted : (int * int * string, unit) Hashtbl.t;
+}
+
+(** Per-process client state. *)
+type client = {
+  cl_port : Net.port;
+  mutable next_rid : int;
+  wts : (int, int ref) Hashtbl.t;
+  acks : (int * int, Set.Make(Int).t ref) Hashtbl.t;
+  reps : (int, (int * int * Univ.t) list ref) Hashtbl.t;
+}
+
+type t = {
+  net : Net.t;
+  n : int;
+  f : int;
+  metas : (int, meta) Hashtbl.t;
+  mutable next_reg : int;
+  replicas : replica option array;
+  clients : client option array;
+}
+
+and meta = { owner : int; init : Univ.t }
+
+val create : Lnd_shm.Space.t -> n:int -> f:int -> t
+
+val replica_daemon : t -> pid:int -> unit
+(** The replica daemon each correct process must run (daemon fiber). *)
+
+val allocator : t -> Lnd_runtime.Cell.allocator
+(** Allocate emulated registers (call during system setup, before running
+    fibers). Feed the cells straight into [Verifiable.alloc_with] /
+    [Sticky.alloc_with]. Ownership is enforced; SWSR readability is not. *)
+
+val messages_sent : t -> int

@@ -1,0 +1,1 @@
+lib/runtime/cell.ml: Lnd_shm Lnd_support Register Sched Space Univ

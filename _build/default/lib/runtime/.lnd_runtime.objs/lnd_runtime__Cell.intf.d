@@ -1,0 +1,1 @@
+lib/runtime/cell.mli: Lnd_shm Lnd_support Rng Univ

@@ -1,0 +1,1 @@
+lib/runtime/explore.ml: Array List Policy Sched

@@ -1,0 +1,1 @@
+lib/runtime/policy.ml: Array List Lnd_support Rng Sched

@@ -1,0 +1,1 @@
+lib/runtime/sched.ml: Array Effect Format List Lnd_shm Lnd_support Register Space Univ

@@ -1,0 +1,1 @@
+lib/runtime/sched.mli: Format Lnd_shm Lnd_support

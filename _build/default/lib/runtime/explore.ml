@@ -1,0 +1,85 @@
+(* Bounded systematic schedule exploration.
+
+   Enumerates scheduling decision sequences depth-first: each run is driven
+   by a scripted policy; the trail of (choice, branching-degree) pairs it
+   records tells the explorer which sibling schedule to try next. The
+   caller's [check] runs at quiescence of every explored schedule and
+   should raise on a safety violation.
+
+   This is a bounded safety checker: runs that exceed [max_steps] are
+   pruned as inconclusive (an adversarial schedule can starve the Help
+   daemons indefinitely, so unbounded termination cannot be decided by
+   exploration). Use it on small configurations. *)
+
+exception Violation of { script : int list; exn : exn }
+
+type result = {
+  runs : int; (* schedules fully explored to quiescence *)
+  pruned : int; (* schedules cut off by the step budget *)
+  exhausted : bool; (* true iff the whole bounded space was covered *)
+}
+
+let exhaustive ~(make : Policy.t -> Sched.t) ~(check : Sched.t -> unit)
+    ?(max_steps = 400) ?(max_runs = 20_000) () : result =
+  let runs = ref 0 in
+  let pruned = ref 0 in
+  let exhausted = ref false in
+  let script = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    let trail = ref [] in
+    let policy = Policy.scripted ~script:!script ~trail in
+    let sched = make policy in
+    let reason = Sched.run ~max_steps sched in
+    (match reason with
+    | Sched.Quiescent -> begin
+        incr runs;
+        try check sched
+        with e -> raise (Violation { script = List.rev_map fst !trail; exn = e })
+      end
+    | Sched.Budget_exhausted -> incr pruned
+    | Sched.Condition_met -> incr runs);
+    (* Compute the next schedule: backtrack to the deepest choice point
+       with an unexplored sibling. The trail was built most-recent-first. *)
+    let tr = List.rev !trail in
+    let arr = Array.of_list tr in
+    let next = ref None in
+    for i = Array.length arr - 1 downto 0 do
+      if !next = None then
+        let choice, degree = arr.(i) in
+        if choice + 1 < degree then next := Some i
+    done;
+    (match !next with
+    | None ->
+        exhausted := true;
+        continue_ := false
+    | Some i ->
+        let fresh =
+          List.init (i + 1) (fun j -> if j = i then fst arr.(j) + 1 else fst arr.(j))
+        in
+        script := fresh);
+    if !runs + !pruned >= max_runs then continue_ := false
+  done;
+  { runs = !runs; pruned = !pruned; exhausted = !exhausted }
+
+(* Swarm exploration: many independent seeded-random schedules of the
+   same program, checking each at quiescence. Complements [exhaustive]:
+   where DFS covers a bounded prefix tree densely, a swarm samples the
+   whole schedule space sparsely — the right tool for programs too large
+   to enumerate. *)
+let swarm ~(make : Policy.t -> Sched.t) ~(check : Sched.t -> unit)
+    ?(max_steps = 2_000_000) ~seeds () : result =
+  let runs = ref 0 in
+  let pruned = ref 0 in
+  List.iter
+    (fun seed ->
+      let sched = make (Policy.random ~seed) in
+      match Sched.run ~max_steps sched with
+      | Sched.Quiescent | Sched.Condition_met -> begin
+          incr runs;
+          try check sched
+          with e -> raise (Violation { script = [ seed ]; exn = e })
+        end
+      | Sched.Budget_exhausted -> incr pruned)
+    seeds;
+  { runs = !runs; pruned = !pruned; exhausted = false }

@@ -1,0 +1,42 @@
+(** Bounded systematic schedule exploration.
+
+    Enumerates scheduling decision sequences depth-first; the caller's
+    [check] runs at quiescence of every explored schedule and should
+    raise on a safety violation.
+
+    This is a bounded safety checker: runs exceeding [max_steps] are
+    pruned as inconclusive (an adversarial schedule can starve the Help
+    daemons indefinitely, so termination cannot be decided by
+    exploration). Use it on small configurations. *)
+
+exception Violation of { script : int list; exn : exn }
+(** Raised when [check] fails; [script] replays the offending schedule
+    through [Policy.scripted]. *)
+
+type result = {
+  runs : int; (** schedules fully explored to quiescence *)
+  pruned : int; (** schedules cut off by the step budget *)
+  exhausted : bool; (** whole bounded space covered *)
+}
+
+val exhaustive :
+  make:(Policy.t -> Sched.t) ->
+  check:(Sched.t -> unit) ->
+  ?max_steps:int ->
+  ?max_runs:int ->
+  unit ->
+  result
+(** [make policy] must build a fresh system (same program every time);
+    [check] is called on each quiescent schedule. *)
+
+val swarm :
+  make:(Policy.t -> Sched.t) ->
+  check:(Sched.t -> unit) ->
+  ?max_steps:int ->
+  seeds:int list ->
+  unit ->
+  result
+(** Swarm exploration: many independent seeded-random schedules of the
+    same program, [check]ed at quiescence. Complements {!exhaustive} for
+    programs too large to enumerate; a {!Violation}'s [script] carries
+    the offending seed. [exhausted] is always [false]. *)

@@ -1,0 +1,204 @@
+(* Cooperative scheduler over OCaml effects.
+
+   Each simulated process contributes one or more fibers (an operation
+   fiber, plus the background Help() fiber the algorithms of the paper
+   require). A fiber runs as ordinary OCaml code; every shared-register
+   access is an effect, and the scheduler resumes exactly one fiber per
+   step — so register accesses are atomic and the set of possible
+   interleavings is precisely that of the paper's asynchronous model.
+
+   Scheduling is driven by a pluggable, deterministic policy; runs replay
+   exactly from (program, policy) because all randomness is seeded. *)
+
+open Lnd_support
+open Lnd_shm
+
+type _ Effect.t +=
+  | E_read : Register.t -> Univ.t Effect.t
+  | E_write : Register.t * Univ.t -> unit Effect.t
+  | E_yield : unit Effect.t
+  | E_clock : int Effect.t (* read-and-advance the logical clock; no scheduling point *)
+  | E_self : int Effect.t (* pid of the running fiber; no scheduling point *)
+  | E_rmw : Register.t * (Univ.t -> Univ.t) -> Univ.t Effect.t
+    (* Atomic owner-only read-modify-write, used ONLY by the
+       message-passing substrate to append to channel logs (channels are
+       FIFO queues, not registers; two fibers of the same process may
+       send concurrently). The paper's algorithms never use this — their
+       registers are plain read/write. *)
+
+exception Killed
+
+type outcome = Completed | Failed of exn
+
+type fiber = {
+  fid : int;
+  pid : int;
+  fname : string;
+  daemon : bool; (* daemons (Help loops) never block quiescence *)
+  mutable state : state;
+}
+
+and state = Ready of (unit -> unit) | Finished of outcome
+
+type t = {
+  space : Space.t;
+  mutable fibers : fiber list; (* in spawn order, oldest first *)
+  mutable next_fid : int;
+  mutable steps : int;
+  mutable clock : int; (* logical time: advanced by steps and by E_clock *)
+  mutable enabled : fiber -> bool; (* scheduling mask, used by targeted scenarios *)
+  mutable choose : t -> fiber array -> int; (* policy: pick among ready fibers *)
+}
+
+let create ~space ~choose =
+  {
+    space;
+    fibers = [];
+    next_fid = 0;
+    steps = 0;
+    clock = 0;
+    enabled = (fun _ -> true);
+    choose;
+  }
+
+let space t = t.space
+let steps t = t.steps
+let clock t = t.clock
+
+(* --- Effects available inside fiber bodies --- *)
+
+let read (r : Register.t) : Univ.t = Effect.perform (E_read r)
+let write (r : Register.t) (v : Univ.t) : unit = Effect.perform (E_write (r, v))
+let yield () : unit = Effect.perform E_yield
+let tick () : int = Effect.perform E_clock
+let self () : int = Effect.perform E_self
+let rmw (r : Register.t) (f : Univ.t -> Univ.t) : Univ.t = Effect.perform (E_rmw (r, f))
+
+(* --- Fiber machinery --- *)
+
+let spawn t ~pid ~name ?(daemon = false) (body : unit -> unit) : fiber =
+  if pid < 0 || pid >= Space.n t.space then invalid_arg "Sched.spawn: bad pid";
+  let fiber =
+    { fid = t.next_fid; pid; fname = name; daemon; state = Finished Completed }
+  in
+  t.next_fid <- t.next_fid + 1;
+  let start () =
+    let open Effect.Deep in
+    match_with body ()
+      {
+        retc = (fun () -> fiber.state <- Finished Completed);
+        exnc = (fun e -> fiber.state <- Finished (Failed e));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | E_read r ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    fiber.state <-
+                      Ready
+                        (fun () ->
+                          match Space.read t.space ~by:fiber.pid r with
+                          | v -> continue k v
+                          | exception e -> discontinue k e))
+            | E_write (r, v) ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    fiber.state <-
+                      Ready
+                        (fun () ->
+                          match Space.write t.space ~by:fiber.pid r v with
+                          | () -> continue k ()
+                          | exception e -> discontinue k e))
+            | E_yield ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    fiber.state <- Ready (fun () -> continue k ()))
+            | E_clock ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    t.clock <- t.clock + 1;
+                    continue k t.clock)
+            | E_self ->
+                Some
+                  (fun (k : (a, unit) continuation) -> continue k fiber.pid)
+            | E_rmw (r, f) ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    fiber.state <-
+                      Ready
+                        (fun () ->
+                          match
+                            let old = Space.read t.space ~by:fiber.pid r in
+                            let v = f old in
+                            Space.write t.space ~by:fiber.pid r v;
+                            v
+                          with
+                          | v -> continue k v
+                          | exception e -> discontinue k e))
+            | _ -> None);
+      }
+  in
+  fiber.state <- Ready start;
+  t.fibers <- t.fibers @ [ fiber ];
+  fiber
+
+let kill (f : fiber) : unit =
+  match f.state with
+  | Ready _ -> f.state <- Finished (Failed Killed)
+  | Finished _ -> ()
+
+let ready_fibers t =
+  List.filter
+    (fun f -> (match f.state with Ready _ -> true | _ -> false) && t.enabled f)
+    t.fibers
+
+(* Run one step of one chosen fiber. Raises nothing: fiber exceptions are
+   captured in the fiber's outcome. *)
+let step_fiber t (f : fiber) : unit =
+  match f.state with
+  | Finished _ -> invalid_arg "Sched.step_fiber: fiber not ready"
+  | Ready go ->
+      (* Mark running; [go] re-installs Ready on the next effect. *)
+      f.state <- Finished Completed;
+      t.steps <- t.steps + 1;
+      t.clock <- t.clock + 1;
+      go ()
+
+type stop_reason = Quiescent | Budget_exhausted | Condition_met
+
+(* Run until every enabled non-daemon fiber has finished, the predicate
+   [until] holds, or [max_steps] elapse. Daemons keep getting scheduled
+   while clients run, but never keep the run alive on their own. *)
+let run ?(max_steps = 1_000_000) ?(until = fun (_ : t) -> false) (t : t) :
+    stop_reason =
+  let rec loop () =
+    if until t then Condition_met
+    else
+      let ready = ready_fibers t in
+      let clients_pending =
+        List.exists (fun (f : fiber) -> not f.daemon) ready
+      in
+      if not clients_pending then Quiescent
+      else if t.steps >= max_steps then Budget_exhausted
+      else begin
+        let arr = Array.of_list ready in
+        let i = t.choose t arr in
+        step_fiber t arr.(i);
+        loop ()
+      end
+  in
+  loop ()
+
+(* Fibers that terminated with an exception (other than deliberate kills). *)
+let failures t =
+  List.filter_map
+    (fun f ->
+      match f.state with
+      | Finished (Failed Killed) -> None
+      | Finished (Failed e) -> Some (f, e)
+      | _ -> None)
+    t.fibers
+
+let pp_fiber fmt (f : fiber) =
+  Format.fprintf fmt "fiber#%d p%d %s%s" f.fid f.pid f.fname
+    (if f.daemon then " (daemon)" else "")

@@ -1,0 +1,97 @@
+(** Cooperative scheduler over OCaml effects.
+
+    Each simulated process contributes one or more fibers (operation
+    fibers, plus the background Help() fiber the paper's algorithms
+    require). A fiber runs as ordinary OCaml code; every shared-register
+    access is an effect, and the scheduler resumes exactly one fiber per
+    step — so register accesses are atomic and the set of possible
+    interleavings is precisely that of the paper's asynchronous model.
+
+    Scheduling is driven by a pluggable deterministic policy; runs replay
+    exactly from (program, policy) because all randomness is seeded.
+
+    The records below are deliberately transparent: scenario harnesses
+    (the impossibility construction, the ablation tests) script phases by
+    reading fiber states and setting the [enabled] mask directly. *)
+
+exception Killed
+(** Carried by fibers terminated with {!kill}. *)
+
+type outcome = Completed | Failed of exn
+
+type fiber = {
+  fid : int;
+  pid : int; (** the simulated process this fiber belongs to *)
+  fname : string;
+  daemon : bool; (** daemons (Help loops) never block quiescence *)
+  mutable state : state;
+}
+
+and state = Ready of (unit -> unit) | Finished of outcome
+
+type t = {
+  space : Lnd_shm.Space.t;
+  mutable fibers : fiber list; (** in spawn order, oldest first *)
+  mutable next_fid : int;
+  mutable steps : int; (** scheduler steps taken so far *)
+  mutable clock : int; (** logical time: steps plus {!tick} stamps *)
+  mutable enabled : fiber -> bool;
+      (** scheduling mask, used by targeted phase scenarios *)
+  mutable choose : t -> fiber array -> int;
+      (** the policy: pick the index of the next fiber among the ready *)
+}
+
+val create : space:Lnd_shm.Space.t -> choose:(t -> fiber array -> int) -> t
+
+val space : t -> Lnd_shm.Space.t
+val steps : t -> int
+val clock : t -> int
+
+(** {2 Effects available inside fiber bodies} *)
+
+val read : Lnd_shm.Register.t -> Lnd_support.Univ.t
+(** One atomic register read (one scheduler step). *)
+
+val write : Lnd_shm.Register.t -> Lnd_support.Univ.t -> unit
+(** One atomic register write (one scheduler step). *)
+
+val yield : unit -> unit
+(** Give up the step without touching memory. *)
+
+val tick : unit -> int
+(** Read-and-advance the logical clock; not a scheduling point. Used to
+    stamp operation invocations/responses. *)
+
+val self : unit -> int
+(** The pid of the running fiber; not a scheduling point. *)
+
+val rmw : Lnd_shm.Register.t -> (Lnd_support.Univ.t -> Lnd_support.Univ.t) -> Lnd_support.Univ.t
+(** Atomic owner-only read-modify-write, used ONLY by the message-passing
+    substrate to append to channel logs (channels are FIFO queues, not
+    registers). The paper's algorithms never use this. *)
+
+(** {2 Fibers and running} *)
+
+val spawn : t -> pid:int -> name:string -> ?daemon:bool -> (unit -> unit) -> fiber
+
+val kill : fiber -> unit
+(** Deliberate termination; not reported by {!failures}. *)
+
+val ready_fibers : t -> fiber list
+(** Ready fibers that pass the [enabled] mask. *)
+
+val step_fiber : t -> fiber -> unit
+(** Run one step of one ready fiber (exposed for custom drivers). *)
+
+type stop_reason = Quiescent | Budget_exhausted | Condition_met
+
+val run : ?max_steps:int -> ?until:(t -> bool) -> t -> stop_reason
+(** Run until every enabled non-daemon fiber has finished ([Quiescent]),
+    the predicate holds ([Condition_met]), or [max_steps] elapse.
+    Daemons keep getting scheduled while clients run but never keep the
+    run alive on their own. *)
+
+val failures : t -> (fiber * exn) list
+(** Fibers that terminated with an exception (other than {!kill}). *)
+
+val pp_fiber : Format.formatter -> fiber -> unit

@@ -1,0 +1,1 @@
+lib/shm/register.ml: Format Lnd_support Univ

@@ -1,0 +1,1 @@
+lib/shm/register.mli: Format Lnd_support Univ

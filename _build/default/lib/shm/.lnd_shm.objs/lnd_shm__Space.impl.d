@@ -1,0 +1,1 @@
+lib/shm/space.ml: Array Format List Lnd_support Register Univ

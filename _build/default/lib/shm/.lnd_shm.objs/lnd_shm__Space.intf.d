@@ -1,0 +1,1 @@
+lib/shm/space.mli: Format Lnd_support Register Univ

@@ -1,0 +1,1 @@
+lib/sigbase/sig_verifiable.ml: Array Codecs Format List Lnd_crypto Lnd_runtime Lnd_shm Lnd_support Printf Register Sched Space Univ Value

@@ -1,0 +1,1 @@
+lib/sigbase/sig_verifiable.mli: Lnd_crypto Lnd_shm Lnd_support Univ Value

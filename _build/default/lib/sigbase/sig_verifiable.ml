@@ -1,0 +1,107 @@
+(* Baseline: a SWMR verifiable register built WITH unforgeable signatures
+   (the assumption the paper eliminates).
+
+   Layout: R* holds the current value; every process p_i owns a
+   certificate register Cert_i holding a set of (value, signature) pairs.
+   SIGN(v) stores a certificate in Cert_0. VERIFY(v) scans all
+   certificate registers for a valid certificate of v and, before
+   returning true, relays the certificate into the reader's own Cert_k —
+   this write-back is what makes the relay property hold even when the
+   Byzantine writer later erases Cert_0 ("you can lie but, with
+   signatures, not deny either").
+
+   Tolerates any number of Byzantine processes other than the reader
+   itself (n > f for termination is trivial since nothing ever waits), at
+   the price of the signature assumption; compare with Algorithm 1's
+   signature-free n > 3f. This is the comparison baseline of experiment
+   table T4. *)
+
+open Lnd_support
+open Lnd_shm
+open Lnd_runtime
+
+type cert = Value.t * Lnd_crypto.Sigoracle.signature
+
+let cert_key : cert list Univ.key =
+  Univ.key ~name:"certs"
+    ~pp:(fun fmt cs ->
+      Format.fprintf fmt "[%d certs]" (List.length cs))
+    ~equal:(fun a b -> List.length a = List.length b && a = b)
+
+type config = { n : int; f : int }
+
+type regs = {
+  cfg : config;
+  oracle : Lnd_crypto.Sigoracle.t;
+  rstar : Register.t;
+  certs : Register.t array; (* Cert_i, owner p_i *)
+}
+
+let alloc space (cfg : config) ~oracle : regs =
+  let rstar =
+    Space.alloc space ~name:"R*" ~owner:0 ~init:(Univ.inj Codecs.value Value.v0)
+      ()
+  in
+  let certs =
+    Array.init cfg.n (fun i ->
+        Space.alloc space
+          ~name:(Printf.sprintf "Cert_%d" i)
+          ~owner:i
+          ~init:(Univ.inj cert_key [])
+          ())
+  in
+  { cfg; oracle; rstar; certs }
+
+let read_certs reg = Univ.prj_default cert_key ~default:[] (Sched.read reg)
+
+(* ---------------- Writer (p0) ---------------- *)
+
+type writer = { w_regs : regs; mutable written : Value.Set.t }
+
+let writer (rg : regs) : writer = { w_regs = rg; written = Value.Set.empty }
+
+let write (w : writer) (v : Value.t) : unit =
+  Sched.write w.w_regs.rstar (Univ.inj Codecs.value v);
+  w.written <- Value.Set.add v w.written
+
+let sign (w : writer) (v : Value.t) : bool =
+  if Value.Set.mem v w.written then begin
+    let s = Lnd_crypto.Sigoracle.sign w.w_regs.oracle ~by:0 v in
+    let cur = read_certs w.w_regs.certs.(0) in
+    Sched.write w.w_regs.certs.(0) (Univ.inj cert_key ((v, s) :: cur));
+    true
+  end
+  else false
+
+(* ---------------- Readers ---------------- *)
+
+type reader = { rd_regs : regs; rd_pid : int }
+
+let reader (rg : regs) ~pid : reader =
+  if pid <= 0 || pid >= rg.cfg.n then invalid_arg "Sig_verifiable.reader";
+  { rd_regs = rg; rd_pid = pid }
+
+let read (rd : reader) : Value.t =
+  Univ.prj_default Codecs.value ~default:Value.v0 (Sched.read rd.rd_regs.rstar)
+
+let valid_cert (rg : regs) v ((v', s) : cert) =
+  Value.equal v v' && Lnd_crypto.Sigoracle.verify rg.oracle ~signer:0 ~msg:v s
+
+(* VERIFY(v): one scan over all certificate registers; a found certificate
+   is relayed through the reader's own register before returning true. *)
+let verify (rd : reader) (v : Value.t) : bool =
+  let rg = rd.rd_regs in
+  let found = ref None in
+  for i = 0 to rg.cfg.n - 1 do
+    if !found = None then
+      match List.find_opt (valid_cert rg v) (read_certs rg.certs.(i)) with
+      | Some c -> found := Some c
+      | None -> ()
+  done;
+  match !found with
+  | None -> false
+  | Some c ->
+      let mine = read_certs rg.certs.(rd.rd_pid) in
+      if not (List.exists (valid_cert rg v) mine) then
+        Sched.write rg.certs.(rd.rd_pid) (Univ.inj cert_key (c :: mine));
+      true

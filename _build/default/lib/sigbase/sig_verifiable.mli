@@ -1,0 +1,49 @@
+(** Baseline: a SWMR verifiable register built WITH unforgeable
+    signatures (the assumption the paper eliminates).
+
+    SIGN(v) stores a certificate (value, signature) in the writer's
+    certificate register; VERIFY(v) scans all certificate registers and,
+    before returning true, relays a found certificate into the reader's
+    own register — the write-back that keeps the relay property alive
+    when the Byzantine writer later erases its certificates.
+
+    Tolerates any number of Byzantine processes other than the reader
+    itself, at the price of the signature assumption; compare with
+    Algorithm 1's signature-free n > 3f (bench table T4). *)
+
+open Lnd_support
+
+type cert = Value.t * Lnd_crypto.Sigoracle.signature
+
+val cert_key : cert list Univ.key
+(** The register payload; exposed so tests can plant forged
+    certificates. *)
+
+type config = { n : int; f : int }
+
+type regs = {
+  cfg : config;
+  oracle : Lnd_crypto.Sigoracle.t;
+  rstar : Lnd_shm.Register.t;
+  certs : Lnd_shm.Register.t array; (** Cert_i, owner p_i *)
+}
+
+val alloc : Lnd_shm.Space.t -> config -> oracle:Lnd_crypto.Sigoracle.t -> regs
+
+(** {2 Writer (p0)} *)
+
+type writer = { w_regs : regs; mutable written : Value.Set.t }
+
+val writer : regs -> writer
+val write : writer -> Value.t -> unit
+val sign : writer -> Value.t -> bool
+
+(** {2 Readers} *)
+
+type reader = { rd_regs : regs; rd_pid : int }
+
+val reader : regs -> pid:int -> reader
+val read : reader -> Value.t
+
+val verify : reader -> Value.t -> bool
+(** One O(n) certificate scan; relays what it finds. *)

@@ -1,0 +1,1 @@
+lib/snapshot/snapshot.ml: Array Cell Codecs List Lnd_runtime Lnd_support Lnd_verifiable Option Printf Sched Univ Value

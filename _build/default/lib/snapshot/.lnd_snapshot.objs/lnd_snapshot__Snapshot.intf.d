@@ -1,0 +1,1 @@
+lib/snapshot/snapshot.mli: Lnd_runtime Lnd_shm Lnd_support Lnd_verifiable Value

@@ -1,0 +1,1 @@
+lib/sticky/ablation.ml: Array Cell Codecs List Lnd_runtime Lnd_support Sched Sticky Univ Value

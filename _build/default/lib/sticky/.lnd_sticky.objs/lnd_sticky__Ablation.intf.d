@@ -1,0 +1,1 @@
+lib/sticky/ablation.mli: Lnd_support Sticky Value

@@ -1,0 +1,1 @@
+lib/sticky/sticky.ml: Array Cell Codecs Int List Lnd_runtime Lnd_support Map Printf Sched Set Univ Value

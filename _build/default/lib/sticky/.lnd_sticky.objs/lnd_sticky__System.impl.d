@@ -1,0 +1,1 @@
+lib/sticky/system.ml: Array List Lnd_history Lnd_runtime Lnd_shm Lnd_support Policy Printf Sched Space Sticky Value

@@ -1,0 +1,235 @@
+(* Algorithm 2 — signature-free SWMR sticky register, writable by p0 (the
+   paper's p1) and readable by p1..p(n-1), for n >= 3f + 1.
+
+   Register layout:
+     e.(i)        E_i   SWMR, owner p_i: "echo" register  (init ⊥)
+     r.(i)        R_i   SWMR, owner p_i: "witness" register (init ⊥)
+     rjk.(j).(k)  R_jk  SWSR, owner p_j, reader p_k (k >= 1):
+                        ⟨witnessed value or ⊥, timestamp⟩
+     c.(k)        C_k   SWMR, owner p_k (k >= 1): round counter
+
+   Once any correct process reads v ≠ ⊥, every later read returns v, even
+   if the writer is Byzantine (Observation 18). Correct processes must run
+   [help] in the background. *)
+
+open Lnd_support
+open Lnd_runtime
+
+type config = { n : int; f : int }
+
+let check_config { n; f } =
+  if f < 0 || n < 2 then invalid_arg "Sticky: need n >= 2, f >= 0"
+
+type regs = {
+  cfg : config;
+  e : Cell.t array;
+  r : Cell.t array;
+  rjk : Cell.t array array; (* rjk.(j).(k); column k = 0 unused *)
+  c : Cell.t array; (* c.(0) unused *)
+}
+
+(* Allocate the register layout through an arbitrary cell allocator: the
+   shared-memory one (the base model) or an emulated one (Section 9). *)
+let alloc_with (mk : Cell.allocator) (cfg : config) : regs =
+  check_config cfg;
+  let n = cfg.n in
+  let vopt_init = Univ.inj Codecs.value_opt None in
+  let e =
+    Array.init n (fun i ->
+        mk ~name:(Printf.sprintf "E_%d" i) ~owner:i ~init:vopt_init ())
+  in
+  let r =
+    Array.init n (fun i ->
+        mk ~name:(Printf.sprintf "R_%d" i) ~owner:i ~init:vopt_init ())
+  in
+  let rjk =
+    Array.init n (fun j ->
+        Array.init n (fun k ->
+            if k = 0 then e.(0) (* placeholder, never used *)
+            else
+              mk
+                ~name:(Printf.sprintf "R_{%d,%d}" j k)
+                ~owner:j ~single_reader:k
+                ~init:(Univ.inj Codecs.vopt_stamped (None, 0))
+                ()))
+  in
+  let c =
+    Array.init n (fun k ->
+        if k = 0 then e.(0) (* placeholder, never used *)
+        else
+          mk
+            ~name:(Printf.sprintf "C_%d" k)
+            ~owner:k
+            ~init:(Univ.inj Codecs.counter 0)
+            ())
+  in
+  { cfg; e; r; rjk; c }
+
+let alloc space (cfg : config) : regs = alloc_with (Cell.shm_allocator space) cfg
+
+(* Defensive decoders: ill-typed content reads as the initial value. *)
+let read_vopt reg = Univ.prj_default Codecs.value_opt ~default:None (Cell.read reg)
+
+let read_stamped reg =
+  Univ.prj_default Codecs.vopt_stamped ~default:(None, 0) (Cell.read reg)
+
+let read_counter reg = Univ.prj_default Codecs.counter ~default:0 (Cell.read reg)
+
+(* Count, over an array of optional values, how many equal [v]. *)
+let count_eq (arr : Value.t option array) (v : Value.t) : int =
+  Array.fold_left
+    (fun acc u -> match u with Some x when Value.equal x v -> acc + 1 | _ -> acc)
+    0 arr
+
+(* The (unique, per Lemma 98-style counting) value reaching [threshold]
+   copies in [arr], if any. *)
+let value_with_quorum (arr : Value.t option array) ~threshold : Value.t option =
+  let found = ref None in
+  Array.iter
+    (fun u ->
+      match (u, !found) with
+      | Some v, None -> if count_eq arr v >= threshold then found := Some v
+      | _ -> ())
+    arr;
+  !found
+
+(* ---------------- Writer (p0): WRITE(v), lines 1-6 ---------------- *)
+
+type writer = { w_regs : regs }
+
+let writer (rg : regs) : writer = { w_regs = rg }
+
+let write (w : writer) (v : Value.t) : unit =
+  let rg = w.w_regs in
+  let { n; f } = rg.cfg in
+  (* line 1: a second write is a no-op returning done *)
+  if read_vopt rg.e.(0) = None then begin
+    (* line 2 *)
+    Cell.write rg.e.(0) (Univ.inj Codecs.value_opt (Some v));
+    (* lines 3-5: wait until n-f processes witness v *)
+    let witnessed = ref false in
+    while not !witnessed do
+      let rs = Array.init n (fun i -> read_vopt rg.r.(i)) in
+      if count_eq rs v >= n - f then witnessed := true
+    done
+  end
+
+(* ---------------- Readers: READ(), lines 7-22 ---------------- *)
+
+type reader = { rd_regs : regs; rd_pid : int; mutable ck : int }
+
+let reader (rg : regs) ~pid : reader =
+  if pid <= 0 || pid >= rg.cfg.n then invalid_arg "Sticky.reader: bad pid";
+  { rd_regs = rg; rd_pid = pid; ck = 0 }
+
+module PidSet = Set.Make (Int)
+module PidMap = Map.Make (Int)
+
+let read (rd : reader) : Value.t option =
+  let { n; f } = rd.rd_regs.cfg in
+  let set_bot = ref PidSet.empty in
+  let set_val = ref PidMap.empty (* pid -> witnessed value *) in
+  let result = ref None in
+  let finished = ref false in
+  while not !finished do
+    (* line 9 *)
+    rd.ck <- rd.ck + 1;
+    Cell.write rd.rd_regs.c.(rd.rd_pid) (Univ.inj Codecs.counter rd.ck);
+    (* line 10: S = processes not yet classified *)
+    let in_s j = (not (PidSet.mem j !set_bot)) && not (PidMap.mem j !set_val) in
+    (* lines 11-14: poll S until someone answered this round *)
+    let reply = ref None in
+    while !reply = None do
+      let polled_any = ref false in
+      for j = 0 to n - 1 do
+        if !reply = None && in_s j then begin
+          polled_any := true;
+          let uj, cj = read_stamped rd.rd_regs.rjk.(j).(rd.rd_pid) in
+          if cj >= rd.ck then reply := Some (j, uj)
+        end
+      done;
+      (* Unreachable when n > 3f (Lemma 105); keeps the fiber live on
+         deliberately broken configurations. *)
+      if not !polled_any then Sched.yield ()
+    done;
+    (match !reply with
+    | None -> assert false
+    | Some (j, uj) -> (
+        match uj with
+        | Some v ->
+            (* lines 15-17 *)
+            set_val := PidMap.add j v !set_val;
+            set_bot := PidSet.empty
+        | None ->
+            (* lines 18-19 *)
+            set_bot := PidSet.add j !set_bot));
+    (* line 20: some value witnessed by >= n-f processes in set_val? *)
+    let counts =
+      PidMap.fold
+        (fun _ v acc ->
+          let cur = try List.assoc v acc with Not_found -> 0 in
+          (v, cur + 1) :: List.remove_assoc v acc)
+        !set_val []
+    in
+    (match List.find_opt (fun (_, cnt) -> cnt >= n - f) counts with
+    | Some (v, _) ->
+        result := Some v;
+        finished := true
+    | None ->
+        (* line 22 *)
+        if PidSet.cardinal !set_bot > f then begin
+          result := None;
+          finished := true
+        end)
+  done;
+  !result
+
+(* ---------------- Help() — lines 23-40 ---------------- *)
+
+let help (rg : regs) ~pid : unit =
+  let { n; f } = rg.cfg in
+  let prev_c = Array.make n 0 in
+  while true do
+    (* lines 25-27: echo the writer's value, once *)
+    if read_vopt rg.e.(pid) = None then begin
+      let e1 = read_vopt rg.e.(0) in
+      match e1 with
+      | Some _ -> Cell.write rg.e.(pid) (Univ.inj Codecs.value_opt e1)
+      | None -> ()
+    end;
+    (* lines 28-30: become a witness of a value echoed by n-f processes *)
+    if read_vopt rg.r.(pid) = None then begin
+      let es = Array.init n (fun i -> read_vopt rg.e.(i)) in
+      match value_with_quorum es ~threshold:(n - f) with
+      | Some v -> Cell.write rg.r.(pid) (Univ.inj Codecs.value_opt (Some v))
+      | None -> ()
+    end;
+    (* lines 31-32 *)
+    let cks = Array.make n 0 in
+    for k = 1 to n - 1 do
+      cks.(k) <- read_counter rg.c.(k)
+    done;
+    let askers = ref [] in
+    for k = n - 1 downto 1 do
+      if cks.(k) > prev_c.(k) then askers := k :: !askers
+    done;
+    if !askers <> [] then begin
+      (* lines 34-36: become a witness of a value with f+1 witnesses *)
+      if read_vopt rg.r.(pid) = None then begin
+        let rs = Array.init n (fun i -> read_vopt rg.r.(i)) in
+        match value_with_quorum rs ~threshold:(f + 1) with
+        | Some v -> Cell.write rg.r.(pid) (Univ.inj Codecs.value_opt (Some v))
+        | None -> ()
+      end;
+      (* line 37 *)
+      let rj = read_vopt rg.r.(pid) in
+      (* lines 38-40 *)
+      List.iter
+        (fun k ->
+          Cell.write rg.rjk.(pid).(k)
+            (Univ.inj Codecs.vopt_stamped (rj, cks.(k)));
+          prev_c.(k) <- cks.(k))
+        !askers
+    end
+    else Sched.yield ()
+  done

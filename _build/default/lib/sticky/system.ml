@@ -1,0 +1,80 @@
+(* Wired simulated system around one sticky register (cf.
+   Lnd_verifiable.System). *)
+
+open Lnd_support
+open Lnd_shm
+open Lnd_runtime
+module S = Lnd_history.Spec.Sticky_spec
+
+type t = {
+  cfg : Sticky.config;
+  space : Space.t;
+  sched : Sched.t;
+  regs : Sticky.regs;
+  writer : Sticky.writer;
+  readers : Sticky.reader option array; (* indexed by pid; slot 0 is None *)
+  history : (S.op, S.res) Lnd_history.History.t;
+  correct : bool array;
+}
+
+let make ?(policy : Policy.t option) ?(byzantine : int list = []) ~n ~f () : t
+    =
+  let cfg = { Sticky.n; f } in
+  let space = Space.create ~n in
+  let choose =
+    match policy with Some p -> p | None -> Policy.random ~seed:42
+  in
+  let sched = Sched.create ~space ~choose in
+  let regs = Sticky.alloc space cfg in
+  let writer = Sticky.writer regs in
+  let readers =
+    Array.init n (fun pid ->
+        if pid = 0 then None else Some (Sticky.reader regs ~pid))
+  in
+  let correct = Array.make n true in
+  List.iter (fun pid -> correct.(pid) <- false) byzantine;
+  for pid = 0 to n - 1 do
+    if correct.(pid) then
+      ignore
+        (Sched.spawn sched ~pid ~name:(Printf.sprintf "help%d" pid)
+           ~daemon:true (fun () -> Sticky.help regs ~pid))
+  done;
+  {
+    cfg;
+    space;
+    sched;
+    regs;
+    writer;
+    readers;
+    history = Lnd_history.History.create ();
+    correct;
+  }
+
+let reader t pid : Sticky.reader =
+  if pid <= 0 || pid >= t.cfg.n then invalid_arg "System.reader: bad pid";
+  match t.readers.(pid) with Some r -> r | None -> assert false
+
+let op_write t v : unit =
+  Lnd_history.History.record t.history ~pid:0 (S.Write v) (fun () ->
+      Sticky.write t.writer v;
+      S.Done)
+  |> ignore
+
+let op_read t ~pid : Value.t option =
+  match
+    Lnd_history.History.record t.history ~pid S.Read (fun () ->
+        S.Val (Sticky.read (reader t pid)))
+  with
+  | S.Val v -> v
+  | _ -> assert false
+
+let client t ~pid ~name (body : unit -> unit) : Sched.fiber =
+  Sched.spawn t.sched ~pid ~name body
+
+let run ?max_steps ?until t = Sched.run ?max_steps ?until t.sched
+
+(* Byzantine linearizability of the recorded history (Theorem 19). *)
+let byz_linearizable ?node_budget t : bool =
+  Lnd_history.Byzlin.sticky ?node_budget ~writer:0
+    ~correct:(fun pid -> t.correct.(pid))
+    t.history

@@ -1,0 +1,43 @@
+(** A ready-wired simulated system around one sticky register (the
+    sticky counterpart of [Lnd_verifiable.System]). *)
+
+open Lnd_support
+module S = Lnd_history.Spec.Sticky_spec
+
+type t = {
+  cfg : Sticky.config;
+  space : Lnd_shm.Space.t;
+  sched : Lnd_runtime.Sched.t;
+  regs : Sticky.regs;
+  writer : Sticky.writer;
+  readers : Sticky.reader option array; (** by pid; slot 0 is [None] *)
+  history : (S.op, S.res) Lnd_history.History.t;
+  correct : bool array;
+}
+
+val make :
+  ?policy:Lnd_runtime.Policy.t ->
+  ?byzantine:int list ->
+  n:int ->
+  f:int ->
+  unit ->
+  t
+
+val reader : t -> int -> Sticky.reader
+
+(** {2 Recorded operations — call from client fibers} *)
+
+val op_write : t -> Value.t -> unit
+val op_read : t -> pid:int -> Value.t option
+
+val client :
+  t -> pid:int -> name:string -> (unit -> unit) -> Lnd_runtime.Sched.fiber
+
+val run :
+  ?max_steps:int ->
+  ?until:(Lnd_runtime.Sched.t -> bool) ->
+  t ->
+  Lnd_runtime.Sched.stop_reason
+
+val byz_linearizable : ?node_budget:int -> t -> bool
+(** Byzantine linearizability of the recorded history (Theorem 19). *)

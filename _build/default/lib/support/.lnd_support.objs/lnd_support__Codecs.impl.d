@@ -1,0 +1,1 @@
+lib/support/codecs.ml: Format Int Univ Value

@@ -1,0 +1,1 @@
+lib/support/codecs.mli: Univ Value

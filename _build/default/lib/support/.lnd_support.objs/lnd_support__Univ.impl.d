@@ -1,0 +1,1 @@
+lib/support/univ.ml: Format Int String

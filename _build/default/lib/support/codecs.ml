@@ -1,0 +1,25 @@
+(* Shared [Univ] keys for everything the algorithms store in registers. *)
+
+let value : Value.t Univ.key =
+  Univ.key ~name:"value" ~pp:Value.pp ~equal:Value.equal
+
+let value_opt : Value.t option Univ.key =
+  Univ.key ~name:"value_opt" ~pp:Value.pp_opt ~equal:Value.equal_opt
+
+let vset : Value.Set.t Univ.key =
+  Univ.key ~name:"vset" ~pp:Value.Set.pp ~equal:Value.Set.equal
+
+(* ⟨set of witnessed values, timestamp⟩ — the R_jk payload of Algorithm 1. *)
+let vset_stamped : (Value.Set.t * int) Univ.key =
+  Univ.key ~name:"vset_stamped"
+    ~pp:(fun fmt (s, c) -> Format.fprintf fmt "⟨%a, %d⟩" Value.Set.pp s c)
+    ~equal:(fun (s1, c1) (s2, c2) -> Value.Set.equal s1 s2 && c1 = c2)
+
+(* ⟨witnessed value or ⊥, timestamp⟩ — the R_jk payload of Algorithm 2. *)
+let vopt_stamped : (Value.t option * int) Univ.key =
+  Univ.key ~name:"vopt_stamped"
+    ~pp:(fun fmt (v, c) -> Format.fprintf fmt "⟨%a, %d⟩" Value.pp_opt v c)
+    ~equal:(fun (v1, c1) (v2, c2) -> Value.equal_opt v1 v2 && c1 = c2)
+
+let counter : int Univ.key =
+  Univ.key ~name:"counter" ~pp:Format.pp_print_int ~equal:Int.equal

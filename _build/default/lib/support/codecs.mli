@@ -1,0 +1,20 @@
+(** Shared {!Univ} keys for everything the algorithms store in registers. *)
+
+val value : Value.t Univ.key
+(** A plain value (the R* register of Algorithm 1). *)
+
+val value_opt : Value.t option Univ.key
+(** A value or ⊥ (the E_i / R_i registers of Algorithm 2). *)
+
+val vset : Value.Set.t Univ.key
+(** A witness set (the R_i registers of Algorithm 1). *)
+
+val vset_stamped : (Value.Set.t * int) Univ.key
+(** ⟨witness set, timestamp⟩ — the R_jk mailboxes of Algorithm 1. *)
+
+val vopt_stamped : (Value.t option * int) Univ.key
+(** ⟨witnessed value or ⊥, timestamp⟩ — the R_jk mailboxes of
+    Algorithm 2. *)
+
+val counter : int Univ.key
+(** The round counters C_k. *)

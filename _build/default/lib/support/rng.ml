@@ -1,0 +1,52 @@
+(* Deterministic, splittable PRNG (SplitMix64).
+
+   Every source of randomness in the simulator flows through one of these
+   generators so that whole executions — including adversary behaviour and
+   scheduling — replay exactly from a seed. *)
+
+type t = { mutable state : int64 }
+
+let create (seed : int) : t = { state = Int64.of_int seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next64 (t : t) : int64 =
+  let ( +! ) = Int64.add and ( *! ) = Int64.mul in
+  let ( ^! ) = Int64.logxor in
+  t.state <- t.state +! golden_gamma;
+  let z = t.state in
+  let z = (z ^! Int64.shift_right_logical z 30) *! 0xBF58476D1CE4E5B9L in
+  let z = (z ^! Int64.shift_right_logical z 27) *! 0x94D049BB133111EBL in
+  z ^! Int64.shift_right_logical z 31
+
+let split (t : t) : t = { state = next64 t }
+
+let int (t : t) (bound : int) : int =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let x = Int64.to_int (next64 t) land max_int in
+  x mod bound
+
+let bool (t : t) : bool = Int64.logand (next64 t) 1L = 1L
+
+let pick (t : t) (xs : 'a list) : 'a =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let pick_arr (t : t) (xs : 'a array) : 'a =
+  if Array.length xs = 0 then invalid_arg "Rng.pick_arr: empty array";
+  xs.(int t (Array.length xs))
+
+let shuffle (t : t) (a : 'a array) : unit =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(* A fresh seed derived from this generator, for spawning independent
+   sub-streams identified by an integer salt. *)
+let derive (t : t) (salt : int) : t =
+  let s = Int64.logxor (next64 t) (Int64.of_int (salt * 0x2545F491)) in
+  { state = s }

@@ -1,0 +1,82 @@
+(* A universal type with named, typed keys.
+
+   Shared registers in this codebase carry [Univ.t] so that a Byzantine
+   process can store arbitrary (even ill-typed) content in the registers it
+   owns, while correct code projects values back defensively with
+   [prj]/[prj_default]. *)
+
+type t = {
+  key_id : int;
+  key_name : string;
+  payload : exn;
+  pp_payload : Format.formatter -> unit;
+  eq_payload : exn -> bool;
+}
+
+type 'a key = {
+  id : int;
+  name : string;
+  pp : Format.formatter -> 'a -> unit;
+  equal : 'a -> 'a -> bool;
+  wrap : 'a -> exn;
+  unwrap : exn -> 'a option;
+}
+
+let next_id = ref 0
+
+let key (type a) ~name ~(pp : Format.formatter -> a -> unit)
+    ~(equal : a -> a -> bool) : a key =
+  let exception E of a in
+  incr next_id;
+  {
+    id = !next_id;
+    name;
+    pp;
+    equal;
+    wrap = (fun x -> E x);
+    unwrap = (function E x -> Some x | _ -> None);
+  }
+
+let inj (k : 'a key) (x : 'a) : t =
+  {
+    key_id = k.id;
+    key_name = k.name;
+    payload = k.wrap x;
+    pp_payload = (fun fmt -> k.pp fmt x);
+    eq_payload =
+      (fun e -> match k.unwrap e with Some y -> k.equal x y | None -> false);
+  }
+
+let prj (k : 'a key) (u : t) : 'a option =
+  if u.key_id = k.id then k.unwrap u.payload else None
+
+(* Defensive projection: ill-typed content (e.g. garbage written by a
+   Byzantine owner) is read as [default]. *)
+let prj_default (k : 'a key) ~(default : 'a) (u : t) : 'a =
+  match prj k u with Some x -> x | None -> default
+
+let key_name (u : t) = u.key_name
+let pp fmt (u : t) = u.pp_payload fmt
+
+let equal (a : t) (b : t) =
+  a.key_id = b.key_id && a.eq_payload b.payload
+
+(* Ready-made keys for common payloads. *)
+
+let unit : unit key =
+  key ~name:"unit" ~pp:(fun fmt () -> Format.fprintf fmt "()")
+    ~equal:(fun () () -> true)
+
+let int : int key = key ~name:"int" ~pp:Format.pp_print_int ~equal:Int.equal
+
+let string : string key =
+  key ~name:"string"
+    ~pp:(fun fmt s -> Format.fprintf fmt "%S" s)
+    ~equal:String.equal
+
+(* A catch-all "garbage" payload for adversaries that want to write
+   something no correct decoder accepts. *)
+let garbage : string key =
+  key ~name:"garbage"
+    ~pp:(fun fmt s -> Format.fprintf fmt "garbage(%S)" s)
+    ~equal:String.equal

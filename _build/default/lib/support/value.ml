@@ -1,0 +1,38 @@
+(* The value domain V of the registers.
+
+   The paper's registers are multivalued over an arbitrary domain; strings
+   keep examples readable while exercising non-trivial payloads. The
+   initial value of a verifiable register is [v0]; the initial value of a
+   sticky register is bottom, represented as [None] at the type level
+   ([t option]). *)
+
+type t = string
+
+let equal = String.equal
+let compare = String.compare
+let pp fmt (v : t) = Format.fprintf fmt "%S" v
+let v0 : t = "v0"
+
+module Set = struct
+  include Set.Make (String)
+
+  let pp fmt s =
+    Format.fprintf fmt "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+         (fun fmt v -> Format.fprintf fmt "%s" v))
+      (elements s)
+
+  let of_seq_list l = of_list l
+end
+
+(* Pretty-printer for an optional value (⊥ when absent). *)
+let pp_opt fmt = function
+  | None -> Format.fprintf fmt "⊥"
+  | Some v -> pp fmt v
+
+let equal_opt a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> equal x y
+  | None, Some _ | Some _, None -> false

@@ -1,0 +1,28 @@
+(** The value domain [V] of the registers.
+
+    The paper's registers are multivalued over an arbitrary domain;
+    strings keep examples readable. The initial value of a verifiable
+    register is {!v0}; the sticky register's initial ⊥ is represented at
+    the type level as [None] in [t option]. *)
+
+type t = string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val v0 : t
+(** The initial value of a verifiable register. *)
+
+(** Ordered sets of values (with a pretty-printer). *)
+module Set : sig
+  include Set.S with type elt = t
+
+  val pp : Format.formatter -> t -> unit
+  val of_seq_list : elt list -> t
+end
+
+val pp_opt : Format.formatter -> t option -> unit
+(** Prints [None] as ⊥. *)
+
+val equal_opt : t option -> t option -> bool

@@ -1,0 +1,1 @@
+lib/testorset/impossibility.ml: Array Format List Lnd_byz Lnd_runtime Lnd_shm Lnd_sticky Lnd_support Lnd_verifiable Policy Printf Register Sched Space Value

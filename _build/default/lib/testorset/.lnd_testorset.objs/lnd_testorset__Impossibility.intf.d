@@ -1,0 +1,1 @@
+lib/testorset/impossibility.mli: Format

@@ -1,0 +1,1 @@
+lib/testorset/testorset.ml: Array List Lnd_history Lnd_runtime Lnd_shm Lnd_sticky Lnd_support Lnd_verifiable Option Policy Printf Sched Space Value

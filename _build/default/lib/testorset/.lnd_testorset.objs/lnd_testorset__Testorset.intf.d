@@ -1,0 +1,1 @@
+lib/testorset/testorset.mli: Lnd_history Lnd_runtime Lnd_shm Lnd_sticky Lnd_support Lnd_verifiable Value

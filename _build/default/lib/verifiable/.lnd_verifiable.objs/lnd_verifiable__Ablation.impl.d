@@ -1,0 +1,1 @@
+lib/verifiable/ablation.ml: Array Cell Codecs Lnd_runtime Lnd_support Univ Value Verifiable

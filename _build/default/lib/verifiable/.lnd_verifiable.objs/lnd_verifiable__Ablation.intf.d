@@ -1,0 +1,1 @@
+lib/verifiable/ablation.mli: Lnd_support Value Verifiable

@@ -1,0 +1,1 @@
+lib/verifiable/system.mli: Lnd_history Lnd_runtime Lnd_shm Lnd_support Value Verifiable

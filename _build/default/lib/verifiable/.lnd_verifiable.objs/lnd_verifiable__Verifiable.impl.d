@@ -1,0 +1,1 @@
+lib/verifiable/verifiable.ml: Array Cell Codecs Int List Lnd_runtime Lnd_support Option Printf Sched Set Univ Value

@@ -1,0 +1,1 @@
+lib/verifiable/verifiable.mli: Cell Lnd_runtime Lnd_shm Lnd_support Value

@@ -1,0 +1,43 @@
+(* Ablation: the Section 5.1 strawman VERIFY.
+
+   The paper motivates Algorithm 1's round structure by showing why the
+   obvious approach fails: "q can ask all processes whether they are now
+   willing to be witnesses of v, and then wait for 2f+1 processes to
+   reply: if at least 2f+1 reply Yes then TRUE; if strictly less than f+1
+   reply Yes then FALSE" — and a reader caught between f and 2f+1 Yes
+   votes is stuck, because answering either way can break the relay
+   property (Observation 13).
+
+   [naive_verify] implements that strawman directly over the witness
+   registers: collect the current witness sets of the first 2f+1
+   processes (one snapshot, no rounds, no set_1/set_0 bookkeeping) and
+   return yes-count >= f+1. It terminates always — but the test suite
+   demonstrates a schedule where it returns TRUE and a later
+   [naive_verify] returns FALSE for the same value: the relay violation
+   Algorithm 1 exists to prevent. *)
+
+open Lnd_support
+open Lnd_runtime
+
+let read_vset reg =
+  Univ.prj_default Codecs.vset ~default:Value.Set.empty (Cell.read reg)
+
+(* One-shot strawman verify, runnable by any process. *)
+let naive_verify (rg : Verifiable.regs) (v : Value.t) : bool =
+  let { Verifiable.n; f } = rg.cfg in
+  let replies = min n ((2 * f) + 1) in
+  let yes = ref 0 in
+  for j = 0 to replies - 1 do
+    if Value.Set.mem v (read_vset rg.r.(j)) then incr yes
+  done;
+  !yes >= f + 1
+
+(* A one-shot naive verify that polls every register (a seemingly
+   stronger strawman — same flaw). *)
+let naive_verify_all (rg : Verifiable.regs) (v : Value.t) : bool =
+  let { Verifiable.n; f } = rg.cfg in
+  let yes = ref 0 in
+  for j = 0 to n - 1 do
+    if Value.Set.mem v (read_vset rg.r.(j)) then incr yes
+  done;
+  !yes >= f + 1

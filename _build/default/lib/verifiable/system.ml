@@ -1,0 +1,105 @@
+(* A ready-wired simulated system around one verifiable register:
+   register space, scheduler, Help daemons for correct processes, and a
+   recorded history of all client operations. Used by tests, benchmarks
+   and examples. Byzantine processes get no Help daemon and no operation
+   fibers here; adversarial behaviour is attached by the caller (see
+   lnd_byz). *)
+
+open Lnd_support
+open Lnd_shm
+open Lnd_runtime
+module V = Lnd_history.Spec.Verifiable_spec
+
+type t = {
+  cfg : Verifiable.config;
+  space : Space.t;
+  sched : Sched.t;
+  regs : Verifiable.regs;
+  writer : Verifiable.writer;
+  readers : Verifiable.reader option array; (* indexed by pid; slot 0 is None *)
+  history : (V.op, V.res) Lnd_history.History.t;
+  correct : bool array;
+}
+
+let make ?(policy : Policy.t option) ?(byzantine : int list = []) ~n ~f () : t
+    =
+  let cfg = { Verifiable.n; f } in
+  let space = Space.create ~n in
+  let choose =
+    match policy with Some p -> p | None -> Policy.random ~seed:42
+  in
+  let sched = Sched.create ~space ~choose in
+  let regs = Verifiable.alloc space cfg in
+  let writer = Verifiable.writer regs in
+  let readers =
+    Array.init n (fun pid ->
+        if pid = 0 then None else Some (Verifiable.reader regs ~pid))
+  in
+  let correct = Array.make n true in
+  List.iter (fun pid -> correct.(pid) <- false) byzantine;
+  (* Help daemons for every correct process (the paper requires each
+     correct process to execute Help() in the background). *)
+  for pid = 0 to n - 1 do
+    if correct.(pid) then
+      ignore
+        (Sched.spawn sched ~pid ~name:(Printf.sprintf "help%d" pid)
+           ~daemon:true (fun () -> Verifiable.help regs ~pid))
+  done;
+  {
+    cfg;
+    space;
+    sched;
+    regs;
+    writer;
+    readers;
+    history = Lnd_history.History.create ();
+    correct;
+  }
+
+let reader t pid : Verifiable.reader =
+  if pid <= 0 || pid >= t.cfg.n then invalid_arg "System.reader: bad pid";
+  match t.readers.(pid) with Some r -> r | None -> assert false
+
+(* --- Recorded operations (drive these from client fibers) --- *)
+
+let op_write t v : unit =
+  Lnd_history.History.record t.history ~pid:0 (V.Write v) (fun () ->
+      Verifiable.write t.writer v;
+      V.Done)
+  |> ignore
+
+let op_sign t v : bool =
+  match
+    Lnd_history.History.record t.history ~pid:0 (V.Sign v) (fun () ->
+        V.Signed (Verifiable.sign t.writer v))
+  with
+  | V.Signed b -> b
+  | _ -> assert false
+
+let op_read t ~pid : Value.t =
+  match
+    Lnd_history.History.record t.history ~pid (V.Read) (fun () ->
+        V.Val (Verifiable.read (reader t pid)))
+  with
+  | V.Val v -> v
+  | _ -> assert false
+
+let op_verify t ~pid v : bool =
+  match
+    Lnd_history.History.record t.history ~pid (V.Verify v) (fun () ->
+        V.Verified (Verifiable.verify (reader t pid) v))
+  with
+  | V.Verified b -> b
+  | _ -> assert false
+
+(* Spawn a client fiber for a process. *)
+let client t ~pid ~name (body : unit -> unit) : Sched.fiber =
+  Sched.spawn t.sched ~pid ~name body
+
+let run ?max_steps ?until t = Sched.run ?max_steps ?until t.sched
+
+(* Byzantine linearizability of the recorded history (Theorem 14). *)
+let byz_linearizable ?node_budget t : bool =
+  Lnd_history.Byzlin.verifiable ?node_budget ~writer:0
+    ~correct:(fun pid -> t.correct.(pid))
+    t.history

@@ -1,0 +1,51 @@
+(** A ready-wired simulated system around one verifiable register:
+    register space, scheduler, Help daemons for every correct process,
+    and a recorded history of all client operations. Byzantine processes
+    get no Help daemon and no operation fibers here; attach adversarial
+    behaviour with [Lnd_byz.Byz_verifiable]. *)
+
+open Lnd_support
+module V = Lnd_history.Spec.Verifiable_spec
+
+type t = {
+  cfg : Verifiable.config;
+  space : Lnd_shm.Space.t;
+  sched : Lnd_runtime.Sched.t;
+  regs : Verifiable.regs;
+  writer : Verifiable.writer;
+  readers : Verifiable.reader option array; (** by pid; slot 0 is [None] *)
+  history : (V.op, V.res) Lnd_history.History.t;
+  correct : bool array;
+}
+
+val make :
+  ?policy:Lnd_runtime.Policy.t ->
+  ?byzantine:int list ->
+  n:int ->
+  f:int ->
+  unit ->
+  t
+(** Defaults: seeded-random policy, no Byzantine processes. *)
+
+val reader : t -> int -> Verifiable.reader
+(** The persistent reader handle of process [pid] (1 <= pid < n). *)
+
+(** {2 Recorded operations — call from client fibers} *)
+
+val op_write : t -> Value.t -> unit
+val op_sign : t -> Value.t -> bool
+val op_read : t -> pid:int -> Value.t
+val op_verify : t -> pid:int -> Value.t -> bool
+
+val client :
+  t -> pid:int -> name:string -> (unit -> unit) -> Lnd_runtime.Sched.fiber
+(** Spawn a client fiber for a process. *)
+
+val run :
+  ?max_steps:int ->
+  ?until:(Lnd_runtime.Sched.t -> bool) ->
+  t ->
+  Lnd_runtime.Sched.stop_reason
+
+val byz_linearizable : ?node_budget:int -> t -> bool
+(** Byzantine linearizability of the recorded history (Theorem 14). *)

@@ -1,0 +1,222 @@
+(* Algorithm 1 — signature-free SWMR multivalued verifiable register,
+   writable by process p0 (the paper's p1) and readable by p1..p(n-1),
+   for n >= 3f + 1.
+
+   Register layout (one [regs] per verifiable register instance):
+     rstar        R*    SWMR, owner p0, holds the current value (init v0)
+     r.(i)        R_i   SWMR, owner p_i, set of values p_i witnesses
+     rjk.(j).(k)  R_jk  SWSR, owner p_j, reader p_k (k >= 1),
+                        holds ⟨witness set, timestamp⟩
+     c.(k)        C_k   SWMR, owner p_k (k >= 1), round counter
+
+   Every correct process must run [help] as a background fiber; operations
+   are called from the owner process's operation fiber. All register reads
+   decode defensively: ill-typed contents written by a Byzantine owner are
+   treated as the register's initial value. *)
+
+open Lnd_support
+open Lnd_runtime
+
+type config = { n : int; f : int }
+
+let check_config { n; f } =
+  if f < 0 || n < 2 then invalid_arg "Verifiable: need n >= 2, f >= 0"
+
+(* [alloc] does not insist on n > 3f: the optimality experiments of
+   Section 8 deliberately instantiate the algorithm outside its safe zone
+   (n <= 3f) to exhibit the impossibility of Theorem 23. *)
+
+type regs = {
+  cfg : config;
+  rstar : Cell.t;
+  r : Cell.t array;
+  rjk : Cell.t array array; (* rjk.(j).(k); row k = 0 unused *)
+  c : Cell.t array; (* c.(0) unused *)
+}
+
+module VSet = Value.Set
+
+(* Allocate the register layout through an arbitrary cell allocator: the
+   shared-memory one (the base model) or an emulated one (Section 9). *)
+let alloc_with (mk : Cell.allocator) (cfg : config) : regs =
+  check_config cfg;
+  let n = cfg.n in
+  let rstar = mk ~name:"R*" ~owner:0 ~init:(Univ.inj Codecs.value Value.v0) () in
+  let r =
+    Array.init n (fun i ->
+        mk
+          ~name:(Printf.sprintf "R_%d" i)
+          ~owner:i
+          ~init:(Univ.inj Codecs.vset VSet.empty)
+          ())
+  in
+  let rjk =
+    Array.init n (fun j ->
+        Array.init n (fun k ->
+            if k = 0 then r.(0) (* placeholder, never used *)
+            else
+              mk
+                ~name:(Printf.sprintf "R_{%d,%d}" j k)
+                ~owner:j ~single_reader:k
+                ~init:(Univ.inj Codecs.vset_stamped (VSet.empty, 0))
+                ()))
+  in
+  let c =
+    Array.init n (fun k ->
+        if k = 0 then rstar (* placeholder, never used *)
+        else
+          mk
+            ~name:(Printf.sprintf "C_%d" k)
+            ~owner:k
+            ~init:(Univ.inj Codecs.counter 0)
+            ())
+  in
+  { cfg; rstar; r; rjk; c }
+
+let alloc space (cfg : config) : regs = alloc_with (Cell.shm_allocator space) cfg
+
+(* Defensive decoders. *)
+let read_value reg = Univ.prj_default Codecs.value ~default:Value.v0 (Cell.read reg)
+let read_vset reg = Univ.prj_default Codecs.vset ~default:VSet.empty (Cell.read reg)
+
+let read_stamped reg =
+  Univ.prj_default Codecs.vset_stamped ~default:(VSet.empty, 0) (Cell.read reg)
+
+let read_counter reg = Univ.prj_default Codecs.counter ~default:0 (Cell.read reg)
+
+(* ---------------- Writer (p0) ---------------- *)
+
+type writer = { w_regs : regs; mutable written : VSet.t (* the local set r* *) }
+
+let writer (rg : regs) : writer = { w_regs = rg; written = VSet.empty }
+
+(* WRITE(v): lines 1-3. *)
+let write (w : writer) (v : Value.t) : unit =
+  Cell.write w.w_regs.rstar (Univ.inj Codecs.value v);
+  w.written <- VSet.add v w.written
+
+(* SIGN(v): lines 4-8. Returns true for SUCCESS, false for FAIL. *)
+let sign (w : writer) (v : Value.t) : bool =
+  if VSet.mem v w.written then begin
+    let r1 = read_vset w.w_regs.r.(0) in
+    Cell.write w.w_regs.r.(0) (Univ.inj Codecs.vset (VSet.add v r1));
+    true
+  end
+  else false
+
+(* ---------------- Readers (p1 .. p(n-1)) ---------------- *)
+
+type reader = { rd_regs : regs; rd_pid : int; mutable ck : int }
+
+let reader (rg : regs) ~pid : reader =
+  if pid <= 0 || pid >= rg.cfg.n then invalid_arg "Verifiable.reader: bad pid";
+  { rd_regs = rg; rd_pid = pid; ck = 0 }
+
+(* READ(): lines 9-10. *)
+let read (rd : reader) : Value.t = read_value rd.rd_regs.rstar
+
+module PidSet = Set.Make (Int)
+
+(* VERIFY(v): lines 11-24. Terminates for any correct reader when n > 3f
+   (Theorem 40); outside that bound it may loop, so callers running
+   deliberately-broken configurations should bound scheduler steps. *)
+let verify (rd : reader) (v : Value.t) : bool =
+  let { n; f } = rd.rd_regs.cfg in
+  let set0 = ref PidSet.empty and set1 = ref PidSet.empty in
+  let result = ref None in
+  while !result = None do
+    (* line 13: announce a new round *)
+    rd.ck <- rd.ck + 1;
+    Cell.write rd.rd_regs.c.(rd.rd_pid) (Univ.inj Codecs.counter rd.ck);
+    (* lines 14-17: poll processes outside set0 ∪ set1 until one has
+       replied for this round (c_j >= C_k) *)
+    let reply = ref None in
+    while !reply = None do
+      let polled_any = ref false in
+      for j = 0 to n - 1 do
+        if
+          !reply = None
+          && (not (PidSet.mem j !set0))
+          && not (PidSet.mem j !set1)
+        then begin
+          polled_any := true;
+          let rj, cj = read_stamped rd.rd_regs.rjk.(j).(rd.rd_pid) in
+          if cj >= rd.ck then reply := Some (j, rj)
+        end
+      done;
+      (* Unreachable when n > 3f (Lemma 35); keeps the fiber live on
+         deliberately broken configurations. *)
+      if not !polled_any then Sched.yield ()
+    done;
+    (match !reply with
+    | None -> assert false
+    | Some (j, rj) ->
+        if VSet.mem v rj then begin
+          (* lines 18-20 *)
+          set1 := PidSet.add j !set1;
+          set0 := PidSet.empty
+        end
+        else
+          (* lines 21-22 *)
+          set0 := PidSet.add j !set0);
+    (* lines 23-24 *)
+    if PidSet.cardinal !set1 >= n - f then result := Some true
+    else if PidSet.cardinal !set0 > f then result := Some false
+  done;
+  Option.get !result
+
+(* ---------------- Help() — lines 25-36 ---------------- *)
+
+(* Run forever as a daemon fiber of process [pid]; assists all ongoing
+   VERIFY operations by maintaining the witness set R_pid and answering
+   askers through R_{pid,k}. *)
+let help (rg : regs) ~pid : unit =
+  let { n; f } = rg.cfg in
+  let prev_c = Array.make n 0 in
+  while true do
+    (* line 27: read every reader's round counter *)
+    let cks = Array.make n 0 in
+    for k = 1 to n - 1 do
+      cks.(k) <- read_counter rg.c.(k)
+    done;
+    (* line 28 *)
+    let askers = ref [] in
+    for k = n - 1 downto 1 do
+      if cks.(k) > prev_c.(k) then askers := k :: !askers
+    done;
+    if !askers <> [] then begin
+      (* line 30: read every witness set *)
+      let rsets = Array.init n (fun i -> read_vset rg.r.(i)) in
+      (* lines 31-32: become a witness of every value v that the writer
+         signed (v ∈ R_0) or that already has f+1 witnesses *)
+      let mine = ref (read_vset rg.r.(pid)) in
+      let candidates =
+        Array.fold_left (fun acc s -> VSet.union acc s) VSet.empty rsets
+      in
+      let adopted =
+        VSet.filter
+          (fun v ->
+            VSet.mem v rsets.(0)
+            || Array.fold_left
+                 (fun cnt s -> if VSet.mem v s then cnt + 1 else cnt)
+                 0 rsets
+               >= f + 1)
+          candidates
+      in
+      let updated = VSet.union !mine adopted in
+      if not (VSet.equal updated !mine) then begin
+        Cell.write rg.r.(pid) (Univ.inj Codecs.vset updated);
+        mine := updated
+      end;
+      (* line 33 *)
+      let rj = read_vset rg.r.(pid) in
+      (* lines 34-36: answer each asker for its current round *)
+      List.iter
+        (fun k ->
+          Cell.write rg.rjk.(pid).(k)
+            (Univ.inj Codecs.vset_stamped (rj, cks.(k)));
+          prev_c.(k) <- cks.(k))
+        !askers
+    end
+    else Sched.yield ()
+  done

@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest Array Cell Codecs List Lnd_runtime Lnd_shm Lnd_sticky Lnd_support Lnd_verifiable Policy Printf Register Sched Space String Univ Value

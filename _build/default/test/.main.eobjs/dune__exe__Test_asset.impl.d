@@ -1,0 +1,1 @@
+test/test_asset.ml: Alcotest Array Format List Lnd_asset Lnd_broadcast Lnd_byz Lnd_history Lnd_runtime Lnd_shm Policy Printf Sched Space

@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Alcotest Array List Lnd_broadcast Lnd_byz Lnd_runtime Lnd_shm Policy Printexc Printf Sched Space

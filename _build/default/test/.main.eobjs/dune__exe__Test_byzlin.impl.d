@@ -1,0 +1,1 @@
+test/test_byzlin.ml: Alcotest Lnd_history

@@ -1,0 +1,1 @@
+test/test_composition.ml: Alcotest Cell List Lnd_runtime Lnd_shm Lnd_sticky Lnd_verifiable Option Policy Printexc Printf Sched Space

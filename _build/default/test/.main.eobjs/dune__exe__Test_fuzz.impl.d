@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Format List Lnd_fuzz

@@ -1,0 +1,1 @@
+test/test_impossibility.ml: Alcotest List Lnd_testorset Printf

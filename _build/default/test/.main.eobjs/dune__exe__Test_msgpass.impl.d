@@ -1,0 +1,1 @@
+test/test_msgpass.ml: Alcotest Array Cell Codecs List Lnd_history Lnd_msgpass Lnd_runtime Lnd_shm Lnd_sticky Lnd_support Lnd_verifiable Option Policy Printexc Printf Sched Space Univ Value

@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Array List Lnd_byz Lnd_history Lnd_runtime Lnd_sticky Lnd_verifiable Policy Printf Sched

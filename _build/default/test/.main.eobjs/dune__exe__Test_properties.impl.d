@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Codecs List Lnd_byz Lnd_history Lnd_runtime Lnd_sticky Lnd_support Lnd_testorset Lnd_verifiable Printf QCheck QCheck_alcotest Rng Univ Value

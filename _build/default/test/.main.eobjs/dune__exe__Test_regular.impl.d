@@ -1,0 +1,1 @@
+test/test_regular.ml: Alcotest Array Cell List Lnd_byz Lnd_history Lnd_runtime Lnd_shm Lnd_sticky Lnd_support Lnd_verifiable Policy Printf Rng Sched Space String

@@ -1,0 +1,1 @@
+test/test_reliable.ml: Alcotest Array List Lnd_broadcast Lnd_byz Lnd_msgpass Lnd_runtime Lnd_shm Lnd_support Option Policy Printf Sched Space String Univ

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Explore List Lnd_runtime Lnd_shm Lnd_sticky Lnd_support Policy Register Sched Space String Univ

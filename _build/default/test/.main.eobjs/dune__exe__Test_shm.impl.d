@@ -1,0 +1,1 @@
+test/test_shm.ml: Alcotest Format List Lnd_shm Lnd_support Space Univ

@@ -1,0 +1,1 @@
+test/test_sigbase.ml: Alcotest Array Lnd_crypto Lnd_runtime Lnd_shm Lnd_sigbase Lnd_support Policy Printexc Printf Sched Space Univ

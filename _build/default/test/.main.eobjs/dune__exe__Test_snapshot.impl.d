@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Array Cell Codecs List Lnd_runtime Lnd_shm Lnd_snapshot Lnd_support Lnd_verifiable Policy Printexc Printf Sched Space Univ Value

@@ -1,0 +1,1 @@
+test/test_sticky.ml: Alcotest Array List Lnd_runtime Lnd_sticky Printexc Printf

@@ -1,0 +1,1 @@
+test/test_sticky_byz.ml: Alcotest Array List Lnd_byz Lnd_history Lnd_runtime Lnd_sticky Printexc Printf

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Codecs Format Int List Lnd_support Rng Univ Value

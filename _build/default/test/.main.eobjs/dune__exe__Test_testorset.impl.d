@@ -1,0 +1,1 @@
+test/test_testorset.ml: Alcotest Array List Lnd_byz Lnd_runtime Lnd_testorset Printexc Printf

@@ -1,0 +1,1 @@
+test/test_trace_invariants.ml: Alcotest Array Codecs Format List Lnd_byz Lnd_history Lnd_runtime Lnd_shm Lnd_sticky Lnd_support Lnd_verifiable Printf Space Univ Value

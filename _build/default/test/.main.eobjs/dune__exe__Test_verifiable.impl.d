@@ -1,0 +1,1 @@
+test/test_verifiable.ml: Alcotest Array List Lnd_history Lnd_runtime Lnd_support Lnd_verifiable Printexc Printf Value

@@ -1,0 +1,1 @@
+test/test_verifiable_byz.ml: Alcotest Array List Lnd_byz Lnd_history Lnd_runtime Lnd_support Lnd_verifiable Printexc Printf

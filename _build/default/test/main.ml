@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "lie_not_deny"
+    [
+      ("support", Test_support.tests);
+      ("shm", Test_shm.tests);
+      ("runtime", Test_runtime.tests);
+      ("history", Test_history.tests);
+      ("verifiable", Test_verifiable.tests);
+      ("verifiable-byzantine", Test_verifiable_byz.tests);
+      ("sticky", Test_sticky.tests);
+      ("sticky-byzantine", Test_sticky_byz.tests);
+      ("byzantine-linearizability", Test_byzlin.tests);
+      ("test-or-set", Test_testorset.tests);
+      ("impossibility", Test_impossibility.tests);
+      ("crypto", Test_crypto.tests);
+      ("signature-baseline", Test_sigbase.tests);
+      ("message-passing", Test_msgpass.tests);
+      ("broadcast", Test_broadcast.tests);
+      ("snapshot", Test_snapshot.tests);
+      ("ablation", Test_ablation.tests);
+      ("reliable-broadcast", Test_reliable.tests);
+      ("asset-transfer", Test_asset.tests);
+      ("monitors", Test_monitors.tests);
+      ("fuzz", Test_fuzz.tests);
+      ("regular-registers", Test_regular.tests);
+      ("trace-invariants", Test_trace_invariants.tests);
+      ("composition", Test_composition.tests);
+      ("policies", Test_policies.tests);
+      ("properties", Test_properties.tests);
+    ]

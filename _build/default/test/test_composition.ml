@@ -1,0 +1,118 @@
+(* Composition: several register instances coexisting in one space, with
+   different writers — a regression guard against hidden global state
+   (Univ keys and register names are shared across instances). *)
+
+open Lnd_shm
+open Lnd_runtime
+module Vr = Lnd_verifiable.Verifiable
+module St = Lnd_sticky.Sticky
+
+let run_ok ?(max_steps = 8_000_000) sched =
+  match Sched.run ~max_steps sched with
+  | Sched.Quiescent ->
+      (match Sched.failures sched with
+      | [] -> ()
+      | ((f : Sched.fiber), e) :: _ ->
+          Alcotest.failf "fiber %s failed: %s" f.Sched.fname
+            (Printexc.to_string e))
+  | Sched.Budget_exhausted -> Alcotest.fail "step budget exhausted"
+  | Sched.Condition_met -> ()
+
+(* Allocator that rotates ownership so that [writer] plays virtual p0. *)
+let rotated space ~n ~writer : Cell.allocator =
+  let to_real v = (v + writer) mod n in
+  fun ~name ~owner ?single_reader ~init () ->
+    Cell.shm_allocator space
+      ~name:(Printf.sprintf "w%d.%s" writer name)
+      ~owner:(to_real owner)
+      ?single_reader:(Option.map to_real single_reader)
+      ~init ()
+
+(* Two verifiable registers with different writers in one space: values
+   signed in one instance must not leak into the other. *)
+let test_two_verifiable_instances () =
+  let n = 4 and f = 1 in
+  let space = Space.create ~n in
+  let sched = Sched.create ~space ~choose:(Policy.random ~seed:31) in
+  let mk writer = Vr.alloc_with (rotated space ~n ~writer) { Vr.n; f } in
+  let ra = mk 0 and rb = mk 1 in
+  (* helps for both instances; virtual pid = (real - writer) mod n *)
+  List.iter
+    (fun (regs, writer) ->
+      for real = 0 to n - 1 do
+        let vpid = ((real - writer) + n) mod n in
+        ignore
+          (Sched.spawn sched ~pid:real
+             ~name:(Printf.sprintf "help-w%d-%d" writer real)
+             ~daemon:true (fun () -> Vr.help regs ~pid:vpid))
+      done)
+    [ (ra, 0); (rb, 1) ];
+  ignore
+    (Sched.spawn sched ~pid:0 ~name:"writerA" (fun () ->
+         let w = Vr.writer ra in
+         Vr.write w "alpha";
+         ignore (Vr.sign w "alpha")));
+  ignore
+    (Sched.spawn sched ~pid:1 ~name:"writerB" (fun () ->
+         let w = Vr.writer rb in
+         Vr.write w "beta";
+         ignore (Vr.sign w "beta")));
+  run_ok sched;
+  (* p2: virtual pid 2 in instance A, virtual pid 1 in instance B *)
+  let results = ref [] in
+  ignore
+    (Sched.spawn sched ~pid:2 ~name:"checker" (fun () ->
+         let rda = Vr.reader ra ~pid:2 in
+         let rdb = Vr.reader rb ~pid:1 in
+         results :=
+           [
+             ("A signed alpha", Vr.verify rda "alpha");
+             ("A did not sign beta", not (Vr.verify rda "beta"));
+             ("B signed beta", Vr.verify rdb "beta");
+             ("B did not sign alpha", not (Vr.verify rdb "alpha"));
+           ]));
+  run_ok sched;
+  List.iter (fun (msg, ok) -> Alcotest.(check bool) msg true ok) !results
+
+(* A verifiable and a sticky register sharing a space. *)
+let test_mixed_instances () =
+  let n = 4 and f = 1 in
+  let space = Space.create ~n in
+  let sched = Sched.create ~space ~choose:(Policy.random ~seed:32) in
+  let vregs = Vr.alloc_with (rotated space ~n ~writer:0) { Vr.n; f } in
+  let sregs = St.alloc_with (rotated space ~n ~writer:1) { St.n; f } in
+  for real = 0 to n - 1 do
+    ignore
+      (Sched.spawn sched ~pid:real ~name:(Printf.sprintf "vhelp%d" real)
+         ~daemon:true (fun () -> Vr.help vregs ~pid:real));
+    let vpid = ((real - 1) + n) mod n in
+    ignore
+      (Sched.spawn sched ~pid:real ~name:(Printf.sprintf "shelp%d" real)
+         ~daemon:true (fun () -> St.help sregs ~pid:vpid))
+  done;
+  ignore
+    (Sched.spawn sched ~pid:0 ~name:"vwriter" (fun () ->
+         let w = Vr.writer vregs in
+         Vr.write w "v-value";
+         ignore (Vr.sign w "v-value")));
+  ignore
+    (Sched.spawn sched ~pid:1 ~name:"swriter" (fun () ->
+         St.write (St.writer sregs) "s-value"));
+  run_ok sched;
+  let verify_ok = ref false and read_ok = ref None in
+  ignore
+    (Sched.spawn sched ~pid:3 ~name:"checker" (fun () ->
+         verify_ok := Vr.verify (Vr.reader vregs ~pid:3) "v-value";
+         read_ok := St.read (St.reader sregs ~pid:2)));
+  run_ok sched;
+  Alcotest.(check bool) "verifiable instance works" true !verify_ok;
+  Alcotest.(check (option string))
+    "sticky instance works" (Some "s-value") !read_ok
+
+let tests =
+  [
+    Alcotest.test_case "two verifiable instances" `Quick
+      test_two_verifiable_instances;
+    Alcotest.test_case "mixed verifiable + sticky" `Quick
+      test_mixed_instances;
+  ]

@@ -1,0 +1,57 @@
+(* Unit tests for the simulated signature oracle: the three axioms of
+   unforgeable signatures (footnote 1 of the paper). *)
+
+module O = Lnd_crypto.Sigoracle
+
+let test_sign_verify () =
+  let o = O.create () in
+  let s = O.sign o ~by:3 "hello" in
+  Alcotest.(check bool) "valid" true (O.verify o ~signer:3 ~msg:"hello" s)
+
+let test_wrong_signer () =
+  let o = O.create () in
+  let s = O.sign o ~by:3 "hello" in
+  Alcotest.(check bool)
+    "claimed signer mismatch" false
+    (O.verify o ~signer:2 ~msg:"hello" s)
+
+let test_wrong_message () =
+  let o = O.create () in
+  let s = O.sign o ~by:3 "hello" in
+  Alcotest.(check bool)
+    "message mismatch" false
+    (O.verify o ~signer:3 ~msg:"bye" s)
+
+let test_forgery_rejected () =
+  let o = O.create () in
+  ignore (O.sign o ~by:3 "hello");
+  let fake = O.forge ~signer:3 ~msg:"hello" in
+  Alcotest.(check bool) "forgery rejected" false
+    (O.verify o ~signer:3 ~msg:"hello" fake)
+
+let test_transferable () =
+  (* axiom 3: a relayed signature object still verifies for anyone *)
+  let o = O.create () in
+  let s = O.sign o ~by:1 "m" in
+  let relayed = s in
+  Alcotest.(check bool) "relayed still valid" true
+    (O.verify o ~signer:1 ~msg:"m" relayed)
+
+let test_distinct_tokens () =
+  let o = O.create () in
+  let s1 = O.sign o ~by:1 "m" and s2 = O.sign o ~by:1 "m" in
+  Alcotest.(check bool)
+    "re-signing yields distinct tokens" true
+    (s1.O.token <> s2.O.token);
+  Alcotest.(check bool) "both valid" true
+    (O.verify o ~signer:1 ~msg:"m" s1 && O.verify o ~signer:1 ~msg:"m" s2)
+
+let tests =
+  [
+    Alcotest.test_case "sign/verify" `Quick test_sign_verify;
+    Alcotest.test_case "wrong signer" `Quick test_wrong_signer;
+    Alcotest.test_case "wrong message" `Quick test_wrong_message;
+    Alcotest.test_case "forgery rejected" `Quick test_forgery_rejected;
+    Alcotest.test_case "transferable" `Quick test_transferable;
+    Alcotest.test_case "distinct tokens" `Quick test_distinct_tokens;
+  ]

@@ -1,0 +1,51 @@
+(* The scenario fuzzer: every generated scenario must pass all its
+   property checks. One seed = one deterministic scenario, so a failure
+   message names the exact reproducer. *)
+
+module Fuzz = Lnd_fuzz.Fuzz
+
+let run_range ~from ~count () =
+  for seed = from to from + count - 1 do
+    let scenario = Fuzz.generate seed in
+    match Fuzz.run scenario with
+    | Ok _ -> ()
+    | Error msg ->
+        Alcotest.failf "fuzz failure [%s]: %s"
+          (Format.asprintf "%a" Fuzz.pp_scenario scenario)
+          msg
+  done
+
+(* The generator covers both targets and many adversaries within a modest
+   seed range (guards against a degenerate generator). *)
+let test_generator_coverage () =
+  let scenarios = List.init 200 Fuzz.generate in
+  let targets =
+    List.sort_uniq compare
+      (List.map (fun (s : Fuzz.scenario) -> s.Fuzz.target) scenarios)
+  in
+  let adversaries =
+    List.sort_uniq compare
+      (List.map (fun (s : Fuzz.scenario) -> s.Fuzz.adversary) scenarios)
+  in
+  Alcotest.(check int) "both targets generated" 2 (List.length targets);
+  Alcotest.(check bool)
+    "at least 7 adversary kinds generated" true
+    (List.length adversaries >= 7)
+
+let test_determinism () =
+  (* same seed, same scenario *)
+  Alcotest.(check bool)
+    "generation deterministic" true
+    (Fuzz.generate 12345 = Fuzz.generate 12345)
+
+let tests =
+  [
+    Alcotest.test_case "generator coverage" `Quick test_generator_coverage;
+    Alcotest.test_case "generator determinism" `Quick test_determinism;
+    Alcotest.test_case "seeds 0-39" `Quick (run_range ~from:0 ~count:40);
+    Alcotest.test_case "seeds 40-79" `Quick (run_range ~from:40 ~count:40);
+    Alcotest.test_case "seeds 80-119" `Slow (run_range ~from:80 ~count:40);
+    Alcotest.test_case "seeds 120-159" `Slow (run_range ~from:120 ~count:40);
+    Alcotest.test_case "seeds 160-199" `Slow (run_range ~from:160 ~count:40);
+    Alcotest.test_case "seeds 200-239" `Slow (run_range ~from:200 ~count:40);
+  ]

@@ -1,0 +1,135 @@
+(* Unit tests for histories, sequential specs, and the generic
+   linearizability checker on handcrafted histories. *)
+
+module History = Lnd_history.History
+module Spec = Lnd_history.Spec
+module R = Spec.Register_spec
+module S = Spec.Sticky_spec
+module RC = Spec.Checker (R)
+module SC = Spec.Checker (S)
+
+let entry pid op inv ret rt : (R.op, R.res) History.entry =
+  { History.pid; op; inv; ret = Some (ret, rt) }
+
+let hist entries : (R.op, R.res) History.t = { History.entries }
+
+(* Sequential write-then-read is linearizable. *)
+let test_sequential_ok () =
+  let h =
+    hist [ entry 0 (R.Write "a") 1 R.Done 2; entry 1 R.Read 3 (R.Val "a") 4 ]
+  in
+  Alcotest.(check bool) "linearizable" true (RC.linearizable h)
+
+(* Reading a stale value after a completed write is not linearizable. *)
+let test_stale_read () =
+  let h =
+    hist
+      [
+        entry 0 (R.Write "a") 1 R.Done 2;
+        entry 1 R.Read 3 (R.Val Lnd_support.Value.v0) 4;
+      ]
+  in
+  Alcotest.(check bool) "not linearizable" false (RC.linearizable h)
+
+(* A read concurrent with a write may return old or new value. *)
+let test_concurrent_read () =
+  let old_ok =
+    hist
+      [
+        entry 0 (R.Write "a") 1 R.Done 10;
+        entry 1 R.Read 2 (R.Val Lnd_support.Value.v0) 3;
+      ]
+  in
+  let new_ok =
+    hist [ entry 0 (R.Write "a") 1 R.Done 10; entry 1 R.Read 2 (R.Val "a") 3 ]
+  in
+  Alcotest.(check bool) "old value ok" true (RC.linearizable old_ok);
+  Alcotest.(check bool) "new value ok" true (RC.linearizable new_ok)
+
+(* New-old inversion between two sequential reads is not linearizable. *)
+let test_new_old_inversion () =
+  let h =
+    hist
+      [
+        entry 0 (R.Write "a") 1 R.Done 20;
+        entry 1 R.Read 2 (R.Val "a") 3;
+        entry 2 R.Read 4 (R.Val Lnd_support.Value.v0) 5;
+      ]
+  in
+  Alcotest.(check bool) "inversion rejected" false (RC.linearizable h)
+
+(* Incomplete operations may be dropped or completed. *)
+let test_incomplete () =
+  let w : (R.op, R.res) History.entry =
+    { History.pid = 0; op = R.Write "a"; inv = 1; ret = None }
+  in
+  (* a read overlapping the incomplete write may see either value *)
+  let h1 = hist [ w; entry 1 R.Read 2 (R.Val "a") 3 ] in
+  let h2 = hist [ w; entry 1 R.Read 2 (R.Val Lnd_support.Value.v0) 3 ] in
+  Alcotest.(check bool) "took effect" true (RC.linearizable h1);
+  Alcotest.(check bool) "dropped" true (RC.linearizable h2)
+
+(* Sticky spec: only the first write sticks. *)
+let sentry pid op inv ret rt : (S.op, S.res) History.entry =
+  { History.pid; op; inv; ret = Some (ret, rt) }
+
+let test_sticky_spec () =
+  let h : (S.op, S.res) History.t =
+    {
+      History.entries =
+        [
+          sentry 0 (S.Write "a") 1 S.Done 2;
+          sentry 0 (S.Write "b") 3 S.Done 4;
+          sentry 1 S.Read 5 (S.Val (Some "a")) 6;
+        ];
+    }
+  in
+  Alcotest.(check bool) "first write sticks" true (SC.linearizable h);
+  let h2 : (S.op, S.res) History.t =
+    {
+      History.entries =
+        [
+          sentry 0 (S.Write "a") 1 S.Done 2;
+          sentry 0 (S.Write "b") 3 S.Done 4;
+          sentry 1 S.Read 5 (S.Val (Some "b")) 6;
+        ];
+    }
+  in
+  Alcotest.(check bool) "second write must not stick" false (SC.linearizable h2)
+
+(* Precedence helpers. *)
+let test_precedence () =
+  let a = entry 0 (R.Write "a") 1 R.Done 2 in
+  let b = entry 1 R.Read 3 (R.Val "a") 4 in
+  let c = entry 2 R.Read 3 (R.Val "a") 10 in
+  Alcotest.(check bool) "a precedes b" true (History.precedes a b);
+  Alcotest.(check bool) "b not precedes a" false (History.precedes b a);
+  Alcotest.(check bool) "b concurrent c" false
+    (History.precedes b c || History.precedes c b)
+
+(* Restriction to correct processes. *)
+let test_restrict () =
+  let h =
+    hist
+      [
+        entry 0 (R.Write "a") 1 R.Done 2;
+        entry 1 R.Read 3 (R.Val "a") 4;
+        entry 2 R.Read 5 (R.Val "zzz") 6;
+      ]
+  in
+  let hc = History.restrict h ~correct:(fun pid -> pid <> 2) in
+  Alcotest.(check int) "restricted size" 2 (List.length (History.entries hc));
+  Alcotest.(check bool) "restricted linearizable" true (RC.linearizable hc)
+
+let tests =
+  [
+    Alcotest.test_case "sequential write/read" `Quick test_sequential_ok;
+    Alcotest.test_case "stale read rejected" `Quick test_stale_read;
+    Alcotest.test_case "concurrent read flexible" `Quick test_concurrent_read;
+    Alcotest.test_case "new-old inversion rejected" `Quick
+      test_new_old_inversion;
+    Alcotest.test_case "incomplete ops" `Quick test_incomplete;
+    Alcotest.test_case "sticky sequential spec" `Quick test_sticky_spec;
+    Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "restrict to correct" `Quick test_restrict;
+  ]

@@ -1,0 +1,174 @@
+(* Unit tests for the streaming property monitors on handcrafted
+   histories: each monitor flags exactly the violations it should. *)
+
+module History = Lnd_history.History
+module Monitors = Lnd_history.Monitors
+module V = Lnd_history.Spec.Verifiable_spec
+module S = Lnd_history.Spec.Sticky_spec
+
+let all_correct _ = true
+let correct_except p pid = pid <> p
+
+let ventry pid op inv ret rt : (V.op, V.res) History.entry =
+  { History.pid; op; inv; ret = Some (ret, rt) }
+
+let vh entries : (V.op, V.res) History.t = { History.entries }
+
+let sentry pid op inv ret rt : (S.op, S.res) History.entry =
+  { History.pid; op; inv; ret = Some (ret, rt) }
+
+let sh entries : (S.op, S.res) History.t = { History.entries }
+
+let test_relay_flags () =
+  let h =
+    vh
+      [
+        ventry 1 (V.Verify "x") 1 (V.Verified true) 2;
+        ventry 2 (V.Verify "x") 3 (V.Verified false) 4;
+      ]
+  in
+  Alcotest.(check int) "one violation" 1
+    (List.length (Monitors.relay ~correct:all_correct h))
+
+let test_relay_ok_on_concurrent () =
+  let h =
+    vh
+      [
+        ventry 1 (V.Verify "x") 1 (V.Verified true) 10;
+        ventry 2 (V.Verify "x") 2 (V.Verified false) 9;
+      ]
+  in
+  Alcotest.(check int) "no violation for concurrent ops" 0
+    (List.length (Monitors.relay ~correct:all_correct h))
+
+let test_relay_distinct_values () =
+  let h =
+    vh
+      [
+        ventry 1 (V.Verify "x") 1 (V.Verified true) 2;
+        ventry 2 (V.Verify "y") 3 (V.Verified false) 4;
+      ]
+  in
+  Alcotest.(check int) "different values don't interact" 0
+    (List.length (Monitors.relay ~correct:all_correct h))
+
+let test_relay_ignores_byz () =
+  let h =
+    vh
+      [
+        ventry 3 (V.Verify "x") 1 (V.Verified true) 2;
+        ventry 2 (V.Verify "x") 3 (V.Verified false) 4;
+      ]
+  in
+  Alcotest.(check int) "byzantine reader excluded" 0
+    (List.length (Monitors.relay ~correct:(correct_except 3) h))
+
+let test_validity_flags () =
+  let h =
+    vh
+      [
+        ventry 0 (V.Sign "x") 1 (V.Signed true) 2;
+        ventry 1 (V.Verify "x") 3 (V.Verified false) 4;
+      ]
+  in
+  Alcotest.(check int) "validity violation flagged" 1
+    (List.length (Monitors.validity ~correct:all_correct h))
+
+let test_unforgeability_flags () =
+  let h = vh [ ventry 1 (V.Verify "x") 1 (V.Verified true) 2 ] in
+  Alcotest.(check int) "unforgeability violation flagged" 1
+    (List.length (Monitors.unforgeability ~correct:all_correct ~writer:0 h));
+  (* with a faulty writer the monitor does not apply *)
+  Alcotest.(check int) "skipped for faulty writer" 0
+    (List.length
+       (Monitors.unforgeability ~correct:(correct_except 0) ~writer:0 h))
+
+let test_unforgeability_concurrent_sign_ok () =
+  let h =
+    vh
+      [
+        ventry 0 (V.Sign "x") 1 (V.Signed true) 10;
+        ventry 1 (V.Verify "x") 2 (V.Verified true) 9;
+      ]
+  in
+  Alcotest.(check int) "concurrent sign justifies verify" 0
+    (List.length (Monitors.unforgeability ~correct:all_correct ~writer:0 h))
+
+let test_uniqueness_flags_disagreement () =
+  let h =
+    sh
+      [
+        sentry 1 S.Read 1 (S.Val (Some "a")) 2;
+        sentry 2 S.Read 3 (S.Val (Some "b")) 4;
+      ]
+  in
+  Alcotest.(check bool) "disagreement flagged" true
+    (List.length (Monitors.uniqueness ~correct:all_correct h) >= 1)
+
+let test_uniqueness_flags_bot_after_value () =
+  let h =
+    sh
+      [
+        sentry 1 S.Read 1 (S.Val (Some "a")) 2;
+        sentry 2 S.Read 3 (S.Val None) 4;
+      ]
+  in
+  Alcotest.(check bool) "⊥-after-value flagged" true
+    (List.length (Monitors.uniqueness ~correct:all_correct h) >= 1)
+
+let test_uniqueness_ok () =
+  let h =
+    sh
+      [
+        sentry 1 S.Read 1 (S.Val None) 2;
+        sentry 2 S.Read 3 (S.Val (Some "a")) 4;
+        sentry 3 S.Read 5 (S.Val (Some "a")) 6;
+      ]
+  in
+  Alcotest.(check int) "clean history passes" 0
+    (List.length (Monitors.uniqueness ~correct:all_correct h))
+
+let test_sticky_validity_flags () =
+  let h =
+    sh
+      [
+        sentry 0 (S.Write "v") 1 S.Done 2;
+        sentry 1 S.Read 3 (S.Val None) 4;
+      ]
+  in
+  Alcotest.(check int) "validity violation flagged" 1
+    (List.length (Monitors.sticky_validity ~correct:all_correct ~writer:0 h));
+  (* a read concurrent with the write is fine *)
+  let h2 =
+    sh
+      [
+        sentry 0 (S.Write "v") 1 S.Done 10;
+        sentry 1 S.Read 3 (S.Val None) 4;
+      ]
+  in
+  Alcotest.(check int) "concurrent read fine" 0
+    (List.length (Monitors.sticky_validity ~correct:all_correct ~writer:0 h2))
+
+let tests =
+  [
+    Alcotest.test_case "relay: flags true-then-false" `Quick test_relay_flags;
+    Alcotest.test_case "relay: concurrent ok" `Quick
+      test_relay_ok_on_concurrent;
+    Alcotest.test_case "relay: distinct values ok" `Quick
+      test_relay_distinct_values;
+    Alcotest.test_case "relay: byzantine excluded" `Quick
+      test_relay_ignores_byz;
+    Alcotest.test_case "validity: flags false-after-sign" `Quick
+      test_validity_flags;
+    Alcotest.test_case "unforgeability: flags and scopes" `Quick
+      test_unforgeability_flags;
+    Alcotest.test_case "unforgeability: concurrent sign ok" `Quick
+      test_unforgeability_concurrent_sign_ok;
+    Alcotest.test_case "uniqueness: flags disagreement" `Quick
+      test_uniqueness_flags_disagreement;
+    Alcotest.test_case "uniqueness: flags bot-after-value" `Quick
+      test_uniqueness_flags_bot_after_value;
+    Alcotest.test_case "uniqueness: clean history" `Quick test_uniqueness_ok;
+    Alcotest.test_case "sticky validity: flags and concurrency" `Quick
+      test_sticky_validity_flags;
+  ]

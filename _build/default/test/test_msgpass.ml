@@ -1,0 +1,435 @@
+(* Message-passing substrate tests: the network, Srikanth-Toueg
+   authenticated broadcast [10], the register emulation, and the Section 9
+   corollary — the sticky register stacked on registers emulated over
+   message passing. *)
+
+open Lnd_support
+open Lnd_shm
+open Lnd_runtime
+module Net = Lnd_msgpass.Net
+module St = Lnd_msgpass.Auth_broadcast
+module Regemu = Lnd_msgpass.Regemu
+
+let run_ok ?(max_steps = 2_000_000) sched =
+  match Sched.run ~max_steps sched with
+  | Sched.Quiescent ->
+      (match Sched.failures sched with
+      | [] -> ()
+      | ((f : Sched.fiber), e) :: _ ->
+          Alcotest.failf "fiber %s failed: %s" f.Sched.fname
+            (Printexc.to_string e))
+  | Sched.Budget_exhausted -> Alcotest.fail "step budget exhausted"
+  | Sched.Condition_met -> ()
+
+(* ---------------- Net ---------------- *)
+
+let test_net_fifo () =
+  let space = Space.create ~n:2 in
+  let sched = Sched.create ~space ~choose:(Policy.round_robin ()) in
+  let net = Net.create space ~n:2 in
+  let got = ref [] in
+  ignore
+    (Sched.spawn sched ~pid:0 ~name:"sender" (fun () ->
+         let p = Net.port net ~pid:0 in
+         Net.send p ~dst:1 (Univ.inj Univ.int 1);
+         Net.send p ~dst:1 (Univ.inj Univ.int 2);
+         Net.send p ~dst:1 (Univ.inj Univ.int 3)));
+  run_ok sched;
+  ignore
+    (Sched.spawn sched ~pid:1 ~name:"receiver" (fun () ->
+         let p = Net.port net ~pid:1 in
+         got :=
+           List.filter_map (fun u -> Univ.prj Univ.int u) (Net.poll_from p ~src:0)));
+  run_ok sched;
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ] !got
+
+let test_net_cursor () =
+  let space = Space.create ~n:2 in
+  let sched = Sched.create ~space ~choose:(Policy.round_robin ()) in
+  let net = Net.create space ~n:2 in
+  ignore
+    (Sched.spawn sched ~pid:0 ~name:"sender" (fun () ->
+         let p = Net.port net ~pid:0 in
+         Net.send p ~dst:1 (Univ.inj Univ.int 1)));
+  run_ok sched;
+  let first = ref [] and second = ref [] in
+  ignore
+    (Sched.spawn sched ~pid:1 ~name:"receiver" (fun () ->
+         let p = Net.port net ~pid:1 in
+         first := Net.poll_from p ~src:0;
+         second := Net.poll_from p ~src:0));
+  run_ok sched;
+  Alcotest.(check int) "first poll sees it" 1 (List.length !first);
+  Alcotest.(check int) "second poll sees nothing new" 0 (List.length !second)
+
+let test_net_no_forgery () =
+  (* a process cannot write into another's channel *)
+  let space = Space.create ~n:3 in
+  let sched = Sched.create ~space ~choose:(Policy.round_robin ()) in
+  let net = Net.create space ~n:3 in
+  let caught = ref false in
+  ignore
+    (Sched.spawn sched ~pid:2 ~name:"byz" (fun () ->
+         (* try to write the 0→1 channel directly *)
+         try Sched.write net.Net.chan.(0).(1) (Univ.inj Univ.int 666)
+         with Space.Permission_violation _ -> caught := true));
+  run_ok sched;
+  Alcotest.(check bool) "channel forgery blocked" true !caught
+
+(* ---------------- Srikanth-Toueg broadcast ---------------- *)
+
+type st_sys = {
+  sched : Sched.t;
+  net : Net.t;
+  procs : St.t option array;
+  accepted : (int * Value.t * int) list ref array; (* per pid *)
+}
+
+let mk_st ?(seed = 5) ~n ~f ~byzantine () : st_sys =
+  let space = Space.create ~n in
+  let sched = Sched.create ~space ~choose:(Policy.random ~seed) in
+  let net = Net.create space ~n in
+  let accepted = Array.init n (fun _ -> ref []) in
+  let procs =
+    Array.init n (fun pid ->
+        if List.mem pid byzantine then None
+        else begin
+          let port = Net.port net ~pid in
+          let t =
+            St.create port ~n ~f ~accept_cb:(fun ~sender ~value ~seq ->
+                accepted.(pid) := (sender, value, seq) :: !(accepted.(pid)))
+          in
+          ignore
+            (Sched.spawn sched ~pid ~name:(Printf.sprintf "st%d" pid)
+               ~daemon:true (fun () -> St.daemon t));
+          Some t
+        end)
+  in
+  { sched; net; procs; accepted }
+
+(* A "drain" client that keeps the run alive long enough for daemons to
+   converge: takes [steps] no-op scheduling turns. *)
+let spawn_drain (s : st_sys) ~steps =
+  ignore
+    (Sched.spawn s.sched ~pid:0 ~name:"drain" (fun () ->
+         for _ = 1 to steps do
+           Sched.yield ()
+         done))
+
+let test_st_correct_sender () =
+  let n = 4 and f = 1 in
+  let s = mk_st ~n ~f ~byzantine:[] () in
+  ignore
+    (Sched.spawn s.sched ~pid:0 ~name:"bcast" (fun () ->
+         ignore (St.broadcast (Option.get s.procs.(0)) "hello")));
+  spawn_drain s ~steps:2000;
+  run_ok s.sched;
+  for pid = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "p%d accepted" pid)
+      true
+      (List.mem (0, "hello", 0) !(s.accepted.(pid)))
+  done
+
+(* A Byzantine sender that inits only f+1 processes: by the relay rule,
+   either nobody or everybody (correct) accepts — and with f+1 correct
+   echoes everyone does. *)
+let test_st_relay () =
+  let n = 4 and f = 1 in
+  let s = mk_st ~n ~f ~byzantine:[ 0 ] () in
+  ignore
+    (Sched.spawn s.sched ~pid:0 ~name:"byz-sender" (fun () ->
+         let p = Net.port s.net ~pid:0 in
+         (* init only p1 and p2, not p3 *)
+         let m =
+           Univ.inj St.bmsg_key
+             { St.tag = St.Init; sender = 0; value = "partial"; seq = 0 }
+         in
+         Net.send p ~dst:1 m;
+         Net.send p ~dst:2 m));
+  spawn_drain s ~steps:4000;
+  run_ok s.sched;
+  let accepted pid = List.mem (0, "partial", 0) !(s.accepted.(pid)) in
+  (* RELAY: all correct processes agree on acceptance *)
+  Alcotest.(check bool) "p1 = p2" true (accepted 1 = accepted 2);
+  Alcotest.(check bool) "p2 = p3" true (accepted 2 = accepted 3);
+  (* and with f+1 = 2 correct echoes they do all accept *)
+  Alcotest.(check bool) "all accepted" true (accepted 1 && accepted 3)
+
+(* Unforgeability: f Byzantine processes echoing a message the sender
+   never broadcast cannot get it accepted (needs 2f+1 echoes). *)
+let test_st_unforgeability () =
+  let n = 4 and f = 1 in
+  let s = mk_st ~n ~f ~byzantine:[ 3 ] () in
+  ignore
+    (Sched.spawn s.sched ~pid:3 ~name:"byz-echoer" (fun () ->
+         let p = Net.port s.net ~pid:3 in
+         let m =
+           Univ.inj St.bmsg_key
+             { St.tag = St.Echo; sender = 0; value = "fake"; seq = 0 }
+         in
+         Net.broadcast p m;
+         Net.broadcast p m));
+  spawn_drain s ~steps:3000;
+  run_ok s.sched;
+  for pid = 0 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "p%d did not accept fake" pid)
+      false
+      (List.mem (0, "fake", 0) !(s.accepted.(pid)))
+  done
+
+(* NON-uniqueness: a Byzantine sender can get TWO different messages with
+   the same sequence number accepted — the gap sticky registers close
+   (Section 1.2). *)
+let test_st_no_uniqueness () =
+  let n = 4 and f = 1 in
+  let s = mk_st ~n ~f ~byzantine:[ 0 ] () in
+  ignore
+    (Sched.spawn s.sched ~pid:0 ~name:"byz-equivocator" (fun () ->
+         let p = Net.port s.net ~pid:0 in
+         let m v =
+           Univ.inj St.bmsg_key { St.tag = St.Init; sender = 0; value = v; seq = 0 }
+         in
+         Net.broadcast p (m "a");
+         Net.broadcast p (m "b")));
+  spawn_drain s ~steps:4000;
+  run_ok s.sched;
+  let p1 = !(s.accepted.(1)) in
+  Alcotest.(check bool)
+    "both equivocating messages accepted (no uniqueness)" true
+    (List.mem (0, "a", 0) p1 && List.mem (0, "b", 0) p1)
+
+(* ---------------- Register emulation ---------------- *)
+
+type emu_sys = { sched : Sched.t; emu : Regemu.t }
+
+let mk_emu ?(seed = 7) ~n ~f ~byzantine () : emu_sys =
+  let space = Space.create ~n in
+  let sched = Sched.create ~space ~choose:(Policy.random ~seed) in
+  let emu = Regemu.create space ~n ~f in
+  for pid = 0 to n - 1 do
+    if not (List.mem pid byzantine) then
+      ignore
+        (Sched.spawn sched ~pid ~name:(Printf.sprintf "replica%d" pid)
+           ~daemon:true (fun () -> Regemu.replica_daemon emu ~pid))
+  done;
+  { sched; emu }
+
+let test_emu_write_read () =
+  let s = mk_emu ~n:4 ~f:1 ~byzantine:[] () in
+  let cell =
+    Regemu.allocator s.emu ~name:"x" ~owner:0 ~init:(Univ.inj Univ.int 0) ()
+  in
+  ignore
+    (Sched.spawn s.sched ~pid:0 ~name:"writer" (fun () ->
+         Cell.write cell (Univ.inj Univ.int 41);
+         Cell.write cell (Univ.inj Univ.int 42)));
+  run_ok s.sched;
+  let got = ref (-1) in
+  ignore
+    (Sched.spawn s.sched ~pid:1 ~name:"reader" (fun () ->
+         got := Univ.prj_default Univ.int ~default:(-1) (Cell.read cell)));
+  run_ok s.sched;
+  Alcotest.(check int) "emulated read returns last write" 42 !got
+
+let test_emu_initial_value () =
+  let s = mk_emu ~n:4 ~f:1 ~byzantine:[] () in
+  let cell =
+    Regemu.allocator s.emu ~name:"x" ~owner:0 ~init:(Univ.inj Univ.int 7) ()
+  in
+  let got = ref (-1) in
+  ignore
+    (Sched.spawn s.sched ~pid:2 ~name:"reader" (fun () ->
+         got := Univ.prj_default Univ.int ~default:(-1) (Cell.read cell)));
+  run_ok s.sched;
+  Alcotest.(check int) "initial value" 7 !got
+
+let test_emu_non_owner_write_rejected () =
+  let s = mk_emu ~n:4 ~f:1 ~byzantine:[] () in
+  let cell =
+    Regemu.allocator s.emu ~name:"x" ~owner:0 ~init:(Univ.inj Univ.int 0) ()
+  in
+  let caught = ref false in
+  ignore
+    (Sched.spawn s.sched ~pid:1 ~name:"intruder" (fun () ->
+         try Cell.write cell (Univ.inj Univ.int 9)
+         with Space.Permission_violation _ -> caught := true));
+  run_ok s.sched;
+  Alcotest.(check bool) "emulated write port enforced" true !caught
+
+(* Crashed replica (f of them silent): operations still complete. *)
+let test_emu_with_crash () =
+  let s = mk_emu ~n:4 ~f:1 ~byzantine:[ 3 ] () in
+  let cell =
+    Regemu.allocator s.emu ~name:"x" ~owner:0 ~init:(Univ.inj Univ.int 0) ()
+  in
+  let got = ref (-1) in
+  ignore
+    (Sched.spawn s.sched ~pid:0 ~name:"writer" (fun () ->
+         Cell.write cell (Univ.inj Univ.int 5)));
+  run_ok s.sched;
+  ignore
+    (Sched.spawn s.sched ~pid:1 ~name:"reader" (fun () ->
+         got := Univ.prj_default Univ.int ~default:(-1) (Cell.read cell)));
+  run_ok s.sched;
+  Alcotest.(check int) "write/read with crashed replica" 5 !got
+
+(* Linearizability of emulated-register histories under concurrency, per
+   recorded run (see DESIGN.md: empirical check of the emulation). *)
+let test_emu_linearizable ~seed () =
+  let module R = Lnd_history.Spec.Register_spec in
+  let module RC = Lnd_history.Spec.Checker (R) in
+  let s = mk_emu ~seed ~n:4 ~f:1 ~byzantine:[] () in
+  let cell =
+    Regemu.allocator s.emu ~name:"x" ~owner:0
+      ~init:(Univ.inj Codecs.value Value.v0) ()
+  in
+  let h : (R.op, R.res) Lnd_history.History.t = Lnd_history.History.create () in
+  ignore
+    (Sched.spawn s.sched ~pid:0 ~name:"writer" (fun () ->
+         List.iter
+           (fun v ->
+             ignore
+               (Lnd_history.History.record h ~pid:0 (R.Write v) (fun () ->
+                    Cell.write cell (Univ.inj Codecs.value v);
+                    R.Done)))
+           [ "a"; "b" ]));
+  for pid = 1 to 3 do
+    ignore
+      (Sched.spawn s.sched ~pid ~name:(Printf.sprintf "reader%d" pid)
+         (fun () ->
+           for _ = 1 to 2 do
+             ignore
+               (Lnd_history.History.record h ~pid R.Read (fun () ->
+                    R.Val
+                      (Univ.prj_default Codecs.value ~default:Value.v0
+                         (Cell.read cell))))
+           done))
+  done;
+  run_ok s.sched;
+  Alcotest.(check bool) "emulated register linearizable" true
+    (RC.linearizable h)
+
+(* ---------------- Section 9: sticky over emulated registers ------- *)
+
+let test_sticky_over_msgpass () =
+  let n = 4 and f = 1 in
+  let s = mk_emu ~seed:11 ~n ~f ~byzantine:[] () in
+  let module Sticky = Lnd_sticky.Sticky in
+  let regs = Sticky.alloc_with (Regemu.allocator s.emu) { Sticky.n; f } in
+  (* sticky Help daemons on top of the emulation *)
+  for pid = 0 to n - 1 do
+    ignore
+      (Sched.spawn s.sched ~pid ~name:(Printf.sprintf "sticky-help%d" pid)
+         ~daemon:true (fun () -> Sticky.help regs ~pid))
+  done;
+  let writer = Sticky.writer regs in
+  ignore
+    (Sched.spawn s.sched ~pid:0 ~name:"writer" (fun () ->
+         Sticky.write writer "over-msgpass"));
+  run_ok ~max_steps:30_000_000 s.sched;
+  for pid = 1 to n - 1 do
+    let got = ref None in
+    ignore
+      (Sched.spawn s.sched ~pid ~name:(Printf.sprintf "reader%d" pid)
+         (fun () -> got := Sticky.read (Sticky.reader regs ~pid)));
+    run_ok ~max_steps:30_000_000 s.sched;
+    Alcotest.(check (option string))
+      (Printf.sprintf "sticky-over-msgpass read at p%d" pid)
+      (Some "over-msgpass") !got
+  done
+
+(* Algorithm 1 over the emulation: write+sign, then every reader
+   verifies. *)
+let test_verifiable_over_msgpass () =
+  let n = 4 and f = 1 in
+  let s = mk_emu ~seed:13 ~n ~f ~byzantine:[] () in
+  let module Vr = Lnd_verifiable.Verifiable in
+  let regs = Vr.alloc_with (Regemu.allocator s.emu) { Vr.n; f } in
+  for pid = 0 to n - 1 do
+    ignore
+      (Sched.spawn s.sched ~pid ~name:(Printf.sprintf "vr-help%d" pid)
+         ~daemon:true (fun () -> Vr.help regs ~pid))
+  done;
+  let writer = Vr.writer regs in
+  ignore
+    (Sched.spawn s.sched ~pid:0 ~name:"writer" (fun () ->
+         Vr.write writer "lifted";
+         let ok = Vr.sign writer "lifted" in
+         if not ok then Alcotest.fail "sign failed"));
+  run_ok ~max_steps:30_000_000 s.sched;
+  for pid = 1 to n - 1 do
+    let got = ref false in
+    ignore
+      (Sched.spawn s.sched ~pid ~name:(Printf.sprintf "verify%d" pid)
+         (fun () -> got := Vr.verify (Vr.reader regs ~pid) "lifted"));
+    run_ok ~max_steps:30_000_000 s.sched;
+    Alcotest.(check bool)
+      (Printf.sprintf "verify-over-msgpass at p%d" pid)
+      true !got
+  done
+
+(* A lying replica fabricates replies with a huge timestamp; reads must
+   not adopt an unvouched value (needs f+1 matching replies). *)
+let test_emu_lying_replica () =
+  let n = 4 and f = 1 in
+  let s = mk_emu ~seed:17 ~n ~f ~byzantine:[ 3 ] () in
+  let cell =
+    Regemu.allocator s.emu ~name:"x" ~owner:0 ~init:(Univ.inj Univ.int 0) ()
+  in
+  (* Byzantine replica: answers every read request with a bogus value at
+     timestamp 999. *)
+  ignore
+    (Sched.spawn s.sched ~pid:3 ~name:"byz-replica" ~daemon:true (fun () ->
+         let port = Net.port s.emu.Regemu.net ~pid:3 in
+         while true do
+           List.iter
+             (fun (src, payload) ->
+               match Univ.prj Regemu.emsg_key payload with
+               | Some (Regemu.Rreq (reg, rid)) ->
+                   Net.send port ~dst:src
+                     (Univ.inj Regemu.emsg_key
+                        (Regemu.Rrep (reg, rid, 999, Univ.inj Univ.int 666)))
+               | _ -> ())
+             (Net.poll_all port);
+           Sched.yield ()
+         done));
+  ignore
+    (Sched.spawn s.sched ~pid:0 ~name:"writer" (fun () ->
+         Cell.write cell (Univ.inj Univ.int 5)));
+  run_ok s.sched;
+  let got = ref (-1) in
+  ignore
+    (Sched.spawn s.sched ~pid:1 ~name:"reader" (fun () ->
+         got := Univ.prj_default Univ.int ~default:(-1) (Cell.read cell)));
+  run_ok s.sched;
+  Alcotest.(check int) "lying replica cannot poison reads" 5 !got
+
+let tests =
+  [
+    Alcotest.test_case "net fifo" `Quick test_net_fifo;
+    Alcotest.test_case "net cursors" `Quick test_net_cursor;
+    Alcotest.test_case "net no forgery" `Quick test_net_no_forgery;
+    Alcotest.test_case "ST: correct sender" `Quick test_st_correct_sender;
+    Alcotest.test_case "ST: relay" `Quick test_st_relay;
+    Alcotest.test_case "ST: unforgeability" `Quick test_st_unforgeability;
+    Alcotest.test_case "ST: no uniqueness (motivates sticky)" `Quick
+      test_st_no_uniqueness;
+    Alcotest.test_case "emu: write/read" `Quick test_emu_write_read;
+    Alcotest.test_case "emu: initial value" `Quick test_emu_initial_value;
+    Alcotest.test_case "emu: write port enforced" `Quick
+      test_emu_non_owner_write_rejected;
+    Alcotest.test_case "emu: crashed replica" `Quick test_emu_with_crash;
+    Alcotest.test_case "emu: linearizable (seed 21)" `Quick
+      (test_emu_linearizable ~seed:21);
+    Alcotest.test_case "emu: linearizable (seed 22)" `Quick
+      (test_emu_linearizable ~seed:22);
+    Alcotest.test_case "emu: linearizable (seed 23)" `Quick
+      (test_emu_linearizable ~seed:23);
+    Alcotest.test_case "sticky over message passing (Section 9)" `Slow
+      test_sticky_over_msgpass;
+    Alcotest.test_case "verifiable over message passing (Section 9)" `Slow
+      test_verifiable_over_msgpass;
+    Alcotest.test_case "emu: lying replica" `Quick test_emu_lying_replica;
+  ]

@@ -1,0 +1,146 @@
+(* The signature-based baseline verifiable register: same observable
+   properties as Algorithm 1 (validity, unforgeability, relay) but bought
+   with the signature assumption instead of witness quorums. *)
+
+open Lnd_support
+open Lnd_shm
+open Lnd_runtime
+module Sv = Lnd_sigbase.Sig_verifiable
+module O = Lnd_crypto.Sigoracle
+
+type sys = {
+  sched : Sched.t;
+  regs : Sv.regs;
+  writer : Sv.writer;
+}
+
+let mk ?(n = 4) ?(f = 1) ?(seed = 3) () : sys =
+  let space = Space.create ~n in
+  let sched = Sched.create ~space ~choose:(Policy.random ~seed) in
+  let oracle = O.create () in
+  let regs = Sv.alloc space { Sv.n; f } ~oracle in
+  { sched; regs; writer = Sv.writer regs }
+
+let run_ok s =
+  match Sched.run ~max_steps:1_000_000 s.sched with
+  | Sched.Quiescent ->
+      (match Sched.failures s.sched with
+      | [] -> ()
+      | ((f : Sched.fiber), e) :: _ ->
+          Alcotest.failf "fiber %s failed: %s" f.Sched.fname
+            (Printexc.to_string e))
+  | _ -> Alcotest.fail "run did not quiesce"
+
+let test_validity () =
+  let s = mk () in
+  ignore
+    (Sched.spawn s.sched ~pid:0 ~name:"writer" (fun () ->
+         Sv.write s.writer "a";
+         Alcotest.(check bool) "sign succeeds" true (Sv.sign s.writer "a")));
+  run_ok s;
+  let r = ref false in
+  ignore
+    (Sched.spawn s.sched ~pid:1 ~name:"verifier" (fun () ->
+         r := Sv.verify (Sv.reader s.regs ~pid:1) "a"));
+  run_ok s;
+  Alcotest.(check bool) "validity" true !r
+
+let test_sign_unwritten_fails () =
+  let s = mk () in
+  ignore
+    (Sched.spawn s.sched ~pid:0 ~name:"writer" (fun () ->
+         Alcotest.(check bool) "fail" false (Sv.sign s.writer "never")));
+  run_ok s
+
+let test_unforgeability () =
+  let s = mk () in
+  (* a Byzantine reader plants a FORGED certificate in its own register *)
+  ignore
+    (Sched.spawn s.sched ~pid:3 ~name:"byz" (fun () ->
+         let fake = O.forge ~signer:0 ~msg:"evil" in
+         Sched.write s.regs.Sv.certs.(3)
+           (Univ.inj Sv.cert_key [ ("evil", fake) ])));
+  let r = ref true in
+  ignore
+    (Sched.spawn s.sched ~pid:1 ~name:"verifier" (fun () ->
+         r := Sv.verify (Sv.reader s.regs ~pid:1) "evil"));
+  run_ok s;
+  Alcotest.(check bool) "forged cert rejected" false !r
+
+(* The title scenario with signatures: the Byzantine writer signs, a
+   correct reader verifies (and relays the certificate), then the writer
+   erases its certificate register. Later verifies still succeed. *)
+let test_lie_but_not_deny_with_signatures () =
+  let s = mk () in
+  (* Byzantine writer: writes + signs properly... *)
+  ignore
+    (Sched.spawn s.sched ~pid:0 ~name:"byz-writer" (fun () ->
+         Sv.write s.writer "lie";
+         ignore (Sv.sign s.writer "lie")));
+  run_ok s;
+  let first = ref false in
+  ignore
+    (Sched.spawn s.sched ~pid:1 ~name:"v1" (fun () ->
+         first := Sv.verify (Sv.reader s.regs ~pid:1) "lie"));
+  run_ok s;
+  Alcotest.(check bool) "first verify true" true !first;
+  (* ... then denies: erases its own certificate register *)
+  ignore
+    (Sched.spawn s.sched ~pid:0 ~name:"byz-denies" (fun () ->
+         Sched.write s.regs.Sv.certs.(0) (Univ.inj Sv.cert_key [])));
+  run_ok s;
+  let later = ref false in
+  ignore
+    (Sched.spawn s.sched ~pid:2 ~name:"v2" (fun () ->
+         later := Sv.verify (Sv.reader s.regs ~pid:2) "lie"));
+  run_ok s;
+  Alcotest.(check bool) "RELAY: denial fails — certificate was relayed" true
+    !later
+
+let test_verify_unsigned_false () =
+  let s = mk () in
+  let r = ref true in
+  ignore
+    (Sched.spawn s.sched ~pid:2 ~name:"v" (fun () ->
+         r := Sv.verify (Sv.reader s.regs ~pid:2) "nothing"));
+  run_ok s;
+  Alcotest.(check bool) "unsigned false" false !r
+
+(* Cost sanity: a verify is a single O(n) scan — no rounds, unlike
+   Algorithm 1. *)
+let test_cost_shape () =
+  let n = 7 in
+  let space = Space.create ~n in
+  let sched = Sched.create ~space ~choose:(Policy.round_robin ()) in
+  let oracle = O.create () in
+  let regs = Sv.alloc space { Sv.n; f = 3 } ~oracle in
+  let writer = Sv.writer regs in
+  ignore
+    (Sched.spawn sched ~pid:0 ~name:"w" (fun () ->
+         Sv.write writer "a";
+         ignore (Sv.sign writer "a")));
+  ignore (Sched.run sched);
+  let before = Space.stats space in
+  ignore
+    (Sched.spawn sched ~pid:1 ~name:"v" (fun () ->
+         ignore (Sv.verify (Sv.reader regs ~pid:1) "a")));
+  ignore (Sched.run sched);
+  let d = Space.diff ~before ~after:(Space.stats space) in
+  Alcotest.(check bool)
+    (Printf.sprintf "verify cost is <= n+2 accesses (got %d reads, %d writes)"
+       d.Space.reads d.Space.writes)
+    true
+    (d.Space.reads + d.Space.writes <= n + 2)
+
+let tests =
+  [
+    Alcotest.test_case "validity" `Quick test_validity;
+    Alcotest.test_case "sign unwritten fails" `Quick test_sign_unwritten_fails;
+    Alcotest.test_case "unforgeability (forged cert)" `Quick
+      test_unforgeability;
+    Alcotest.test_case "lie-but-not-deny with signatures" `Quick
+      test_lie_but_not_deny_with_signatures;
+    Alcotest.test_case "verify unsigned false" `Quick
+      test_verify_unsigned_false;
+    Alcotest.test_case "verify cost shape" `Quick test_cost_shape;
+  ]

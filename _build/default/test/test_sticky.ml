@@ -1,0 +1,132 @@
+(* Fault-free behaviour of the sticky register (Algorithm 2):
+   Definition 15 and Observations 16-18 with all processes correct. *)
+
+module Sys = Lnd_sticky.System
+module Sched = Lnd_runtime.Sched
+module Policy = Lnd_runtime.Policy
+
+let run_ok ?(max_steps = 2_000_000) (t : Sys.t) =
+  match Sys.run ~max_steps t with
+  | Sched.Quiescent ->
+      (match Sched.failures t.sched with
+      | [] -> ()
+      | (f, e) :: _ ->
+          Alcotest.failf "fiber %s failed: %s" f.Sched.fname
+            (Printexc.to_string e))
+  | Sched.Budget_exhausted -> Alcotest.fail "step budget exhausted"
+  | Sched.Condition_met -> ()
+
+let vopt = Alcotest.(option string)
+
+(* VALIDITY (Observation 16): after WRITE(v) completes, every read
+   returns v. *)
+let test_write_then_read ~n ~f ~seed () =
+  let t = Sys.make ~policy:(Policy.random ~seed) ~n ~f () in
+  ignore (Sys.client t ~pid:0 ~name:"writer" (fun () -> Sys.op_write t "v"));
+  run_ok t;
+  for pid = 1 to n - 1 do
+    let got = ref None in
+    ignore
+      (Sys.client t ~pid ~name:(Printf.sprintf "r%d" pid) (fun () ->
+           got := Sys.op_read t ~pid));
+    run_ok t;
+    Alcotest.check vopt (Printf.sprintf "read at p%d" pid) (Some "v") !got
+  done
+
+(* A read with no write returns ⊥. *)
+let test_read_bot () =
+  let t = Sys.make ~n:4 ~f:1 () in
+  let got = ref (Some "x") in
+  ignore
+    (Sys.client t ~pid:1 ~name:"r1" (fun () -> got := Sys.op_read t ~pid:1));
+  run_ok t;
+  Alcotest.check vopt "read of unwritten register" None !got
+
+(* Stickiness: a second WRITE does not change the value. *)
+let test_second_write_ignored () =
+  let t = Sys.make ~n:4 ~f:1 () in
+  ignore
+    (Sys.client t ~pid:0 ~name:"writer" (fun () ->
+         Sys.op_write t "first";
+         Sys.op_write t "second"));
+  run_ok t;
+  let got = ref None in
+  ignore
+    (Sys.client t ~pid:2 ~name:"r2" (fun () -> got := Sys.op_read t ~pid:2));
+  run_ok t;
+  Alcotest.check vopt "sticky keeps first value" (Some "first") !got
+
+(* UNIQUENESS (Observation 18): concurrent reads under many schedules
+   agree — never two different non-⊥ values. *)
+let test_uniqueness_concurrent ~seed () =
+  let n = 4 and f = 1 in
+  let t = Sys.make ~policy:(Policy.random ~seed) ~n ~f () in
+  let results = Array.make n None in
+  ignore (Sys.client t ~pid:0 ~name:"writer" (fun () -> Sys.op_write t "u"));
+  for pid = 1 to n - 1 do
+    ignore
+      (Sys.client t ~pid ~name:(Printf.sprintf "r%d" pid) (fun () ->
+           results.(pid) <- Sys.op_read t ~pid))
+  done;
+  run_ok t;
+  let non_bot = Array.to_list results |> List.filter_map (fun x -> x) in
+  List.iter
+    (fun v -> Alcotest.(check string) "all non-⊥ reads agree" "u" v)
+    non_bot;
+  Alcotest.(check bool)
+    "history linearizable (correct writer)" true
+    (Sys.byz_linearizable t)
+
+(* Reads racing the write may see ⊥ or v, but the recorded history must be
+   linearizable: no ⊥-read after a v-read. *)
+let test_linearizable_race ~seed () =
+  let n = 7 and f = 2 in
+  let t = Sys.make ~policy:(Policy.random ~seed) ~n ~f () in
+  ignore (Sys.client t ~pid:0 ~name:"writer" (fun () -> Sys.op_write t "w"));
+  for pid = 1 to 4 do
+    ignore
+      (Sys.client t ~pid ~name:(Printf.sprintf "r%d" pid) (fun () ->
+           ignore (Sys.op_read t ~pid);
+           ignore (Sys.op_read t ~pid)))
+  done;
+  run_ok t;
+  Alcotest.(check bool) "linearizable" true (Sys.byz_linearizable t)
+
+let test_termination_sizes () =
+  List.iter
+    (fun (n, f) ->
+      let t = Sys.make ~policy:(Policy.random ~seed:(n * 31)) ~n ~f () in
+      ignore
+        (Sys.client t ~pid:0 ~name:"writer" (fun () -> Sys.op_write t "v"));
+      for pid = 1 to min 4 (n - 1) do
+        ignore
+          (Sys.client t ~pid ~name:(Printf.sprintf "r%d" pid) (fun () ->
+               ignore (Sys.op_read t ~pid)))
+      done;
+      run_ok ~max_steps:5_000_000 t)
+    [ (4, 1); (7, 2); (10, 3); (13, 4) ]
+
+let tests =
+  [
+    Alcotest.test_case "write then read n=4" `Quick
+      (test_write_then_read ~n:4 ~f:1 ~seed:1);
+    Alcotest.test_case "write then read n=7" `Quick
+      (test_write_then_read ~n:7 ~f:2 ~seed:2);
+    Alcotest.test_case "write then read n=10" `Quick
+      (test_write_then_read ~n:10 ~f:3 ~seed:3);
+    Alcotest.test_case "read of unwritten is bot" `Quick test_read_bot;
+    Alcotest.test_case "second write ignored" `Quick
+      test_second_write_ignored;
+    Alcotest.test_case "uniqueness under race (seed 4)" `Quick
+      (test_uniqueness_concurrent ~seed:4);
+    Alcotest.test_case "uniqueness under race (seed 5)" `Quick
+      (test_uniqueness_concurrent ~seed:5);
+    Alcotest.test_case "uniqueness under race (seed 6)" `Quick
+      (test_uniqueness_concurrent ~seed:6);
+    Alcotest.test_case "linearizable race (seed 7)" `Quick
+      (test_linearizable_race ~seed:7);
+    Alcotest.test_case "linearizable race (seed 8)" `Quick
+      (test_linearizable_race ~seed:8);
+    Alcotest.test_case "termination across sizes" `Slow
+      test_termination_sizes;
+  ]

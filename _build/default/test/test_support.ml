@@ -1,0 +1,92 @@
+(* Unit tests for the support substrate: universal values, PRNG, value
+   domain. *)
+
+open Lnd_support
+
+let test_univ_roundtrip () =
+  let u = Univ.inj Univ.int 42 in
+  Alcotest.(check (option int)) "int roundtrip" (Some 42) (Univ.prj Univ.int u);
+  Alcotest.(check (option string))
+    "wrong key" None
+    (Univ.prj Univ.string u);
+  Alcotest.(check string) "key name" "int" (Univ.key_name u)
+
+let test_univ_default () =
+  let junk = Univ.inj Univ.garbage "zzz" in
+  Alcotest.(check int) "defensive default" 7
+    (Univ.prj_default Univ.int ~default:7 junk);
+  let vs = Univ.inj Codecs.vset (Value.Set.of_list [ "a"; "b" ]) in
+  Alcotest.(check bool)
+    "vset roundtrip" true
+    (Value.Set.equal
+       (Univ.prj_default Codecs.vset ~default:Value.Set.empty vs)
+       (Value.Set.of_list [ "a"; "b" ]))
+
+let test_univ_equal () =
+  let a = Univ.inj Univ.int 1 and a' = Univ.inj Univ.int 1 in
+  let b = Univ.inj Univ.int 2 in
+  let s = Univ.inj Univ.string "1" in
+  Alcotest.(check bool) "equal same" true (Univ.equal a a');
+  Alcotest.(check bool) "not equal diff payload" false (Univ.equal a b);
+  Alcotest.(check bool) "not equal diff key" false (Univ.equal a s)
+
+let test_univ_distinct_keys () =
+  (* two keys with the same name are still distinct *)
+  let k1 = Univ.key ~name:"k" ~pp:Format.pp_print_int ~equal:Int.equal in
+  let k2 = Univ.key ~name:"k" ~pp:Format.pp_print_int ~equal:Int.equal in
+  let u = Univ.inj k1 5 in
+  Alcotest.(check (option int)) "own key" (Some 5) (Univ.prj k1 u);
+  Alcotest.(check (option int)) "other key" None (Univ.prj k2 u)
+
+let test_rng_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    Alcotest.(check bool) "in bounds" true (x >= 0 && x < 17)
+  done
+
+let test_rng_split_independent () =
+  let r = Rng.create 5 in
+  let a = Rng.split r and b = Rng.split r in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 11 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "multiset preserved"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let test_value_set () =
+  let s = Value.Set.of_list [ "b"; "a"; "a" ] in
+  Alcotest.(check int) "dedup" 2 (Value.Set.cardinal s);
+  Alcotest.(check bool) "mem" true (Value.Set.mem "a" s);
+  Alcotest.(check bool)
+    "opt equal" true
+    (Value.equal_opt (Some "x") (Some "x"));
+  Alcotest.(check bool) "opt not equal" false (Value.equal_opt (Some "x") None)
+
+let tests =
+  [
+    Alcotest.test_case "univ roundtrip" `Quick test_univ_roundtrip;
+    Alcotest.test_case "univ defensive default" `Quick test_univ_default;
+    Alcotest.test_case "univ equality" `Quick test_univ_equal;
+    Alcotest.test_case "univ distinct keys" `Quick test_univ_distinct_keys;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng shuffle is a permutation" `Quick
+      test_rng_shuffle_permutation;
+    Alcotest.test_case "value sets" `Quick test_value_set;
+  ]

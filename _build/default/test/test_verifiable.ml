@@ -1,0 +1,262 @@
+(* Fault-free behaviour of the verifiable register (Algorithm 1):
+   Definition 10 semantics and Observations 11-13 with all processes
+   correct, across system sizes and schedules. *)
+
+open Lnd_support
+module Sys = Lnd_verifiable.System
+module Sched = Lnd_runtime.Sched
+module Policy = Lnd_runtime.Policy
+
+let run_ok ?(max_steps = 2_000_000) (t : Sys.t) =
+  match Sys.run ~max_steps t with
+  | Sched.Quiescent ->
+      (match Sched.failures t.sched with
+      | [] -> ()
+      | (f, e) :: _ ->
+          Alcotest.failf "fiber %s failed: %s" f.Sched.fname
+            (Printexc.to_string e))
+  | Sched.Budget_exhausted -> Alcotest.fail "step budget exhausted"
+  | Sched.Condition_met -> ()
+
+let test_write_read_basic () =
+  let t = Sys.make ~n:4 ~f:1 () in
+  let result = ref None in
+  ignore
+    (Sys.client t ~pid:0 ~name:"writer" (fun () ->
+         Sys.op_write t "a";
+         Sys.op_write t "b"));
+  ignore
+    (Sys.client t ~pid:1 ~name:"reader" (fun () ->
+         result := Some (Sys.op_read t ~pid:1)));
+  run_ok t;
+  match !result with
+  | Some v ->
+      Alcotest.(check bool)
+        "read returns v0, a or b" true
+        (List.mem v [ Value.v0; "a"; "b" ])
+  | None -> Alcotest.fail "read did not complete"
+
+let test_sign_then_verify ~n ~f ~seed () =
+  let t = Sys.make ~policy:(Policy.random ~seed) ~n ~f () in
+  let verified = Array.make n true in
+  ignore
+    (Sys.client t ~pid:0 ~name:"writer" (fun () ->
+         Sys.op_write t "a";
+         let ok = Sys.op_sign t "a" in
+         if not ok then Alcotest.fail "sign of written value failed"));
+  (* readers verify only after the sign completed: sequence via a flag *)
+  run_ok t;
+  for pid = 1 to n - 1 do
+    ignore
+      (Sys.client t ~pid ~name:(Printf.sprintf "verifier%d" pid) (fun () ->
+           verified.(pid) <- Sys.op_verify t ~pid "a"))
+  done;
+  run_ok t;
+  for pid = 1 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "VALIDITY: verify after sign at p%d" pid)
+      true verified.(pid)
+  done
+
+(* VERIFY of a value that was never signed returns false (Definition 10 /
+   Observation 12 with a correct writer). *)
+let test_verify_unsigned () =
+  let t = Sys.make ~n:4 ~f:1 () in
+  let res = ref true in
+  ignore
+    (Sys.client t ~pid:0 ~name:"writer" (fun () ->
+         Sys.op_write t "a" (* written but never signed *)));
+  ignore
+    (Sys.client t ~pid:2 ~name:"verifier" (fun () ->
+         res := Sys.op_verify t ~pid:2 "a"));
+  run_ok t;
+  Alcotest.(check bool) "verify of unsigned value is false" false !res
+
+(* SIGN of a value never written fails. *)
+let test_sign_unwritten () =
+  let t = Sys.make ~n:4 ~f:1 () in
+  let res = ref true in
+  ignore
+    (Sys.client t ~pid:0 ~name:"writer" (fun () ->
+         Sys.op_write t "a";
+         res := Sys.op_sign t "zz"));
+  run_ok t;
+  Alcotest.(check bool) "sign of unwritten value fails" false !res
+
+(* Writer may sign an old value it overwrote (Section 4: "it is allowed to
+   sign any of the values that it previously wrote, even older ones"). *)
+let test_sign_old_value () =
+  let t = Sys.make ~n:4 ~f:1 () in
+  let signed = ref false and verified = ref false in
+  ignore
+    (Sys.client t ~pid:0 ~name:"writer" (fun () ->
+         Sys.op_write t "old";
+         Sys.op_write t "new";
+         signed := Sys.op_sign t "old"));
+  run_ok t;
+  ignore
+    (Sys.client t ~pid:3 ~name:"verifier" (fun () ->
+         verified := Sys.op_verify t ~pid:3 "old"));
+  run_ok t;
+  Alcotest.(check bool) "sign old value succeeds" true !signed;
+  Alcotest.(check bool) "verify old value succeeds" true !verified
+
+(* RELAY (Observation 13): once a verify returns true, later verifies of
+   the same value return true, across readers and schedules. *)
+let test_relay_sequential ~seed () =
+  let n = 7 and f = 2 in
+  let t = Sys.make ~policy:(Policy.random ~seed) ~n ~f () in
+  ignore
+    (Sys.client t ~pid:0 ~name:"writer" (fun () ->
+         Sys.op_write t "x";
+         ignore (Sys.op_sign t "x")));
+  run_ok t;
+  let first = ref false in
+  ignore
+    (Sys.client t ~pid:1 ~name:"v1" (fun () ->
+         first := Sys.op_verify t ~pid:1 "x"));
+  run_ok t;
+  Alcotest.(check bool) "first verify true" true !first;
+  for pid = 2 to n - 1 do
+    let later = ref false in
+    ignore
+      (Sys.client t ~pid ~name:(Printf.sprintf "v%d" pid) (fun () ->
+           later := Sys.op_verify t ~pid "x"));
+    run_ok t;
+    Alcotest.(check bool) (Printf.sprintf "RELAY at p%d" pid) true !later
+  done
+
+(* Concurrent verifies racing the sign: whatever each returns, the
+   recorded history must be linearizable (writer correct case of
+   Theorem 91). *)
+let test_concurrent_verify_linearizable ~seed () =
+  let n = 4 and f = 1 in
+  let t = Sys.make ~policy:(Policy.random ~seed) ~n ~f () in
+  ignore
+    (Sys.client t ~pid:0 ~name:"writer" (fun () ->
+         Sys.op_write t "a";
+         ignore (Sys.op_sign t "a")));
+  for pid = 1 to n - 1 do
+    ignore
+      (Sys.client t ~pid ~name:(Printf.sprintf "v%d" pid) (fun () ->
+           ignore (Sys.op_verify t ~pid "a");
+           ignore (Sys.op_verify t ~pid "a")))
+  done;
+  run_ok t;
+  Alcotest.(check bool)
+    "history linearizable (correct writer)" true
+    (Sys.byz_linearizable t)
+
+(* Multiple values, interleaved writes/signs/verifies, many seeds. *)
+let test_multivalue ~seed () =
+  let n = 4 and f = 1 in
+  let t = Sys.make ~policy:(Policy.random ~seed) ~n ~f () in
+  ignore
+    (Sys.client t ~pid:0 ~name:"writer" (fun () ->
+         Sys.op_write t "a";
+         ignore (Sys.op_sign t "a");
+         Sys.op_write t "b";
+         ignore (Sys.op_sign t "b");
+         Sys.op_write t "c"));
+  for pid = 1 to n - 1 do
+    ignore
+      (Sys.client t ~pid ~name:(Printf.sprintf "v%d" pid) (fun () ->
+           ignore (Sys.op_verify t ~pid "a");
+           ignore (Sys.op_verify t ~pid "c");
+           ignore (Sys.op_read t ~pid)))
+  done;
+  run_ok t;
+  Alcotest.(check bool) "linearizable" true (Sys.byz_linearizable t)
+
+(* Multivalue stress: many values signed and verified concurrently; the
+   streaming monitors must accept the (large) history. *)
+let test_multivalue_stress ~seed () =
+  let n = 4 and f = 1 in
+  let t = Sys.make ~policy:(Policy.random ~seed) ~n ~f () in
+  let values = [ "v1"; "v2"; "v3"; "v4"; "v5" ] in
+  ignore
+    (Sys.client t ~pid:0 ~name:"writer" (fun () ->
+         List.iter
+           (fun v ->
+             Sys.op_write t v;
+             ignore (Sys.op_sign t v))
+           values));
+  for pid = 1 to n - 1 do
+    ignore
+      (Sys.client t ~pid ~name:(Printf.sprintf "v%d" pid) (fun () ->
+           (* each reader verifies every value, in a pid-dependent order *)
+           let order = if pid mod 2 = 0 then values else List.rev values in
+           List.iter (fun v -> ignore (Sys.op_verify t ~pid v)) order;
+           ignore (Sys.op_verify t ~pid "never-signed")))
+  done;
+  run_ok ~max_steps:8_000_000 t;
+  let correct _ = true in
+  (match
+     Lnd_history.Monitors.check_all
+       (Lnd_history.Monitors.relay ~correct t.history
+       @ Lnd_history.Monitors.validity ~correct t.history
+       @ Lnd_history.Monitors.unforgeability ~correct ~writer:0 t.history)
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "monitor violation: %s" msg);
+  (* never-signed value must be false everywhere *)
+  List.iter
+    (fun (e : (Lnd_history.Spec.Verifiable_spec.op,
+               Lnd_history.Spec.Verifiable_spec.res)
+              Lnd_history.History.entry) ->
+      match (e.op, e.ret) with
+      | ( Lnd_history.Spec.Verifiable_spec.Verify "never-signed",
+          Some (Lnd_history.Spec.Verifiable_spec.Verified r, _) ) ->
+          Alcotest.(check bool) "never-signed rejected" false r
+      | _ -> ())
+    (Lnd_history.History.complete_entries t.history)
+
+(* Termination across sizes: every operation completes under a fair random
+   scheduler (Theorem 40), including at larger n. *)
+let test_termination_sizes () =
+  List.iter
+    (fun (n, f) ->
+      let t = Sys.make ~policy:(Policy.random ~seed:(n * 17)) ~n ~f () in
+      ignore
+        (Sys.client t ~pid:0 ~name:"writer" (fun () ->
+             Sys.op_write t "v";
+             ignore (Sys.op_sign t "v")));
+      for pid = 1 to min 4 (n - 1) do
+        ignore
+          (Sys.client t ~pid ~name:(Printf.sprintf "v%d" pid) (fun () ->
+               ignore (Sys.op_verify t ~pid "v")))
+      done;
+      run_ok ~max_steps:5_000_000 t)
+    [ (4, 1); (7, 2); (10, 3); (13, 4) ]
+
+let tests =
+  [
+    Alcotest.test_case "write/read basic" `Quick test_write_read_basic;
+    Alcotest.test_case "sign then verify n=4" `Quick
+      (test_sign_then_verify ~n:4 ~f:1 ~seed:1);
+    Alcotest.test_case "sign then verify n=7" `Quick
+      (test_sign_then_verify ~n:7 ~f:2 ~seed:2);
+    Alcotest.test_case "sign then verify n=10" `Quick
+      (test_sign_then_verify ~n:10 ~f:3 ~seed:3);
+    Alcotest.test_case "verify unsigned is false" `Quick test_verify_unsigned;
+    Alcotest.test_case "sign unwritten fails" `Quick test_sign_unwritten;
+    Alcotest.test_case "sign old value" `Quick test_sign_old_value;
+    Alcotest.test_case "relay across readers" `Quick
+      (test_relay_sequential ~seed:11);
+    Alcotest.test_case "concurrent verifies linearizable (seed 5)" `Quick
+      (test_concurrent_verify_linearizable ~seed:5);
+    Alcotest.test_case "concurrent verifies linearizable (seed 6)" `Quick
+      (test_concurrent_verify_linearizable ~seed:6);
+    Alcotest.test_case "concurrent verifies linearizable (seed 7)" `Quick
+      (test_concurrent_verify_linearizable ~seed:7);
+    Alcotest.test_case "multivalue interleaving (seed 8)" `Quick
+      (test_multivalue ~seed:8);
+    Alcotest.test_case "multivalue interleaving (seed 9)" `Quick
+      (test_multivalue ~seed:9);
+    Alcotest.test_case "multivalue stress (seed 15)" `Quick
+      (test_multivalue_stress ~seed:15);
+    Alcotest.test_case "multivalue stress (seed 16)" `Quick
+      (test_multivalue_stress ~seed:16);
+    Alcotest.test_case "termination across sizes" `Slow
+      test_termination_sizes;
+  ]
