@@ -381,9 +381,9 @@ let measure_st ~n ~f =
   let delivered = Array.make n false in
   let procs =
     Array.init n (fun pid ->
-        let port = Net.port net ~pid in
+        let ep = Lnd_msgpass.Transport.of_net (Net.port net ~pid) in
         let t =
-          St.create port ~n ~f ~accept_cb:(fun ~sender:_ ~value:_ ~seq:_ ->
+          St.create ep ~n ~f ~accept_cb:(fun ~sender:_ ~value:_ ~seq:_ ->
               delivered.(pid) <- true)
         in
         ignore
@@ -673,6 +673,62 @@ let table_t10 () =
     !lin_checked count
 
 (* ------------------------------------------------------------------ *)
+(* T11: retransmission overhead under link faults                      *)
+(* ------------------------------------------------------------------ *)
+
+let table_t11 () =
+  header
+    "T11 Retransmission overhead (Rlink over Faultnet), ST broadcast\n\
+    \    n=4 f=1, 2 broadcasters x 2 messages; the drop=0 row shows the\n\
+    \    zero-fault overhead of the reliable-link layer itself";
+  let module Chaos = Lnd_fuzz.Chaos in
+  let module Faultnet = Lnd_msgpass.Faultnet in
+  let mk_plan ~drop ~cut_len =
+    if drop = 0 && cut_len = 0 then Faultnet.zero
+    else
+      {
+        Faultnet.fault_seed = 42;
+        drop_pct = drop;
+        dup_pct = 0;
+        delay_pct = 0;
+        max_delay = 0;
+        fair_burst = 2;
+        partitions =
+          (if cut_len = 0 then []
+           else
+             [
+               {
+                 Faultnet.cut_from = 200;
+                 cut_until = 200 + cut_len;
+                 island = [ 2 ];
+               };
+             ]);
+      }
+  in
+  pf "%6s %9s | %8s | %6s %8s %10s | %8s\n" "drop%" "cut(len)" "steps"
+    "data" "retrans" "redundant" "sends";
+  List.iter
+    (fun (drop, cut_len) ->
+      let s =
+        {
+          Chaos.seed = 7;
+          protocol = Chaos.St_broadcast;
+          n = 4;
+          f = 1;
+          plan = mk_plan ~drop ~cut_len;
+          adversary = Chaos.No_adversary;
+          msgs = 2;
+        }
+      in
+      match Chaos.run s with
+      | Ok r ->
+          pf "%6d %9d | %8d | %6d %8d %10d | %8d\n" drop cut_len
+            r.Chaos.steps r.Chaos.data_sent r.Chaos.retransmissions
+            r.Chaos.redundant r.Chaos.net_stats.Faultnet.sent
+      | Error msg -> pf "%6d %9d | FAIL: %s\n" drop cut_len msg)
+    [ (0, 0); (10, 0); (20, 0); (40, 0); (20, 1000); (20, 4000) ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -792,5 +848,6 @@ let () =
   table_t8 ();
   table_t9 ();
   table_t10 ();
+  table_t11 ();
   bench_wallclock ();
   pf "\nAll tables regenerated.\n"

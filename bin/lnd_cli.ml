@@ -5,12 +5,17 @@
      sticky        run a sticky-register scenario (optionally adversarial)
      impossibility run the Theorem 23 / Figures 1-3 attack at a given (n, f)
      sweep         print operation-cost rows across n (like bench table T1/T3)
+     fuzz          random Byzantine scenarios, replayable by seed
+     chaos         message-passing protocols over faulty links (Faultnet +
+                   retransmission), replayable by seed
 
    Examples:
      lnd_cli verify -n 7 -f 2 --adversary deny --seed 3
      lnd_cli sticky -n 4 -f 1 --adversary equivocate
      lnd_cli impossibility -f 2
-     lnd_cli sweep --register sticky *)
+     lnd_cli sweep --register sticky
+     lnd_cli chaos --count 50
+     lnd_cli chaos --seed 17 *)
 
 open Lnd
 open Cmdliner
@@ -253,6 +258,57 @@ let fuzz_cmd =
           seed)")
     Term.(const fuzz_cmd_run $ from $ count)
 
+(* ---------------- chaos ---------------- *)
+
+let chaos_cmd_run from count seed_opt =
+  let seeds =
+    match seed_opt with
+    | Some s -> [ s ]
+    | None -> List.init count (fun i -> from + i)
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun seed ->
+      let scenario = Lnd_fuzz.Chaos.generate seed in
+      match Lnd_fuzz.Chaos.run scenario with
+      | Ok r ->
+          pr "ok   %s\n     %s\n"
+            (Format.asprintf "%a" Lnd_fuzz.Chaos.pp_scenario scenario)
+            (Format.asprintf "%a" Lnd_fuzz.Chaos.pp_report r)
+      | Error msg ->
+          incr failures;
+          pr "FAIL %s: %s\n"
+            (Format.asprintf "%a" Lnd_fuzz.Chaos.pp_scenario scenario)
+            msg)
+    seeds;
+  pr "%d scenarios, %d failures\n" (List.length seeds) !failures;
+  if !failures > 0 then exit 1
+
+let chaos_cmd =
+  let from =
+    Arg.(value & opt int 0 & info [ "from" ] ~docv:"SEED" ~doc:"First seed.")
+  in
+  let count =
+    Arg.(
+      value & opt int 20
+      & info [ "count" ] ~docv:"N" ~doc:"Number of scenarios to run.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Replay exactly one scenario by its seed.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the message-passing protocols over faulty links — seeded \
+          drop/duplication/reorder/partition plans composed with Byzantine \
+          adversaries, with retransmission recovering liveness (replayable \
+          by seed)")
+    Term.(const chaos_cmd_run $ from $ count $ seed)
+
 (* ---------------- sweep ---------------- *)
 
 let sweep_cmd_run register =
@@ -322,4 +378,7 @@ let () =
              ~doc:
                "Simulate SWMR verifiable and sticky registers in systems \
                 with Byzantine processes (Hu & Toueg, PODC 2025)")
-          [ verify_cmd; sticky_cmd; impossibility_cmd; sweep_cmd; fuzz_cmd ]))
+          [
+            verify_cmd; sticky_cmd; impossibility_cmd; sweep_cmd; fuzz_cmd;
+            chaos_cmd;
+          ]))

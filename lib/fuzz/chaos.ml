@@ -1,0 +1,537 @@
+(* Link-fault fuzzer: generate a random network-fault scenario from a
+   seed — a Faultnet plan with aggressive drop/duplication/delay and a
+   healing partition, optionally composed with a Byzantine adversary —
+   run one of the three message-passing protocols (Srikanth-Toueg
+   broadcast, Bracha reliable broadcast, the SWMR register emulation)
+   over the retransmission-hardened stack (Rlink over Faultnet), and
+   check that safety holds and liveness is recovered.
+
+   One seed = one fully deterministic scenario (sizes, fault plan,
+   adversary, schedule), so any failure is replayable from its seed
+   alone. Used by the test suite and by `lnd_cli chaos`. *)
+
+open Lnd_support
+module Sched = Lnd_runtime.Sched
+module Policy = Lnd_runtime.Policy
+module Space = Lnd_shm.Space
+module Net = Lnd_msgpass.Net
+module Faultnet = Lnd_msgpass.Faultnet
+module Rlink = Lnd_msgpass.Rlink
+module Transport = Lnd_msgpass.Transport
+module St = Lnd_msgpass.Auth_broadcast
+module Bracha = Lnd_msgpass.Bracha
+module Regemu = Lnd_msgpass.Regemu
+
+type protocol = St_broadcast | Bracha_broadcast | Register
+
+let protocol_name = function
+  | St_broadcast -> "st-broadcast"
+  | Bracha_broadcast -> "bracha"
+  | Register -> "register"
+
+(* Byzantine behaviours composed with the link faults. Byzantine pids
+   inject raw traffic through a bare [Net] port — un-enveloped payloads
+   pass through the fault and retransmission layers unsequenced, exactly
+   the attack surface a real Byzantine process has. *)
+type adversary =
+  | No_adversary
+  | Crash (* Byzantine processes take no steps *)
+  | Equivocator (* conflicting init messages for the same slot *)
+  | Forger (* forged protocol replies / garbage payloads *)
+
+let adversary_name = function
+  | No_adversary -> "none"
+  | Crash -> "crash"
+  | Equivocator -> "equivocator"
+  | Forger -> "forger"
+
+type scenario = {
+  seed : int;
+  protocol : protocol;
+  n : int;
+  f : int;
+  plan : Faultnet.plan;
+  adversary : adversary;
+  msgs : int; (* broadcasts per correct sender / writes by the owner *)
+}
+
+let pp_scenario fmt s =
+  Format.fprintf fmt "seed=%d %s n=%d f=%d adversary=%s msgs=%d %a" s.seed
+    (protocol_name s.protocol) s.n s.f
+    (adversary_name s.adversary)
+    s.msgs Faultnet.pp_plan s.plan
+
+(* Derive a scenario deterministically from a seed. Fault rates start at
+   20% — the point of the chaos fuzzer is sustained abuse, not an
+   occasional lost message. *)
+let generate (seed : int) : scenario =
+  let rng = Rng.create ((seed * 6007) + 11) in
+  let protocol =
+    Rng.pick rng [ St_broadcast; Bracha_broadcast; Register ]
+  in
+  let f = 1 + Rng.int rng 2 in
+  let n = (3 * f) + 1 + Rng.int rng 2 in
+  let partitions =
+    if Rng.bool rng then []
+    else begin
+      let cut_from = 100 + Rng.int rng 1500 in
+      let len = 400 + Rng.int rng 2600 in
+      [
+        {
+          Faultnet.cut_from;
+          cut_until = cut_from + len;
+          island = [ Rng.int rng n ];
+        };
+      ]
+    end
+  in
+  let plan =
+    {
+      Faultnet.fault_seed = (seed * 131) + 3;
+      drop_pct = 20 + Rng.int rng 41;
+      dup_pct = 20 + Rng.int rng 31;
+      delay_pct = 20 + Rng.int rng 41;
+      max_delay = 50 + Rng.int rng 450;
+      fair_burst = 1 + Rng.int rng 3;
+      partitions;
+    }
+  in
+  let adversary =
+    let all =
+      match protocol with
+      | Register ->
+          (* the owner stays correct: a Byzantine owner voids the read
+             guarantees by design (that case belongs to the sticky layer
+             stacked on top, exercised by the main fuzzer) *)
+          [ No_adversary; Crash; Forger ]
+      | St_broadcast | Bracha_broadcast ->
+          [ No_adversary; Crash; Equivocator; Forger ]
+    in
+    Rng.pick rng all
+  in
+  { seed; protocol; n; f; plan; adversary; msgs = 1 + Rng.int rng 2 }
+
+type report = {
+  scenario : scenario;
+  steps : int;
+  net_stats : Faultnet.stats;
+  data_sent : int;
+  retransmissions : int;
+  redundant : int;
+}
+
+type outcome = (report, string) result
+
+let pp_report fmt (r : report) =
+  Format.fprintf fmt
+    "steps=%d sent=%d dropped=%d cut=%d dup=%d delayed=%d data=%d \
+     retrans=%d redundant=%d"
+    r.steps r.net_stats.Faultnet.sent r.net_stats.Faultnet.dropped
+    r.net_stats.Faultnet.cut r.net_stats.Faultnet.duplicated
+    r.net_stats.Faultnet.delayed r.data_sent r.retransmissions r.redundant
+
+let max_steps = 4_000_000
+
+let value_pool = [| "a"; "b"; "c" |]
+
+let byzantine_pids (s : scenario) : int list =
+  match s.adversary with
+  | No_adversary -> []
+  | Crash | Equivocator | Forger -> List.init s.f (fun i -> s.n - 1 - i)
+
+(* Broadcasters are pids 0 and 1 — never Byzantine (the Byzantine pids
+   are the top f of n >= 3f+1 >= 4). *)
+let broadcasters (_ : scenario) = [ 0; 1 ]
+
+let sent_value b i = value_pool.((b + i) mod Array.length value_pool)
+
+(* Shared run scaffolding: space, scheduler, fault-wrapped network, and
+   one Rlink endpoint per correct pid. *)
+type 'p harness = {
+  sched : Sched.t;
+  net : Net.t;
+  fnet : Faultnet.t;
+  rlinks : Rlink.t option array;
+  correct : bool array;
+  procs : 'p option array;
+}
+
+let mk_harness (s : scenario) : 'p harness =
+  let space = Space.create ~n:s.n in
+  let sched = Sched.create ~space ~choose:(Policy.random ~seed:(s.seed + 1)) in
+  let net = Net.create space ~n:s.n in
+  let fnet = Faultnet.wrap net s.plan in
+  let correct = Array.make s.n true in
+  List.iter (fun pid -> correct.(pid) <- false) (byzantine_pids s);
+  {
+    sched;
+    net;
+    fnet;
+    rlinks = Array.make s.n None;
+    correct;
+    procs = Array.make s.n None;
+  }
+
+let rlink (h : 'p harness) ~pid : Rlink.t =
+  match h.rlinks.(pid) with
+  | Some r -> r
+  | None ->
+      let r = Rlink.create (Faultnet.transport h.fnet ~pid) in
+      h.rlinks.(pid) <- Some r;
+      r
+
+let sum_rlink_stats (h : 'p harness) =
+  Array.fold_left
+    (fun (d, r, red) -> function
+      | None -> (d, r, red)
+      | Some l ->
+          let st = Rlink.stats l in
+          ( d + st.Rlink.data_sent,
+            r + st.Rlink.retransmissions,
+            red + st.Rlink.redundant ))
+    (0, 0, 0) h.rlinks
+
+let finish (s : scenario) (h : 'p harness) ~(post : unit -> string option) :
+    outcome =
+  match Sched.run ~max_steps h.sched with
+  | Sched.Budget_exhausted ->
+      Error "step budget exhausted (liveness lost under fault plan?)"
+  | Sched.Condition_met -> Error "unexpected stop"
+  | Sched.Quiescent -> (
+      match
+        List.filter
+          (fun ((fb : Sched.fiber), _) -> h.correct.(fb.Sched.pid))
+          (Sched.failures h.sched)
+      with
+      | (fb, e) :: _ ->
+          Error
+            (Printf.sprintf "correct fiber %s failed: %s" fb.Sched.fname
+               (Printexc.to_string e))
+      | [] -> (
+          match post () with
+          | Some msg -> Error msg
+          | None ->
+              let data_sent, retransmissions, redundant = sum_rlink_stats h in
+              Ok
+                {
+                  scenario = s;
+                  steps = Sched.steps h.sched;
+                  net_stats = Faultnet.stats h.fnet;
+                  data_sent;
+                  retransmissions;
+                  redundant;
+                }))
+
+(* ---------------- Srikanth-Toueg broadcast under chaos ---------------- *)
+
+let run_st (s : scenario) : outcome =
+  let h = mk_harness s in
+  for pid = 0 to s.n - 1 do
+    if h.correct.(pid) then begin
+      let t =
+        St.create
+          (Rlink.as_transport (rlink h ~pid))
+          ~n:s.n ~f:s.f
+          ~accept_cb:(fun ~sender:_ ~value:_ ~seq:_ -> ())
+      in
+      h.procs.(pid) <- Some t;
+      ignore
+        (Sched.spawn h.sched ~pid ~name:(Printf.sprintf "st%d" pid)
+           ~daemon:true (fun () -> St.daemon t))
+    end
+  done;
+  (* Byzantine adversary: raw injection, subject to nothing *)
+  (match s.adversary with
+  | No_adversary | Crash -> ()
+  | Equivocator ->
+      List.iter
+        (fun pid ->
+          ignore
+            (Sched.spawn h.sched ~pid ~name:"equiv" (fun () ->
+                 let port = Net.port h.net ~pid in
+                 Net.broadcast port
+                   (Univ.inj St.bmsg_key
+                      { St.tag = St.Init; sender = pid; value = "x"; seq = 0 });
+                 Net.broadcast port
+                   (Univ.inj St.bmsg_key
+                      { St.tag = St.Init; sender = pid; value = "y"; seq = 0 }))))
+        (byzantine_pids s)
+  | Forger ->
+      List.iter
+        (fun pid ->
+          ignore
+            (Sched.spawn h.sched ~pid ~name:"forger" (fun () ->
+                 let port = Net.port h.net ~pid in
+                 (* echoes for a message nobody broadcast, plus garbage *)
+                 Net.broadcast port
+                   (Univ.inj St.bmsg_key
+                      { St.tag = St.Echo; sender = 0; value = "z"; seq = 99 });
+                 Net.broadcast port (Univ.inj Univ.int 12345))))
+        (byzantine_pids s));
+  (* correct broadcasters *)
+  List.iter
+    (fun b ->
+      ignore
+        (Sched.spawn h.sched ~pid:b ~name:(Printf.sprintf "bc%d" b) (fun () ->
+             let t = Option.get h.procs.(b) in
+             for i = 0 to s.msgs - 1 do
+               ignore (St.broadcast t (sent_value b i))
+             done)))
+    (broadcasters s);
+  (* waiters: correctness + relay for correct senders — every correct
+     process eventually accepts every correct broadcast, despite the
+     fault plan *)
+  for pid = 0 to s.n - 1 do
+    if h.correct.(pid) then
+      ignore
+        (Sched.spawn h.sched ~pid ~name:(Printf.sprintf "wait%d" pid)
+           (fun () ->
+             let t = Option.get h.procs.(pid) in
+             let all_in () =
+               List.for_all
+                 (fun b ->
+                   let ok = ref true in
+                   for i = 0 to s.msgs - 1 do
+                     if
+                       not
+                         (St.accepted t ~sender:b ~value:(sent_value b i)
+                            ~seq:i)
+                     then ok := false
+                   done;
+                   !ok)
+                 (broadcasters s)
+             in
+             while not (all_in ()) do
+               Sched.yield ()
+             done))
+  done;
+  finish s h ~post:(fun () -> None)
+
+(* ---------------- Bracha reliable broadcast under chaos -------------- *)
+
+let run_bracha (s : scenario) : outcome =
+  let h = mk_harness s in
+  (* per-pid delivered map for the agreement check *)
+  let delivered :
+      (int * int, Value.t) Hashtbl.t array =
+    Array.init s.n (fun _ -> Hashtbl.create 16)
+  in
+  for pid = 0 to s.n - 1 do
+    if h.correct.(pid) then begin
+      let p =
+        Bracha.create
+          (Rlink.as_transport (rlink h ~pid))
+          ~n:s.n ~f:s.f
+          ~deliver_cb:(fun ~sender ~value ~seq ->
+            Hashtbl.replace delivered.(pid) (sender, seq) value)
+      in
+      h.procs.(pid) <- Some p;
+      ignore
+        (Sched.spawn h.sched ~pid ~name:(Printf.sprintf "br%d" pid)
+           ~daemon:true (fun () -> Bracha.daemon p))
+    end
+  done;
+  (match s.adversary with
+  | No_adversary | Crash -> ()
+  | Equivocator ->
+      List.iter
+        (fun pid ->
+          ignore
+            (Sched.spawn h.sched ~pid ~name:"equiv" (fun () ->
+                 let port = Net.port h.net ~pid in
+                 Net.broadcast port
+                   (Univ.inj Bracha.bmsg_key
+                      {
+                        Bracha.tag = Bracha.Init;
+                        sender = pid;
+                        value = "x";
+                        seq = 0;
+                      });
+                 Net.broadcast port
+                   (Univ.inj Bracha.bmsg_key
+                      {
+                        Bracha.tag = Bracha.Init;
+                        sender = pid;
+                        value = "y";
+                        seq = 0;
+                      }))))
+        (byzantine_pids s)
+  | Forger ->
+      List.iter
+        (fun pid ->
+          ignore
+            (Sched.spawn h.sched ~pid ~name:"forger" (fun () ->
+                 let port = Net.port h.net ~pid in
+                 Net.broadcast port
+                   (Univ.inj Bracha.bmsg_key
+                      {
+                        Bracha.tag = Bracha.Ready;
+                        sender = 0;
+                        value = "z";
+                        seq = 7;
+                      });
+                 Net.broadcast port (Univ.inj Univ.int 54321))))
+        (byzantine_pids s));
+  List.iter
+    (fun b ->
+      ignore
+        (Sched.spawn h.sched ~pid:b ~name:(Printf.sprintf "bc%d" b) (fun () ->
+             let p = Option.get h.procs.(b) in
+             for i = 0 to s.msgs - 1 do
+               ignore (Bracha.broadcast p (sent_value b i))
+             done)))
+    (broadcasters s);
+  (* totality + validity waiters for correct-sender slots *)
+  for pid = 0 to s.n - 1 do
+    if h.correct.(pid) then
+      ignore
+        (Sched.spawn h.sched ~pid ~name:(Printf.sprintf "wait%d" pid)
+           (fun () ->
+             let p = Option.get h.procs.(pid) in
+             let all_in () =
+               List.for_all
+                 (fun b ->
+                   let ok = ref true in
+                   for i = 0 to s.msgs - 1 do
+                     match Bracha.delivered p ~sender:b ~seq:i with
+                     | Some v when v = sent_value b i -> ()
+                     | _ -> ok := false
+                   done;
+                   !ok)
+                 (broadcasters s)
+             in
+             while not (all_in ()) do
+               Sched.yield ()
+             done))
+  done;
+  (* agreement across correct pids for EVERY delivered slot, including a
+     Byzantine equivocator's *)
+  let post () =
+    let viol = ref None in
+    for a = 0 to s.n - 1 do
+      for b = a + 1 to s.n - 1 do
+        if h.correct.(a) && h.correct.(b) then
+          Hashtbl.iter
+            (fun slot va ->
+              match Hashtbl.find_opt delivered.(b) slot with
+              | Some vb when not (Value.equal va vb) ->
+                  let sender, seq = slot in
+                  viol :=
+                    Some
+                      (Printf.sprintf
+                         "agreement violated: p%d and p%d delivered %s vs %s \
+                          for (p%d,#%d)"
+                         a b va vb sender seq)
+              | _ -> ())
+            delivered.(a)
+      done
+    done;
+    !viol
+  in
+  finish s h ~post
+
+(* ---------------- Register emulation under chaos --------------------- *)
+
+let run_register (s : scenario) : outcome =
+  let h = mk_harness s in
+  let emu =
+    Regemu.create_on ~net:h.net
+      ~mk_ep:(fun ~pid -> Rlink.as_transport (rlink h ~pid))
+      ~n:s.n ~f:s.f
+  in
+  let cell =
+    Regemu.allocator emu ~name:"x" ~owner:0 ~init:(Univ.inj Univ.int 0) ()
+  in
+  for pid = 0 to s.n - 1 do
+    if h.correct.(pid) then
+      ignore
+        (Sched.spawn h.sched ~pid ~name:(Printf.sprintf "rep%d" pid)
+           ~daemon:true (fun () -> Regemu.replica_daemon emu ~pid))
+  done;
+  (match s.adversary with
+  | No_adversary | Crash | Equivocator -> ()
+  | Forger ->
+      (* a Byzantine replica answering reads with a forged, huge
+         timestamp — must stay below the f+1 voucher threshold *)
+      List.iter
+        (fun pid ->
+          ignore
+            (Sched.spawn h.sched ~pid ~name:"forger" ~daemon:true (fun () ->
+                 let port = Net.port h.net ~pid in
+                 while true do
+                   List.iter
+                     (fun (src, payload) ->
+                       match Univ.prj Regemu.emsg_key payload with
+                       | Some (Regemu.Rreq (reg, rid)) ->
+                           Net.send port ~dst:src
+                             (Univ.inj Regemu.emsg_key
+                                (Regemu.Rrep (reg, rid, 999, Univ.inj Univ.int 666)))
+                       | _ -> ())
+                     (Net.poll_all port);
+                   Sched.yield ()
+                 done)))
+        (byzantine_pids s));
+  let wrote_all = ref false in
+  let last = s.msgs in
+  ignore
+    (Sched.spawn h.sched ~pid:0 ~name:"writer" (fun () ->
+         for i = 1 to last do
+           cell.Lnd_runtime.Cell.cell_write (Univ.inj Univ.int i)
+         done;
+         wrote_all := true));
+  (* one concurrent reader: every value read must be genuine *)
+  let concurrent = ref [] in
+  ignore
+    (Sched.spawn h.sched ~pid:1 ~name:"reader-c" (fun () ->
+         while not !wrote_all do
+           concurrent := cell.Lnd_runtime.Cell.cell_read () :: !concurrent;
+           Sched.yield ()
+         done));
+  (* final readers: after the last write completes, a read must return
+     the last written value *)
+  let final = Array.make s.n None in
+  List.iter
+    (fun pid ->
+      if pid <> 0 && h.correct.(pid) then
+        ignore
+          (Sched.spawn h.sched ~pid ~name:(Printf.sprintf "reader%d" pid)
+             (fun () ->
+               while not !wrote_all do
+                 Sched.yield ()
+               done;
+               final.(pid) <- Some (cell.Lnd_runtime.Cell.cell_read ()))))
+    [ 1; 2 ];
+  let post () =
+    let genuine v =
+      match Univ.prj Univ.int v with
+      | Some i -> i >= 0 && i <= last
+      | None -> false
+    in
+    match List.find_opt (fun v -> not (genuine v)) !concurrent with
+    | Some v ->
+        Some
+          (Format.asprintf "concurrent read returned non-genuine value %a"
+             Univ.pp v)
+    | None ->
+        let bad = ref None in
+        Array.iteri
+          (fun pid -> function
+            | Some v when Univ.prj Univ.int v <> Some last ->
+                bad :=
+                  Some
+                    (Format.asprintf
+                       "final read on p%d returned %a, expected %d" pid
+                       Univ.pp v last)
+            | _ -> ())
+          final;
+        !bad
+  in
+  finish s h ~post
+
+let run (s : scenario) : outcome =
+  match s.protocol with
+  | St_broadcast -> run_st s
+  | Bracha_broadcast -> run_bracha s
+  | Register -> run_register s
+
+let run_seed (seed : int) : outcome = run (generate seed)

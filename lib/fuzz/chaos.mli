@@ -1,0 +1,58 @@
+(** Link-fault fuzzer: one seed = one deterministic network-fault
+    scenario — a {!Lnd_msgpass.Faultnet} plan with aggressive
+    drop/duplication/delay (>= 20% each) and a healing partition,
+    optionally composed with a Byzantine adversary — run over the
+    retransmission-hardened stack ({!Lnd_msgpass.Rlink} over
+    {!Lnd_msgpass.Faultnet}) for one of the three message-passing
+    protocols. Safety is checked unconditionally (sender authenticity,
+    agreement, genuine reads); liveness (every correct broadcast
+    accepted / delivered everywhere, writes and reads terminating) is
+    checked because every generated plan is fair-lossy. Any failure
+    replays from its seed alone. Used by the test suite and
+    [lnd_cli chaos]. *)
+
+type protocol = St_broadcast | Bracha_broadcast | Register
+
+val protocol_name : protocol -> string
+
+(** Byzantine behaviours composed with the link faults; Byzantine pids
+    inject raw traffic through a bare [Net] port, below the fault and
+    retransmission layers. *)
+type adversary =
+  | No_adversary
+  | Crash  (** Byzantine processes take no steps *)
+  | Equivocator  (** conflicting init messages for the same slot *)
+  | Forger  (** forged protocol replies / garbage payloads *)
+
+val adversary_name : adversary -> string
+
+type scenario = {
+  seed : int;
+  protocol : protocol;
+  n : int;
+  f : int;
+  plan : Lnd_msgpass.Faultnet.plan;
+  adversary : adversary;
+  msgs : int;  (** broadcasts per correct sender / writes by the owner *)
+}
+
+val pp_scenario : Format.formatter -> scenario -> unit
+
+val generate : int -> scenario
+(** Derive a scenario deterministically from a seed. *)
+
+type report = {
+  scenario : scenario;
+  steps : int;
+  net_stats : Lnd_msgpass.Faultnet.stats;
+  data_sent : int;  (** rlink data messages, summed over correct pids *)
+  retransmissions : int;
+  redundant : int;  (** duplicate deliveries suppressed by rlink *)
+}
+
+type outcome = (report, string) result
+
+val pp_report : Format.formatter -> report -> unit
+
+val run : scenario -> outcome
+val run_seed : int -> outcome

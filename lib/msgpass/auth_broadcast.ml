@@ -46,7 +46,7 @@ module PidSet = Set.Make (Int)
 module KeySet = Set.Make (Key)
 
 type t = {
-  st_port : Net.port;
+  st_ep : Transport.t;
   st_n : int;
   st_f : int;
   mutable st_echoes : PidSet.t KeyMap.t;
@@ -56,9 +56,9 @@ type t = {
   accept_cb : sender:int -> value:Value.t -> seq:int -> unit;
 }
 
-let create (port : Net.port) ~n ~f ~accept_cb : t =
+let create (ep : Transport.t) ~n ~f ~accept_cb : t =
   {
-    st_port = port;
+    st_ep = ep;
     st_n = n;
     st_f = f;
     st_echoes = KeyMap.empty;
@@ -75,14 +75,16 @@ let accepted (t : t) ~sender ~value ~seq =
 let broadcast (t : t) (value : Value.t) : int =
   let seq = t.st_next_seq in
   t.st_next_seq <- seq + 1;
-  Net.broadcast t.st_port
-    (Univ.inj bmsg_key { tag = Init; sender = t.st_port.Net.pid; value; seq });
+  Transport.broadcast t.st_ep
+    (Univ.inj bmsg_key
+       { tag = Init; sender = t.st_ep.Transport.pid; value; seq });
   seq
 
 let send_echo (t : t) ((sender, value, seq) as key : Key.t) : unit =
   if not (KeySet.mem key t.st_echoed) then begin
     t.st_echoed <- KeySet.add key t.st_echoed;
-    Net.broadcast t.st_port (Univ.inj bmsg_key { tag = Echo; sender; value; seq })
+    Transport.broadcast t.st_ep
+      (Univ.inj bmsg_key { tag = Echo; sender; value; seq })
   end
 
 let note_echo (t : t) (key : Key.t) ~(from : int) : unit =
@@ -113,7 +115,7 @@ let poll (t : t) : unit =
               (* only the sender's own channel counts as an init *)
               if src = m.sender then send_echo t (m.sender, m.value, m.seq)
           | Echo -> note_echo t (m.sender, m.value, m.seq) ~from:src))
-    (Net.poll_all t.st_port)
+    (t.st_ep.Transport.poll_all ())
 
 (* Run as a daemon fiber: keep processing messages forever. *)
 let daemon (t : t) : unit =

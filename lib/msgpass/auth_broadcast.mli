@@ -21,11 +21,13 @@ type t
 (** Per-process protocol state. *)
 
 val create :
-  Net.port ->
+  Transport.t ->
   n:int ->
   f:int ->
   accept_cb:(sender:int -> value:Value.t -> seq:int -> unit) ->
   t
+(** Network-agnostic: pass [Transport.of_net] for reliable links, or an
+    {!Rlink} transport over {!Faultnet} for the fault-hardened stack. *)
 
 val accepted : t -> sender:int -> value:Value.t -> seq:int -> bool
 

@@ -53,7 +53,7 @@ type support = {
 }
 
 type proc = {
-  port : Net.port;
+  ep : Transport.t;
   n : int;
   f : int;
   mutable echoed_for : Value.t SlotMap.t; (* the unique value echoed per slot *)
@@ -64,9 +64,9 @@ type proc = {
   deliver_cb : sender:int -> value:Value.t -> seq:int -> unit;
 }
 
-let create (port : Net.port) ~n ~f ~deliver_cb : proc =
+let create (ep : Transport.t) ~n ~f ~deliver_cb : proc =
   {
-    port;
+    ep;
     n;
     f;
     echoed_for = SlotMap.empty;
@@ -83,8 +83,8 @@ let delivered (p : proc) ~sender ~seq : Value.t option =
 let broadcast (p : proc) (value : Value.t) : int =
   let seq = p.next_seq in
   p.next_seq <- seq + 1;
-  Net.broadcast p.port
-    (Univ.inj bmsg_key { tag = Init; sender = p.port.Net.pid; value; seq });
+  Transport.broadcast p.ep
+    (Univ.inj bmsg_key { tag = Init; sender = p.ep.Transport.pid; value; seq });
   seq
 
 let support_of (p : proc) key =
@@ -98,13 +98,15 @@ let support_of (p : proc) key =
 let send_echo (p : proc) ~sender ~value ~seq =
   if not (SlotMap.mem (sender, seq) p.echoed_for) then begin
     p.echoed_for <- SlotMap.add (sender, seq) value p.echoed_for;
-    Net.broadcast p.port (Univ.inj bmsg_key { tag = Echo; sender; value; seq })
+    Transport.broadcast p.ep
+      (Univ.inj bmsg_key { tag = Echo; sender; value; seq })
   end
 
 let send_ready (p : proc) ~sender ~value ~seq =
   if not (SlotMap.mem (sender, seq) p.ready_for) then begin
     p.ready_for <- SlotMap.add (sender, seq) value p.ready_for;
-    Net.broadcast p.port (Univ.inj bmsg_key { tag = Ready; sender; value; seq })
+    Transport.broadcast p.ep
+      (Univ.inj bmsg_key { tag = Ready; sender; value; seq })
   end
 
 let try_deliver (p : proc) ~sender ~value ~seq =
@@ -138,7 +140,7 @@ let poll (p : proc) : unit =
       match Univ.prj bmsg_key payload with
       | Some m -> handle p ~src m
       | None -> ())
-    (Net.poll_all p.port)
+    (p.ep.Transport.poll_all ())
 
 let daemon (p : proc) : unit =
   while true do

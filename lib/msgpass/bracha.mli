@@ -25,11 +25,13 @@ type proc
 (** Per-process protocol state. *)
 
 val create :
-  Net.port ->
+  Transport.t ->
   n:int ->
   f:int ->
   deliver_cb:(sender:int -> value:Value.t -> seq:int -> unit) ->
   proc
+(** Network-agnostic: pass [Transport.of_net] for reliable links, or an
+    {!Rlink} transport over {!Faultnet} for the fault-hardened stack. *)
 
 val delivered : proc -> sender:int -> seq:int -> Value.t option
 

@@ -1,0 +1,88 @@
+(** Seeded network fault injection over {!Net}: fair-lossy links.
+
+    Interposes on send/poll with a fully deterministic fault plan — per
+    directed link message drop, duplication, bounded delay (which
+    doubles as reordering: a delayed message is overtaken by later,
+    less-delayed ones), and dynamic partitions that heal. All decisions
+    are drawn from per-link PRNG streams derived from the plan seed, and
+    delivery times are logical-clock stamps, so one (plan, policy) pair
+    replays an identical delivery trace — the lnd_fuzz
+    one-seed-one-scenario contract.
+
+    Fairness: random drops on a link are capped at [fair_burst]
+    consecutive losses, so a message retransmitted forever is eventually
+    delivered (the fair-lossy assumption {!Rlink} needs for liveness).
+    Partition losses are exempt — a cut link delivers nothing until the
+    partition heals. Self-links (src = dst) are exempt from all faults.
+
+    With the {!zero} plan the wrapper is behaviourally identical to
+    {!Net}: same delivery order, same scheduling points, zero overhead.
+
+    Sender authentication is inherited from {!Net}: the wrapper uses the
+    same owner-enforced per-(src,dst) channel registers, so a Byzantine
+    process still cannot forge another pid's messages. *)
+
+open Lnd_support
+
+val fenv_key : (int * Univ.t) Univ.key
+(** The wire envelope: (deliver-at-clock, payload). Exposed for
+    introspection in tests; raw un-enveloped payloads (Byzantine
+    injection through a bare [Net] port) are delivered immediately. *)
+
+type partition = {
+  cut_from : int;  (** first clock tick of the cut *)
+  cut_until : int;  (** first tick after healing *)
+  island : int list;  (** pids on one side of the cut *)
+}
+
+type plan = {
+  fault_seed : int;
+  drop_pct : int;  (** random per-message loss, percent *)
+  dup_pct : int;  (** duplicate delivery, percent *)
+  delay_pct : int;  (** chance of nonzero latency, percent *)
+  max_delay : int;  (** latency bound in logical-clock ticks *)
+  fair_burst : int;
+      (** max consecutive random drops per link; [<= 0] disables the cap
+          (the link is then lossy but NOT fair-lossy) *)
+  partitions : partition list;
+}
+
+val zero : plan
+(** The all-zero plan: no faults, behaviourally identical to {!Net}. *)
+
+val pp_plan : Format.formatter -> plan -> unit
+
+type stats = {
+  sent : int;  (** messages offered to the fault layer *)
+  dropped : int;  (** random losses *)
+  cut : int;  (** partition losses *)
+  duplicated : int;  (** extra copies injected *)
+  delayed : int;  (** messages given nonzero latency *)
+}
+
+type t
+
+val wrap : Net.t -> plan -> t
+(** Wrap a network in a fault plan. Fault state is per directed link and
+    shared by every port of the wrapper. *)
+
+val stats : t -> stats
+
+type port
+
+val port : t -> pid:int -> port
+(** A fault-injecting endpoint for [pid] (independent receive cursors
+    and delay queues per port, like {!Net.port}). *)
+
+val send : port -> dst:int -> Univ.t -> unit
+val broadcast : port -> Univ.t -> unit
+
+val poll_from : port -> src:int -> Univ.t list
+(** Deliverable messages from [src]: new arrivals plus any previously
+    held-back messages whose delivery stamp has been reached, ordered by
+    (stamp, arrival). *)
+
+val poll_all : port -> (int * Univ.t) list
+
+val transport : t -> pid:int -> Transport.t
+(** A fresh {!port} packaged as a {!Transport.t}. *)

@@ -84,9 +84,10 @@ let poll_from (p : port) ~(src : int) : Univ.t list =
 (* Poll every channel once; returns (src, payload) pairs, oldest first per
    source. n register reads. *)
 let poll_all (p : port) : (int * Univ.t) list =
+  (* Accumulate reversed and flip once at the end: one cons per message,
+     no per-source list append. *)
   let acc = ref [] in
-  for src = p.net.n - 1 downto 0 do
-    let msgs = poll_from p ~src in
-    acc := List.map (fun m -> (src, m)) msgs @ !acc
+  for src = 0 to p.net.n - 1 do
+    List.iter (fun m -> acc := (src, m) :: !acc) (poll_from p ~src)
   done;
-  !acc
+  List.rev !acc

@@ -23,6 +23,15 @@
      rid. Relay-convergence of the echo layer makes every read terminate,
      and 2f+1 support means at least f+1 correct vouchers.
 
+   Each process owns a SINGLE transport endpoint, and the replica daemon
+   is its sole pump: it dispatches replica-bound traffic (wreq, wecho,
+   rreq) to the replica state and client-bound traffic (wack, rrep) into
+   the client-side tables, which the blocking write/read operations
+   merely observe between yields. One endpoint per pid is what lets the
+   whole emulation sit behind a sequenced reliable link ({!Rlink} over
+   {!Faultnet}): a per-pid sequence space, one ack stream, no duplicated
+   fault decisions across cursors.
+
    Semantics note (documented in DESIGN.md): this emulation is simpler
    than [9]'s full atomic construction; it guarantees that reads return
    genuinely-written (or initial) values and that each replica's view is
@@ -81,19 +90,7 @@ let fp (v : Univ.t) : string = Format.asprintf "%a" Univ.pp v
 
 type meta = { owner : int; init : Univ.t }
 
-type t = {
-  net : Net.t;
-  n : int;
-  f : int;
-  metas : (int, meta) Hashtbl.t; (* reg id -> meta *)
-  mutable next_reg : int;
-  (* per-pid endpoint state, created lazily *)
-  replicas : replica option array;
-  clients : client option array;
-}
-
-and replica = {
-  rep_port : Net.port;
+type replica = {
   (* reg -> current accepted (ts, fingerprint, value) *)
   current : (int, int * string * Univ.t) Hashtbl.t;
   (* (reg, ts, fingerprint) -> (value, echoers) *)
@@ -102,8 +99,7 @@ and replica = {
   rep_accepted : (int * int * string, unit) Hashtbl.t;
 }
 
-and client = {
-  cl_port : Net.port;
+type client = {
   mutable next_rid : int;
   wts : (int, int ref) Hashtbl.t; (* per-register write timestamp *)
   acks : (int * int, PidSet.t ref) Hashtbl.t; (* (reg, ts) -> ackers *)
@@ -111,23 +107,50 @@ and client = {
       (* rid -> (src, ts, v) replies *)
 }
 
-let create space ~n ~f : t =
+type t = {
+  net : Net.t;
+  mk_ep : pid:int -> Transport.t;
+  n : int;
+  f : int;
+  metas : (int, meta) Hashtbl.t; (* reg id -> meta *)
+  mutable next_reg : int;
+  (* per-pid endpoint and protocol state, created lazily *)
+  eps : Transport.t option array;
+  replicas : replica option array;
+  clients : client option array;
+}
+
+let create_on ~(net : Net.t) ~mk_ep ~n ~f : t =
   {
-    net = Net.create space ~n;
+    net;
+    mk_ep;
     n;
     f;
     metas = Hashtbl.create 64;
     next_reg = 0;
+    eps = Array.make n None;
     replicas = Array.make n None;
     clients = Array.make n None;
   }
+
+let create space ~n ~f : t =
+  let net = Net.create space ~n in
+  create_on ~net
+    ~mk_ep:(fun ~pid -> Transport.of_net (Net.port net ~pid))
+    ~n ~f
+
+let endpoint t ~pid : Transport.t =
+  match t.eps.(pid) with
+  | Some ep -> ep
+  | None ->
+      let ep = t.mk_ep ~pid in
+      t.eps.(pid) <- Some ep;
+      ep
 
 let meta t reg =
   match Hashtbl.find_opt t.metas reg with
   | Some m -> m
   | None -> invalid_arg "Regemu: unknown register"
-
-(* ---------------- Replica (one daemon per process) ---------------- *)
 
 let replica_state t ~pid : replica =
   match t.replicas.(pid) with
@@ -135,7 +158,6 @@ let replica_state t ~pid : replica =
   | None ->
       let r =
         {
-          rep_port = Net.port t.net ~pid;
           current = Hashtbl.create 64;
           rep_echoes = Hashtbl.create 64;
           rep_echoed = Hashtbl.create 64;
@@ -144,6 +166,23 @@ let replica_state t ~pid : replica =
       in
       t.replicas.(pid) <- Some r;
       r
+
+let client_state t ~pid : client =
+  match t.clients.(pid) with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          next_rid = 0;
+          wts = Hashtbl.create 16;
+          acks = Hashtbl.create 16;
+          reps = Hashtbl.create 16;
+        }
+      in
+      t.clients.(pid) <- Some c;
+      c
+
+(* ---------------- Replica side ---------------- *)
 
 let rep_current t (r : replica) reg : int * string * Univ.t =
   match Hashtbl.find_opt r.current reg with
@@ -156,13 +195,13 @@ let rep_adopt t (r : replica) reg ts f_ v =
   let cts, cfp, _ = rep_current t r reg in
   if (ts, f_) > (cts, cfp) then Hashtbl.replace r.current reg (ts, f_, v)
 
-let rep_send_echo (r : replica) reg ts f_ v =
+let rep_send_echo (r : replica) (ep : Transport.t) reg ts f_ v =
   if not (Hashtbl.mem r.rep_echoed (reg, ts, f_)) then begin
     Hashtbl.replace r.rep_echoed (reg, ts, f_) ();
-    Net.broadcast r.rep_port (Univ.inj emsg_key (Wecho (reg, ts, v)))
+    Transport.broadcast ep (Univ.inj emsg_key (Wecho (reg, ts, v)))
   end
 
-let rep_note_echo t (r : replica) reg ts f_ v ~from =
+let rep_note_echo t (r : replica) (ep : Transport.t) reg ts f_ v ~from =
   let _, set =
     match Hashtbl.find_opt r.rep_echoes (reg, ts, f_) with
     | Some p -> p
@@ -173,110 +212,96 @@ let rep_note_echo t (r : replica) reg ts f_ v ~from =
   in
   set := PidSet.add from !set;
   let count = PidSet.cardinal !set in
-  if count >= t.f + 1 then rep_send_echo r reg ts f_ v;
+  if count >= t.f + 1 then rep_send_echo r ep reg ts f_ v;
   if count >= (2 * t.f) + 1 && not (Hashtbl.mem r.rep_accepted (reg, ts, f_))
   then begin
     Hashtbl.replace r.rep_accepted (reg, ts, f_) ();
     rep_adopt t r reg ts f_ v;
-    Net.send r.rep_port ~dst:(meta t reg).owner (Univ.inj emsg_key (Wack (reg, ts)))
+    ep.Transport.send ~dst:(meta t reg).owner
+      (Univ.inj emsg_key (Wack (reg, ts)))
   end
 
-let rec rep_handle t (r : replica) ~src ~out (m : emsg) =
-  match m with
-  | Wreq (reg, ts, v) ->
-      if Hashtbl.mem t.metas reg && src = (meta t reg).owner then
-        rep_send_echo r reg ts (fp v) v
-  | Wecho (reg, ts, v) ->
-      if Hashtbl.mem t.metas reg then rep_note_echo t r reg ts (fp v) v ~from:src
-  | Rreq (reg, rid) ->
-      if Hashtbl.mem t.metas reg then begin
-        let ts, _, v = rep_current t r reg in
-        out ~dst:src (Rrep (reg, rid, ts, v))
-      end
-  | Batch l -> List.iter (rep_handle t r ~src ~out) l
-  | Wack _ | Rrep _ -> () (* client-side messages *)
+(* ---------------- Client-bound dispatch ---------------- *)
+
+let cl_note_ack (c : client) reg ts ~src =
+  let set =
+    match Hashtbl.find_opt c.acks (reg, ts) with
+    | Some s -> s
+    | None ->
+        let s = ref PidSet.empty in
+        Hashtbl.replace c.acks (reg, ts) s;
+        s
+  in
+  set := PidSet.add src !set
+
+let cl_note_rep (c : client) rid ts v ~src =
+  let l =
+    match Hashtbl.find_opt c.reps rid with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace c.reps rid l;
+        l
+  in
+  if not (List.exists (fun (s, _, _) -> s = src) !l) then
+    l := (src, ts, v) :: !l
+
+(* ---------------- The per-process pump ---------------- *)
 
 (* Handle one batch of incoming messages; all read-replies to the same
-   destination leave as a single Batch message, so the per-iteration reply
-   cost is bounded by n sends however large the backlog. *)
-let rep_poll t (r : replica) =
+   destination leave as a single Batch message, so the per-iteration
+   reply cost is bounded by n sends however large the backlog. The pump
+   is the only reader of the pid's endpoint: replica-bound messages go
+   to the replica state, client-bound ones into the client tables. *)
+let pump t ~pid =
+  let ep = endpoint t ~pid in
+  let r = replica_state t ~pid in
+  let c = client_state t ~pid in
   let outbox : (int, emsg list ref) Hashtbl.t = Hashtbl.create 8 in
   let out ~dst m =
     match Hashtbl.find_opt outbox dst with
     | Some l -> l := m :: !l
     | None -> Hashtbl.replace outbox dst (ref [ m ])
   in
-  List.iter
-    (fun (src, payload) ->
-      match Univ.prj emsg_key payload with
-      | Some m -> rep_handle t r ~src ~out m
-      | None -> ())
-    (Net.poll_all r.rep_port);
-  Hashtbl.iter
-    (fun dst l ->
-      let msg = match !l with [ m ] -> m | ms -> Batch (List.rev ms) in
-      Net.send r.rep_port ~dst (Univ.inj emsg_key msg))
-    outbox
-
-(* The replica daemon each correct process must run. *)
-let replica_daemon t ~pid : unit =
-  let r = replica_state t ~pid in
-  while true do
-    rep_poll t r;
-    Sched.yield ()
-  done
-
-(* ---------------- Client side (the emulated Cell operations) -------- *)
-
-let client_state t ~pid : client =
-  match t.clients.(pid) with
-  | Some c -> c
-  | None ->
-      let c =
-        {
-          cl_port = Net.port t.net ~pid;
-          next_rid = 0;
-          wts = Hashtbl.create 16;
-          acks = Hashtbl.create 16;
-          reps = Hashtbl.create 16;
-        }
-      in
-      t.clients.(pid) <- Some c;
-      c
-
-let cl_pump (c : client) =
-  let rec handle src m =
+  let rec handle ~src (m : emsg) =
     match m with
-    | Wack (reg, ts) ->
-        let set =
-          match Hashtbl.find_opt c.acks (reg, ts) with
-          | Some s -> s
-          | None ->
-              let s = ref PidSet.empty in
-              Hashtbl.replace c.acks (reg, ts) s;
-              s
-        in
-        set := PidSet.add src !set
-    | Rrep (_, rid, ts, v) ->
-        let l =
-          match Hashtbl.find_opt c.reps rid with
-          | Some l -> l
-          | None ->
-              let l = ref [] in
-              Hashtbl.replace c.reps rid l;
-              l
-        in
-        if not (List.exists (fun (s, _, _) -> s = src) !l) then
-          l := (src, ts, v) :: !l
-    | Batch l -> List.iter (handle src) l
-    | Wreq _ | Wecho _ | Rreq _ -> ()
+    | Wreq (reg, ts, v) ->
+        if Hashtbl.mem t.metas reg && src = (meta t reg).owner then
+          rep_send_echo r ep reg ts (fp v) v
+    | Wecho (reg, ts, v) ->
+        if Hashtbl.mem t.metas reg then
+          rep_note_echo t r ep reg ts (fp v) v ~from:src
+    | Rreq (reg, rid) ->
+        if Hashtbl.mem t.metas reg then begin
+          let ts, _, v = rep_current t r reg in
+          out ~dst:src (Rrep (reg, rid, ts, v))
+        end
+    | Wack (reg, ts) -> cl_note_ack c reg ts ~src
+    | Rrep (_, rid, ts, v) -> cl_note_rep c rid ts v ~src
+    | Batch l -> List.iter (handle ~src) l
   in
   List.iter
     (fun (src, payload) ->
       match Univ.prj emsg_key payload with
-      | Some m -> handle src m
+      | Some m -> handle ~src m
       | None -> ())
-    (Net.poll_all c.cl_port)
+    (ep.Transport.poll_all ());
+  Hashtbl.iter
+    (fun dst l ->
+      let msg = match !l with [ m ] -> m | ms -> Batch (List.rev ms) in
+      ep.Transport.send ~dst (Univ.inj emsg_key msg))
+    outbox
+
+(* The replica daemon each correct process must run. It is also the
+   pid's message pump: blocking client operations on the same pid rely
+   on it to deliver their acks and read replies. *)
+let replica_daemon t ~pid : unit =
+  while true do
+    pump t ~pid;
+    Sched.yield ()
+  done
+
+(* ---------------- Client side (the emulated Cell operations) -------- *)
 
 let emu_write t reg (v : Univ.t) : unit =
   let pid = Sched.self () in
@@ -285,6 +310,7 @@ let emu_write t reg (v : Univ.t) : unit =
     raise
       (Space.Permission_violation
          { pid; reg = Printf.sprintf "emu#%d" reg; op = "write" });
+  let ep = endpoint t ~pid in
   let c = client_state t ~pid in
   let tsr =
     match Hashtbl.find_opt c.wts reg with
@@ -296,10 +322,9 @@ let emu_write t reg (v : Univ.t) : unit =
   in
   incr tsr;
   let ts = !tsr in
-  Net.broadcast c.cl_port (Univ.inj emsg_key (Wreq (reg, ts, v)));
+  Transport.broadcast ep (Univ.inj emsg_key (Wreq (reg, ts, v)));
   let done_ = ref false in
   while not !done_ do
-    cl_pump c;
     (match Hashtbl.find_opt c.acks (reg, ts) with
     | Some s when PidSet.cardinal !s >= t.n - t.f -> done_ := true
     | _ -> ());
@@ -308,16 +333,16 @@ let emu_write t reg (v : Univ.t) : unit =
 
 let emu_read t reg : Univ.t =
   let pid = Sched.self () in
+  let ep = endpoint t ~pid in
   let c = client_state t ~pid in
   let result = ref None in
   while !result = None do
     let rid = c.next_rid in
     c.next_rid <- rid + 1;
-    Net.broadcast c.cl_port (Univ.inj emsg_key (Rreq (reg, rid)));
+    Transport.broadcast ep (Univ.inj emsg_key (Rreq (reg, rid)));
     (* collect replies for this rid from >= n-f distinct replicas *)
     let round_done = ref false in
     while not !round_done do
-      cl_pump c;
       match Hashtbl.find_opt c.reps rid with
       | Some l when List.length !l >= t.n - t.f -> round_done := true
       | _ -> Sched.yield ()

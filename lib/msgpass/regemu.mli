@@ -14,6 +14,13 @@
     batching, aggregate reply work exceeds the replicas' fair share of
     scheduling steps and backlogs grow without bound.
 
+    Each process owns a single transport endpoint and the replica daemon
+    is its sole pump: it dispatches replica-bound traffic into replica
+    state and client-bound traffic (acks, read replies) into the client
+    tables that blocking operations observe between yields. This is what
+    lets the whole emulation run unchanged over the fault-hardened stack
+    ({!Rlink} over {!Faultnet}) via {!create_on}.
+
     Fidelity note (DESIGN.md §4.7): simpler than [9]'s full atomic
     construction; genuineness and per-replica monotonicity are
     guaranteed, full atomicity is validated empirically per recorded run.
@@ -41,9 +48,22 @@ val fp : Univ.t -> string
 (** Value fingerprint used for deterministic tie-breaking and echo-count
     bucketing. *)
 
+type t = {
+  net : Net.t;
+  mk_ep : pid:int -> Transport.t;
+  n : int;
+  f : int;
+  metas : (int, meta) Hashtbl.t;
+  mutable next_reg : int;
+  eps : Transport.t option array;
+  replicas : replica option array;
+  clients : client option array;
+}
+
+and meta = { owner : int; init : Univ.t }
+
 (** Per-process replica state (transparent for test introspection). *)
-type replica = {
-  rep_port : Net.port;
+and replica = {
   current : (int, int * string * Univ.t) Hashtbl.t;
       (** reg -> accepted (ts, fingerprint, value) *)
   rep_echoes : (int * int * string, Univ.t * Set.Make(Int).t ref) Hashtbl.t;
@@ -52,30 +72,27 @@ type replica = {
 }
 
 (** Per-process client state. *)
-type client = {
-  cl_port : Net.port;
+and client = {
   mutable next_rid : int;
   wts : (int, int ref) Hashtbl.t;
   acks : (int * int, Set.Make(Int).t ref) Hashtbl.t;
   reps : (int, (int * int * Univ.t) list ref) Hashtbl.t;
 }
 
-type t = {
-  net : Net.t;
-  n : int;
-  f : int;
-  metas : (int, meta) Hashtbl.t;
-  mutable next_reg : int;
-  replicas : replica option array;
-  clients : client option array;
-}
-
-and meta = { owner : int; init : Univ.t }
-
 val create : Lnd_shm.Space.t -> n:int -> f:int -> t
+(** Fresh emulation over a perfectly reliable {!Net} in [space] — each
+    pid's endpoint is [Transport.of_net]. *)
+
+val create_on : net:Net.t -> mk_ep:(pid:int -> Transport.t) -> n:int -> f:int -> t
+(** General constructor: [net] is the underlying network (kept for raw
+    Byzantine injection and [messages_sent]); [mk_ep ~pid] builds the
+    single endpoint each pid's traffic flows through — e.g. an {!Rlink}
+    transport over a {!Faultnet} port for the fault-hardened stack. *)
 
 val replica_daemon : t -> pid:int -> unit
-(** The replica daemon each correct process must run (daemon fiber). *)
+(** The replica daemon each correct process must run (daemon fiber). It
+    is also the pid's only message pump: blocking client operations on
+    the same pid rely on it for their acks and read replies. *)
 
 val allocator : t -> Lnd_runtime.Cell.allocator
 (** Allocate emulated registers (call during system setup, before running

@@ -1,0 +1,199 @@
+(* Reliable links over a lossy transport: sequence numbers, ack-driven
+   retransmission with capped exponential backoff, and duplicate
+   suppression.
+
+   Every outgoing payload is wrapped as DATA(seq, payload) with a
+   per-destination sequence number and kept in an unacked table; the
+   receiver answers every DATA with ACK(seq) (every copy — the previous
+   ack may itself have been lost) and delivers the payload at most once,
+   suppressing retransmitted and network-duplicated copies. Unacked
+   messages are retransmitted whenever a poll finds their backoff timer
+   expired; the timer is measured in logical-clock ticks (the scheduler
+   clock advances once per step, so ticks are the simulator's notion of
+   time) and doubles on every retransmission up to a cap.
+
+   Safety (at-most-once, sender authenticity) holds over ANY fault plan;
+   liveness (exactly-once eventual delivery) needs the transport to be
+   fair-lossy — infinitely many retransmissions cannot all be lost —
+   which [Faultnet]'s fair_burst cap guarantees, provided partitions
+   heal. Over a perfectly reliable transport the layer is inert: no
+   backoff timer fires before the first ack arrives (retransmissions
+   stay at 0), and the only overhead is one ACK per DATA.
+
+   Raw payloads that are not rlink envelopes — Byzantine fibers
+   injecting protocol messages straight into the channel logs — are
+   passed through to the consumer unsequenced and unacked: Byzantine
+   senders do not get reliability, which is their problem, not ours.
+
+   The layer is deliberately NOT FIFO: delivery order is whatever the
+   network produces (the consumers — threshold broadcast protocols and
+   the register emulation — are insensitive to reordering, and holding
+   back gaps would add latency for nothing). Sequence numbers exist for
+   dedup and retransmission only. *)
+
+open Lnd_support
+open Lnd_runtime
+
+type renv = Data of int * Univ.t | Ack of int
+
+let renv_key : renv Univ.key =
+  Univ.key ~name:"rlink"
+    ~pp:(fun fmt -> function
+      | Data (seq, p) -> Format.fprintf fmt "data#%d:%a" seq Univ.pp p
+      | Ack seq -> Format.fprintf fmt "ack#%d" seq)
+    ~equal:(fun a b ->
+      match (a, b) with
+      | Data (s1, p1), Data (s2, p2) -> s1 = s2 && Univ.equal p1 p2
+      | Ack s1, Ack s2 -> s1 = s2
+      | (Data _ | Ack _), _ -> false)
+
+type cfg = {
+  base_backoff : int; (* ticks before the first retransmission *)
+  max_backoff : int; (* backoff cap (doubling stops here) *)
+}
+
+let default_cfg = { base_backoff = 1_500; max_backoff = 24_000 }
+
+type out_entry = {
+  o_dst : int;
+  o_seq : int;
+  o_payload : Univ.t;
+  mutable o_last_tx : int; (* clock at last transmission *)
+  mutable o_backoff : int;
+}
+
+type t = {
+  tr : Transport.t;
+  cfg : cfg;
+  out : (int * int, out_entry) Hashtbl.t; (* (dst, seq) -> in flight *)
+  next_seq : int array; (* per destination *)
+  seen_upto : int array; (* per source: all seq < this delivered *)
+  seen_ahead : (int * int, unit) Hashtbl.t; (* (src, seq) past the prefix *)
+  mutable st_data : int; (* first transmissions *)
+  mutable st_retrans : int; (* retransmissions *)
+  mutable st_acks : int; (* acks sent *)
+  mutable st_redundant : int; (* duplicate DATA suppressed *)
+  mutable st_raw : int; (* un-enveloped payloads passed through *)
+}
+
+let create ?(cfg = default_cfg) (tr : Transport.t) : t =
+  {
+    tr;
+    cfg;
+    out = Hashtbl.create 64;
+    next_seq = Array.make tr.Transport.n 0;
+    seen_upto = Array.make tr.Transport.n 0;
+    seen_ahead = Hashtbl.create 64;
+    st_data = 0;
+    st_retrans = 0;
+    st_acks = 0;
+    st_redundant = 0;
+    st_raw = 0;
+  }
+
+type stats = {
+  data_sent : int;
+  retransmissions : int;
+  acks_sent : int;
+  redundant : int;
+  raw_passed : int;
+}
+
+let stats (t : t) : stats =
+  {
+    data_sent = t.st_data;
+    retransmissions = t.st_retrans;
+    acks_sent = t.st_acks;
+    redundant = t.st_redundant;
+    raw_passed = t.st_raw;
+  }
+
+let pending (t : t) : int = Hashtbl.length t.out
+
+let send (t : t) ~(dst : int) (payload : Univ.t) : unit =
+  let seq = t.next_seq.(dst) in
+  t.next_seq.(dst) <- seq + 1;
+  let e =
+    {
+      o_dst = dst;
+      o_seq = seq;
+      o_payload = payload;
+      o_last_tx = Sched.now ();
+      o_backoff = t.cfg.base_backoff;
+    }
+  in
+  Hashtbl.replace t.out (dst, seq) e;
+  t.st_data <- t.st_data + 1;
+  t.tr.Transport.send ~dst (Univ.inj renv_key (Data (seq, payload)))
+
+let broadcast (t : t) (payload : Univ.t) : unit =
+  for dst = 0 to t.tr.Transport.n - 1 do
+    send t ~dst payload
+  done
+
+let is_new (t : t) ~src ~seq =
+  seq >= t.seen_upto.(src) && not (Hashtbl.mem t.seen_ahead (src, seq))
+
+let mark_seen (t : t) ~src ~seq =
+  Hashtbl.replace t.seen_ahead (src, seq) ();
+  (* advance the contiguous prefix to keep the ahead-set small *)
+  while Hashtbl.mem t.seen_ahead (src, t.seen_upto.(src)) do
+    Hashtbl.remove t.seen_ahead (src, t.seen_upto.(src));
+    t.seen_upto.(src) <- t.seen_upto.(src) + 1
+  done
+
+(* One pump: classify incoming, then ack, then retransmit due entries.
+   Every transport send is a scheduling point, so all table reads are
+   snapshotted into lists first — a concurrent fiber of the same pid
+   (client op vs protocol daemon sharing one rlink) may mutate the
+   tables between sends; at worst a message just acked is retransmitted
+   once more, which the receiver's dedup absorbs. *)
+let poll_all (t : t) : (int * Univ.t) list =
+  let incoming = t.tr.Transport.poll_all () in
+  let delivered = ref [] and to_ack = ref [] in
+  List.iter
+    (fun (src, u) ->
+      match Univ.prj renv_key u with
+      | Some (Data (seq, payload)) ->
+          (* ack every copy: the previous ack may have been lost *)
+          to_ack := (src, seq) :: !to_ack;
+          if is_new t ~src ~seq then begin
+            mark_seen t ~src ~seq;
+            delivered := (src, payload) :: !delivered
+          end
+          else t.st_redundant <- t.st_redundant + 1
+      | Some (Ack seq) -> Hashtbl.remove t.out (src, seq)
+      | None ->
+          (* raw Byzantine traffic: pass through, unsequenced *)
+          t.st_raw <- t.st_raw + 1;
+          delivered := (src, u) :: !delivered)
+    incoming;
+  List.iter
+    (fun (src, seq) ->
+      t.st_acks <- t.st_acks + 1;
+      t.tr.Transport.send ~dst:src (Univ.inj renv_key (Ack seq)))
+    (List.rev !to_ack);
+  let now = Sched.now () in
+  let due =
+    Hashtbl.fold
+      (fun _ e acc -> if now - e.o_last_tx >= e.o_backoff then e :: acc else acc)
+      t.out []
+    |> List.sort (fun a b -> compare (a.o_dst, a.o_seq) (b.o_dst, b.o_seq))
+  in
+  List.iter
+    (fun e ->
+      e.o_last_tx <- now;
+      e.o_backoff <- min (2 * e.o_backoff) t.cfg.max_backoff;
+      t.st_retrans <- t.st_retrans + 1;
+      t.tr.Transport.send ~dst:e.o_dst
+        (Univ.inj renv_key (Data (e.o_seq, e.o_payload))))
+    due;
+  List.rev !delivered
+
+let as_transport (t : t) : Transport.t =
+  {
+    Transport.pid = t.tr.Transport.pid;
+    n = t.tr.Transport.n;
+    send = (fun ~dst payload -> send t ~dst payload);
+    poll_all = (fun () -> poll_all t);
+  }

@@ -1,0 +1,66 @@
+(** Reliable links over a lossy transport: sequence numbers, ack-driven
+    retransmission with capped exponential backoff (in logical-clock
+    ticks), and duplicate suppression.
+
+    Stack this on a {!Faultnet} transport to recover exactly-once
+    delivery for the protocol layer: safety (at-most-once delivery,
+    sender authenticity) holds over any fault plan; liveness
+    (exactly-once eventual delivery) holds over fair-lossy plans —
+    bounded drop bursts, healed partitions. Over a perfectly reliable
+    transport the layer is inert: retransmissions stay at 0 and the only
+    overhead is one ack per data message.
+
+    Delivery is deliberately NOT FIFO: consumers (threshold broadcasts,
+    the register emulation) are reorder-insensitive, and sequence
+    numbers exist for dedup and retransmission only. Raw payloads that
+    are not rlink envelopes (Byzantine injection) pass through
+    unsequenced and unacked.
+
+    Retransmission is driven by {!poll_all} — the owner must pump it
+    regularly (protocol daemons poll in a loop, so they do). *)
+
+open Lnd_support
+
+(** The wire envelope. Exposed so tests and Byzantine fibers can forge
+    protocol traffic. *)
+type renv = Data of int * Univ.t | Ack of int
+
+val renv_key : renv Univ.key
+
+type cfg = {
+  base_backoff : int;  (** ticks before the first retransmission *)
+  max_backoff : int;  (** backoff cap (doubling stops here) *)
+}
+
+val default_cfg : cfg
+(** Safely above the ack round-trip of fault-free scheduling, so a
+    reliable network sees zero retransmissions. *)
+
+type t
+
+val create : ?cfg:cfg -> Transport.t -> t
+
+val send : t -> dst:int -> Univ.t -> unit
+val broadcast : t -> Univ.t -> unit
+
+val poll_all : t -> (int * Univ.t) list
+(** Deliver new messages (duplicates suppressed, acks consumed), ack
+    every received data copy, and retransmit every unacked message whose
+    backoff expired. *)
+
+val as_transport : t -> Transport.t
+(** The reliable link packaged as a {!Transport.t} — the protocol layer
+    cannot tell it from a raw network. *)
+
+val pending : t -> int
+(** Unacked in-flight messages (0 at quiescence on a fair-lossy link). *)
+
+type stats = {
+  data_sent : int;
+  retransmissions : int;
+  acks_sent : int;
+  redundant : int;  (** duplicate data suppressed *)
+  raw_passed : int;  (** un-enveloped payloads passed through *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,32 @@
+(* A process's sending/receiving endpoint, as a record of functions: the
+   seam between the protocol layer (Srikanth-Toueg broadcast, Bracha,
+   the register emulation) and whatever network stack it runs over —
+   the perfectly reliable [Net], the fault-injecting [Faultnet], or the
+   retransmission layer [Rlink] stacked on either. Protocols written
+   against this interface are network-agnostic, so the same code runs
+   over reliable FIFO links in the unit tests and over seeded fair-lossy
+   links in the chaos harness. *)
+
+open Lnd_support
+
+type t = {
+  pid : int; (* the process this endpoint belongs to *)
+  n : int; (* system size (for broadcast) *)
+  send : dst:int -> Univ.t -> unit;
+  poll_all : unit -> (int * Univ.t) list;
+      (* all pending deliveries, (src, payload) pairs; also the layer's
+         pump — acks and retransmissions happen inside poll_all calls *)
+}
+
+let broadcast (t : t) (payload : Univ.t) : unit =
+  for dst = 0 to t.n - 1 do
+    t.send ~dst payload
+  done
+
+let of_net (p : Net.port) : t =
+  {
+    pid = p.Net.pid;
+    n = p.Net.net.Net.n;
+    send = (fun ~dst payload -> Net.send p ~dst payload);
+    poll_all = (fun () -> Net.poll_all p);
+  }

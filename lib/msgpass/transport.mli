@@ -1,0 +1,23 @@
+(** A process's sending/receiving endpoint, as a record of functions:
+    the seam between the protocol layer and whatever network stack it
+    runs over — the perfectly reliable {!Net}, the fault-injecting
+    {!Faultnet}, or the retransmission layer {!Rlink} stacked on either.
+    Protocols written against this interface are network-agnostic. *)
+
+open Lnd_support
+
+type t = {
+  pid : int;  (** the process this endpoint belongs to *)
+  n : int;  (** system size (for broadcast) *)
+  send : dst:int -> Univ.t -> unit;
+  poll_all : unit -> (int * Univ.t) list;
+      (** all pending deliveries, [(src, payload)] pairs; also the
+          layer's pump — acks and retransmissions happen inside
+          [poll_all] calls *)
+}
+
+val broadcast : t -> Univ.t -> unit
+(** Send to every process, including self. *)
+
+val of_net : Net.port -> t
+(** The trivial endpoint over a reliable FIFO network port. *)

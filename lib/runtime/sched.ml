@@ -18,6 +18,7 @@ type _ Effect.t +=
   | E_write : Register.t * Univ.t -> unit Effect.t
   | E_yield : unit Effect.t
   | E_clock : int Effect.t (* read-and-advance the logical clock; no scheduling point *)
+  | E_now : int Effect.t (* read the logical clock without advancing it; no scheduling point *)
   | E_self : int Effect.t (* pid of the running fiber; no scheduling point *)
   | E_rmw : Register.t * (Univ.t -> Univ.t) -> Univ.t Effect.t
     (* Atomic owner-only read-modify-write, used ONLY by the
@@ -48,6 +49,10 @@ type t = {
   mutable clock : int; (* logical time: advanced by steps and by E_clock *)
   mutable enabled : fiber -> bool; (* scheduling mask, used by targeted scenarios *)
   mutable choose : t -> fiber array -> int; (* policy: pick among ready fibers *)
+  mutable on_failure : (fiber -> exn -> unit) option;
+      (* invoked the moment any fiber dies with an exception other than
+         Killed — so harnesses surface failures loudly instead of
+         discovering them (or not) in a post-run [failures] sweep *)
 }
 
 let create ~space ~choose =
@@ -59,7 +64,10 @@ let create ~space ~choose =
     clock = 0;
     enabled = (fun _ -> true);
     choose;
+    on_failure = None;
   }
+
+let set_on_failure t h = t.on_failure <- h
 
 let space t = t.space
 let steps t = t.steps
@@ -71,6 +79,7 @@ let read (r : Register.t) : Univ.t = Effect.perform (E_read r)
 let write (r : Register.t) (v : Univ.t) : unit = Effect.perform (E_write (r, v))
 let yield () : unit = Effect.perform E_yield
 let tick () : int = Effect.perform E_clock
+let now () : int = Effect.perform E_now
 let self () : int = Effect.perform E_self
 let rmw (r : Register.t) (f : Univ.t -> Univ.t) : Univ.t = Effect.perform (E_rmw (r, f))
 
@@ -87,7 +96,12 @@ let spawn t ~pid ~name ?(daemon = false) (body : unit -> unit) : fiber =
     match_with body ()
       {
         retc = (fun () -> fiber.state <- Finished Completed);
-        exnc = (fun e -> fiber.state <- Finished (Failed e));
+        exnc =
+          (fun e ->
+            fiber.state <- Finished (Failed e);
+            match e with
+            | Killed -> ()
+            | e -> Option.iter (fun h -> h fiber e) t.on_failure);
         effc =
           (fun (type a) (eff : a Effect.t) ->
             match eff with
@@ -118,6 +132,9 @@ let spawn t ~pid ~name ?(daemon = false) (body : unit -> unit) : fiber =
                   (fun (k : (a, unit) continuation) ->
                     t.clock <- t.clock + 1;
                     continue k t.clock)
+            | E_now ->
+                Some
+                  (fun (k : (a, unit) continuation) -> continue k t.clock)
             | E_self ->
                 Some
                   (fun (k : (a, unit) continuation) -> continue k fiber.pid)

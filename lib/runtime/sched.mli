@@ -39,9 +39,19 @@ type t = {
       (** scheduling mask, used by targeted phase scenarios *)
   mutable choose : t -> fiber array -> int;
       (** the policy: pick the index of the next fiber among the ready *)
+  mutable on_failure : (fiber -> exn -> unit) option;
+      (** failure hook, see {!set_on_failure} *)
 }
 
 val create : space:Lnd_shm.Space.t -> choose:(t -> fiber array -> int) -> t
+
+val set_on_failure : t -> (fiber -> exn -> unit) option -> unit
+(** Install (or clear) a hook invoked the moment any fiber terminates
+    with an exception other than {!Killed}. Harnesses use it to surface
+    fiber failures loudly — e.g. re-raise, or log and fail the run —
+    instead of discovering them in a post-run {!failures} sweep (or
+    silently missing them). The hook runs inside the dying fiber's last
+    scheduler step and must not perform scheduler effects. *)
 
 val space : t -> Lnd_shm.Space.t
 val steps : t -> int
@@ -61,6 +71,11 @@ val yield : unit -> unit
 val tick : unit -> int
 (** Read-and-advance the logical clock; not a scheduling point. Used to
     stamp operation invocations/responses. *)
+
+val now : unit -> int
+(** Read the logical clock without advancing it; not a scheduling point.
+    Used by the message-passing fault layer to stamp deliveries and by
+    retransmission backoff timers. *)
 
 val self : unit -> int
 (** The pid of the running fiber; not a scheduling point. *)

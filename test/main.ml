@@ -15,6 +15,7 @@ let () =
       ("crypto", Test_crypto.tests);
       ("signature-baseline", Test_sigbase.tests);
       ("message-passing", Test_msgpass.tests);
+      ("fault-injection", Test_faultnet.tests);
       ("broadcast", Test_broadcast.tests);
       ("snapshot", Test_snapshot.tests);
       ("ablation", Test_ablation.tests);

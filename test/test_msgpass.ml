@@ -94,9 +94,9 @@ let mk_st ?(seed = 5) ~n ~f ~byzantine () : st_sys =
     Array.init n (fun pid ->
         if List.mem pid byzantine then None
         else begin
-          let port = Net.port net ~pid in
+          let ep = Lnd_msgpass.Transport.of_net (Net.port net ~pid) in
           let t =
-            St.create port ~n ~f ~accept_cb:(fun ~sender ~value ~seq ->
+            St.create ep ~n ~f ~accept_cb:(fun ~sender ~value ~seq ->
                 accepted.(pid) := (sender, value, seq) :: !(accepted.(pid)))
           in
           ignore

@@ -99,9 +99,9 @@ let mk_bracha ?(seed = 5) ~n ~f ~byzantine () : bsys =
     Array.init n (fun pid ->
         if List.mem pid byzantine then None
         else begin
-          let port = Net.port net ~pid in
+          let ep = Lnd_msgpass.Transport.of_net (Net.port net ~pid) in
           let p =
-            Bracha.create port ~n ~f ~deliver_cb:(fun ~sender ~value ~seq ->
+            Bracha.create ep ~n ~f ~deliver_cb:(fun ~sender ~value ~seq ->
                 delivered.(pid) := (sender, value, seq) :: !(delivered.(pid)))
           in
           ignore

@@ -130,6 +130,23 @@ let test_exception_captured () =
   ignore (Sched.run sched);
   Alcotest.(check int) "failure recorded" 1 (List.length (Sched.failures sched))
 
+let test_on_failure_hook () =
+  let _space, sched = mk_sys (Policy.round_robin ()) in
+  let seen = ref [] in
+  Sched.set_on_failure sched
+    (Some
+       (fun fb e -> seen := (fb.Sched.fname, Printexc.to_string e) :: !seen));
+  ignore (Sched.spawn sched ~pid:0 ~name:"boom" (fun () -> failwith "boom"));
+  ignore (Sched.spawn sched ~pid:1 ~name:"victim" (fun () -> raise Sched.Killed));
+  ignore (Sched.run sched);
+  (* the hook fires for real failures, not for deliberate kills *)
+  match !seen with
+  | [ (name, msg) ] ->
+      Alcotest.(check string) "failing fiber" "boom" name;
+      Alcotest.(check bool) "exception carried" true
+        (String.length msg > 0)
+  | l -> Alcotest.failf "expected exactly one hook call, got %d" (List.length l)
+
 let test_permission_violation_hits_fiber () =
   let space, sched = mk_sys (Policy.round_robin ()) in
   let r = int_reg space ~owner:0 in
@@ -256,6 +273,8 @@ let tests =
     Alcotest.test_case "kill" `Quick test_kill;
     Alcotest.test_case "enabled mask" `Quick test_enabled_mask;
     Alcotest.test_case "exception captured" `Quick test_exception_captured;
+    Alcotest.test_case "on_failure hook fires (not on kill)" `Quick
+      test_on_failure_hook;
     Alcotest.test_case "permission violation reaches fiber" `Quick
       test_permission_violation_hits_fiber;
     Alcotest.test_case "clock monotone" `Quick test_clock_monotone;
