@@ -1,0 +1,50 @@
+(* lnd_lint — the protocol-aware static-analysis pass.
+
+   Usage: lnd_lint [--json] [--rules] [PATH ...]
+
+   PATHs (files or directories; default: lib bin bench test) are scanned
+   for .ml files, each is parsed and run through every rule in
+   Lnd_lint_core.Rules, and the findings are reported one per line
+   (file:line:col: [rule] message) or as a JSON array with --json.
+
+   Exit status: 0 = clean, 1 = findings, 2 = usage or I/O error. CI runs
+   this as a blocking job, so a finding is a build failure; suppress a
+   deliberate violation inline with [@lnd.allow "rule: justification"]
+   (the justification is mandatory — bare rule names are themselves a
+   finding). *)
+
+open Lnd_lint_core
+
+let default_paths = [ "lib"; "bin"; "bench"; "test" ]
+
+let usage () =
+  prerr_endline "usage: lnd_lint [--json] [--rules] [PATH ...]";
+  prerr_endline "  default PATHs: lib bin bench test";
+  exit 2
+
+let print_rules () =
+  List.iter
+    (fun (name, desc) -> Printf.printf "%-22s %s\n" name desc)
+    Rules.catalogue;
+  exit 0
+
+let () =
+  let json = ref false and paths = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--json" -> json := true
+        | "--rules" -> print_rules ()
+        | "--help" | "-h" -> usage ()
+        | p when String.length p > 0 && p.[0] = '-' -> usage ()
+        | p -> paths := p :: !paths)
+    Sys.argv;
+  let paths = match List.rev !paths with [] -> default_paths | ps -> ps in
+  match Driver.lint_paths paths with
+  | Error msg ->
+      Printf.eprintf "lnd_lint: %s\n" msg;
+      exit 2
+  | Ok findings ->
+      Findings.report ~json:!json Format.std_formatter findings;
+      exit (if findings = [] then 0 else 1)

@@ -159,7 +159,12 @@ type 'p harness = {
 let mk_harness (s : scenario) : 'p harness =
   let space = Space.create ~n:s.n in
   let sched = Sched.create ~space ~choose:(Policy.random ~seed:(s.seed + 1)) in
-  let net = Net.create space ~n:s.n in
+  let net =
+    (Net.create space ~n:s.n
+    [@lnd.allow
+      "transport-seam: the harness is the one place that builds the stack \
+       below the seam (Net, then Faultnet, then Rlink endpoints)"])
+  in
   let fnet = Faultnet.wrap net s.plan in
   let correct = Array.make s.n true in
   List.iter (fun pid -> correct.(pid) <- false) (byzantine_pids s);
@@ -241,33 +246,37 @@ let run_st (s : scenario) : outcome =
     end
   done;
   (* Byzantine adversary: raw injection, subject to nothing *)
-  (match s.adversary with
-  | No_adversary | Crash -> ()
-  | Equivocator ->
-      List.iter
-        (fun pid ->
-          ignore
-            (Sched.spawn h.sched ~pid ~name:"equiv" (fun () ->
-                 let port = Net.port h.net ~pid in
-                 Net.broadcast port
-                   (Univ.inj St.bmsg_key
-                      { St.tag = St.Init; sender = pid; value = "x"; seq = 0 });
-                 Net.broadcast port
-                   (Univ.inj St.bmsg_key
-                      { St.tag = St.Init; sender = pid; value = "y"; seq = 0 }))))
-        (byzantine_pids s)
-  | Forger ->
-      List.iter
-        (fun pid ->
-          ignore
-            (Sched.spawn h.sched ~pid ~name:"forger" (fun () ->
-                 let port = Net.port h.net ~pid in
-                 (* echoes for a message nobody broadcast, plus garbage *)
-                 Net.broadcast port
-                   (Univ.inj St.bmsg_key
-                      { St.tag = St.Echo; sender = 0; value = "z"; seq = 99 });
-                 Net.broadcast port (Univ.inj Univ.int 12345))))
-        (byzantine_pids s));
+  ((match s.adversary with
+   | No_adversary | Crash -> ()
+   | Equivocator ->
+       List.iter
+         (fun pid ->
+           ignore
+             (Sched.spawn h.sched ~pid ~name:"equiv" (fun () ->
+                  let port = Net.port h.net ~pid in
+                  Net.broadcast port
+                    (Univ.inj St.bmsg_key
+                       { St.tag = St.Init; sender = pid; value = "x"; seq = 0 });
+                  Net.broadcast port
+                    (Univ.inj St.bmsg_key
+                       { St.tag = St.Init; sender = pid; value = "y"; seq = 0 }))))
+         (byzantine_pids s)
+   | Forger ->
+       List.iter
+         (fun pid ->
+           ignore
+             (Sched.spawn h.sched ~pid ~name:"forger" (fun () ->
+                  let port = Net.port h.net ~pid in
+                  (* echoes for a message nobody broadcast, plus garbage *)
+                  Net.broadcast port
+                    (Univ.inj St.bmsg_key
+                       { St.tag = St.Echo; sender = 0; value = "z"; seq = 99 });
+                  Net.broadcast port (Univ.inj Univ.int 12345))))
+         (byzantine_pids s))
+  [@lnd.allow
+    "transport-seam: Byzantine adversaries inject raw un-enveloped traffic \
+     through a bare Net port below the seam by design — that is exactly a \
+     real Byzantine process's attack surface"]);
   (* correct broadcasters *)
   List.iter
     (fun b ->
@@ -331,47 +340,50 @@ let run_bracha (s : scenario) : outcome =
            ~daemon:true (fun () -> Bracha.daemon p))
     end
   done;
-  (match s.adversary with
-  | No_adversary | Crash -> ()
-  | Equivocator ->
-      List.iter
-        (fun pid ->
-          ignore
-            (Sched.spawn h.sched ~pid ~name:"equiv" (fun () ->
-                 let port = Net.port h.net ~pid in
-                 Net.broadcast port
-                   (Univ.inj Bracha.bmsg_key
-                      {
-                        Bracha.tag = Bracha.Init;
-                        sender = pid;
-                        value = "x";
-                        seq = 0;
-                      });
-                 Net.broadcast port
-                   (Univ.inj Bracha.bmsg_key
-                      {
-                        Bracha.tag = Bracha.Init;
-                        sender = pid;
-                        value = "y";
-                        seq = 0;
-                      }))))
-        (byzantine_pids s)
-  | Forger ->
-      List.iter
-        (fun pid ->
-          ignore
-            (Sched.spawn h.sched ~pid ~name:"forger" (fun () ->
-                 let port = Net.port h.net ~pid in
-                 Net.broadcast port
-                   (Univ.inj Bracha.bmsg_key
-                      {
-                        Bracha.tag = Bracha.Ready;
-                        sender = 0;
-                        value = "z";
-                        seq = 7;
-                      });
-                 Net.broadcast port (Univ.inj Univ.int 54321))))
-        (byzantine_pids s));
+  ((match s.adversary with
+   | No_adversary | Crash -> ()
+   | Equivocator ->
+       List.iter
+         (fun pid ->
+           ignore
+             (Sched.spawn h.sched ~pid ~name:"equiv" (fun () ->
+                  let port = Net.port h.net ~pid in
+                  Net.broadcast port
+                    (Univ.inj Bracha.bmsg_key
+                       {
+                         Bracha.tag = Bracha.Init;
+                         sender = pid;
+                         value = "x";
+                         seq = 0;
+                       });
+                  Net.broadcast port
+                    (Univ.inj Bracha.bmsg_key
+                       {
+                         Bracha.tag = Bracha.Init;
+                         sender = pid;
+                         value = "y";
+                         seq = 0;
+                       }))))
+         (byzantine_pids s)
+   | Forger ->
+       List.iter
+         (fun pid ->
+           ignore
+             (Sched.spawn h.sched ~pid ~name:"forger" (fun () ->
+                  let port = Net.port h.net ~pid in
+                  Net.broadcast port
+                    (Univ.inj Bracha.bmsg_key
+                       {
+                         Bracha.tag = Bracha.Ready;
+                         sender = 0;
+                         value = "z";
+                         seq = 7;
+                       });
+                  Net.broadcast port (Univ.inj Univ.int 54321))))
+         (byzantine_pids s))
+  [@lnd.allow
+    "transport-seam: Byzantine adversaries inject raw un-enveloped traffic \
+     through a bare Net port below the seam by design"]);
   List.iter
     (fun b ->
       ignore
@@ -411,7 +423,7 @@ let run_bracha (s : scenario) : outcome =
     for a = 0 to s.n - 1 do
       for b = a + 1 to s.n - 1 do
         if h.correct.(a) && h.correct.(b) then
-          Hashtbl.iter
+          Tables.iter_sorted
             (fun slot va ->
               match Hashtbl.find_opt delivered.(b) slot with
               | Some vb when not (Value.equal va vb) ->
@@ -435,7 +447,7 @@ let run_bracha (s : scenario) : outcome =
 let run_register (s : scenario) : outcome =
   let h = mk_harness s in
   let emu =
-    Regemu.create_on ~net:h.net
+    Regemu.create_on
       ~mk_ep:(fun ~pid -> Rlink.as_transport (rlink h ~pid))
       ~n:s.n ~f:s.f
   in
@@ -448,29 +460,33 @@ let run_register (s : scenario) : outcome =
         (Sched.spawn h.sched ~pid ~name:(Printf.sprintf "rep%d" pid)
            ~daemon:true (fun () -> Regemu.replica_daemon emu ~pid))
   done;
-  (match s.adversary with
-  | No_adversary | Crash | Equivocator -> ()
-  | Forger ->
-      (* a Byzantine replica answering reads with a forged, huge
-         timestamp — must stay below the f+1 voucher threshold *)
-      List.iter
-        (fun pid ->
-          ignore
-            (Sched.spawn h.sched ~pid ~name:"forger" ~daemon:true (fun () ->
-                 let port = Net.port h.net ~pid in
-                 while true do
-                   List.iter
-                     (fun (src, payload) ->
-                       match Univ.prj Regemu.emsg_key payload with
-                       | Some (Regemu.Rreq (reg, rid)) ->
-                           Net.send port ~dst:src
-                             (Univ.inj Regemu.emsg_key
-                                (Regemu.Rrep (reg, rid, 999, Univ.inj Univ.int 666)))
-                       | _ -> ())
-                     (Net.poll_all port);
-                   Sched.yield ()
-                 done)))
-        (byzantine_pids s));
+  ((match s.adversary with
+   | No_adversary | Crash | Equivocator -> ()
+   | Forger ->
+       (* a Byzantine replica answering reads with a forged, huge
+          timestamp — must stay below the f+1 voucher threshold *)
+       List.iter
+         (fun pid ->
+           ignore
+             (Sched.spawn h.sched ~pid ~name:"forger" ~daemon:true (fun () ->
+                  let port = Net.port h.net ~pid in
+                  while true do
+                    List.iter
+                      (fun (src, payload) ->
+                        match Univ.prj Regemu.emsg_key payload with
+                        | Some (Regemu.Rreq (reg, rid)) ->
+                            Net.send port ~dst:src
+                              (Univ.inj Regemu.emsg_key
+                                 (Regemu.Rrep
+                                    (reg, rid, 999, Univ.inj Univ.int 666)))
+                        | _ -> ())
+                      (Net.poll_all port);
+                    Sched.yield ()
+                  done)))
+         (byzantine_pids s))
+  [@lnd.allow
+    "transport-seam: Byzantine adversaries inject raw un-enveloped traffic \
+     through a bare Net port below the seam by design"]);
   let wrote_all = ref false in
   let last = s.msgs in
   ignore

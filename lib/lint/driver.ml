@@ -1,0 +1,64 @@
+(* File discovery + parse + rule dispatch. Kept CLI-free so the test
+   suite can drive the identical pipeline in-process. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ?ctx path : Findings.t list =
+  let ctx = match ctx with Some c -> c | None -> Rules.default_ctx ~path in
+  let has_mli = Sys.file_exists (path ^ "i") in
+  match
+    let source = read_file path in
+    let lexbuf = Lexing.from_string source in
+    Lexing.set_filename lexbuf path;
+    Parse.implementation lexbuf
+  with
+  | str -> Rules.run ctx ~file:path ~has_mli str
+  | exception exn ->
+      let line, col =
+        match exn with
+        | Syntaxerr.Error e ->
+            let p = (Syntaxerr.location_of_error e).Location.loc_start in
+            (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+        | _ -> (1, 0)
+      in
+      [
+        {
+          Findings.rule = "parse-error";
+          file = path;
+          line;
+          col;
+          msg = Printexc.to_string exn;
+        };
+      ]
+
+(* Directories that must never be linted: build artefacts, VCS state,
+   and the deliberately-bad fixture trees the lint tests feed on. *)
+let skip_dirs = [ "_build"; ".git"; "fixtures" ]
+
+let scan (paths : string list) : (string list, string) result =
+  let rec walk acc path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.fold_left
+           (fun acc entry ->
+             if List.mem entry skip_dirs then acc
+             else walk acc (Filename.concat path entry))
+           acc
+    else if Filename.check_suffix path ".ml" then path :: acc
+    else acc
+  in
+  match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
+  | Some missing -> Error (Printf.sprintf "no such file or directory: %s" missing)
+  | None -> Ok (List.fold_left walk [] paths |> List.sort String.compare)
+
+let lint_paths (paths : string list) : (Findings.t list, string) result =
+  match scan paths with
+  | Error _ as e -> e
+  | Ok files ->
+      Ok
+        (List.concat_map (fun f -> lint_file f) files
+        |> List.sort Findings.compare)

@@ -1,0 +1,20 @@
+(** The lint driver: file discovery, parsing, and per-file rule
+    dispatch. The CLI in [bin/lnd_lint.ml] is a thin shell over this so
+    the test suite can run the whole pipeline in-process. *)
+
+val lint_file : ?ctx:Rules.ctx -> string -> Findings.t list
+(** Parse one [.ml] file and run every rule over it. [ctx] defaults to
+    {!Rules.default_ctx} for the file's path; tests override it to force
+    protocol rules on for fixtures. A file that does not parse yields a
+    single [parse-error] finding. The [interface-hygiene] check consults
+    the filesystem for a sibling [.mli]. *)
+
+val scan : string list -> (string list, string) result
+(** Expand paths into the sorted list of [.ml] files beneath them
+    (files are taken as-is), skipping [_build], [.git], and [fixtures]
+    directories — fixture trees are deliberately-bad lint food, not part
+    of the production surface. [Error] names the first missing path. *)
+
+val lint_paths : string list -> (Findings.t list, string) result
+(** [scan], then {!lint_file} on each with default contexts; findings
+    come back sorted by {!Findings.compare}. *)

@@ -1,0 +1,55 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int; (* 1-based *)
+  col : int; (* 0-based, bytes *)
+  msg : string;
+}
+
+let compare (a : t) (b : t) =
+  Stdlib.compare (a.file, a.line, a.col, a.rule, a.msg)
+    (b.file, b.line, b.col, b.rule, b.msg)
+
+let pp_human fmt (f : t) =
+  Format.fprintf fmt "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg
+
+(* Minimal JSON string escaping — enough for file paths and the messages
+   the rules produce (no dependency on a JSON library). *)
+let json_escape (s : string) : string =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let pp_json fmt (f : t) =
+  Format.fprintf fmt
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","message":"%s"}|}
+    (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.msg)
+
+let report ~json fmt (fs : t list) =
+  if json then begin
+    Format.fprintf fmt "[";
+    List.iteri
+      (fun i f ->
+        if i > 0 then Format.fprintf fmt ",";
+        Format.fprintf fmt "@\n  %a" pp_json f)
+      fs;
+    if fs <> [] then Format.fprintf fmt "@\n";
+    Format.fprintf fmt "]@."
+  end
+  else begin
+    List.iter (fun f -> Format.fprintf fmt "%a@\n" pp_human f) fs;
+    Format.fprintf fmt "%d finding%s@."
+      (List.length fs)
+      (if List.length fs = 1 then "" else "s")
+  end

@@ -1,0 +1,24 @@
+(** Lint findings: the one record every rule produces, with a
+    deterministic ordering and the driver's two output formats. *)
+
+type t = {
+  rule : string;  (** rule name from {!Rules.catalogue} *)
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, in bytes *)
+  msg : string;
+}
+
+val compare : t -> t -> int
+(** Order by (file, line, col, rule, msg) — the report order. *)
+
+val pp_human : Format.formatter -> t -> unit
+(** [file:line:col: [rule] message] — one line, editor-clickable. *)
+
+val pp_json : Format.formatter -> t -> unit
+(** One JSON object with fields [file], [line], [col], [rule],
+    [message]. *)
+
+val report : json:bool -> Format.formatter -> t list -> unit
+(** Print a full (already sorted) report: a JSON array, or one human
+    line per finding plus a trailing count. *)

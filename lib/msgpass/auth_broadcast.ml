@@ -47,8 +47,7 @@ module KeySet = Set.Make (Key)
 
 type t = {
   st_ep : Transport.t;
-  st_n : int;
-  st_f : int;
+  st_q : Quorum.t;
   mutable st_echoes : PidSet.t KeyMap.t;
   mutable st_echoed : KeySet.t; (* keys this process has echoed *)
   mutable st_accepted : KeySet.t;
@@ -56,11 +55,11 @@ type t = {
   accept_cb : sender:int -> value:Value.t -> seq:int -> unit;
 }
 
+(* [Quorum.make] (strict): the guarantees need n > 3f (Section 2). *)
 let create (ep : Transport.t) ~n ~f ~accept_cb : t =
   {
     st_ep = ep;
-    st_n = n;
-    st_f = f;
+    st_q = Quorum.make ~n ~f;
     st_echoes = KeyMap.empty;
     st_echoed = KeySet.empty;
     st_accepted = KeySet.empty;
@@ -96,8 +95,9 @@ let note_echo (t : t) (key : Key.t) ~(from : int) : unit =
   let cur = PidSet.add from cur in
   t.st_echoes <- KeyMap.add key cur t.st_echoes;
   let count = PidSet.cardinal cur in
-  if count >= t.st_f + 1 then send_echo t key;
-  if count >= (2 * t.st_f) + 1 && not (KeySet.mem key t.st_accepted) then begin
+  if Quorum.has_one_correct t.st_q count then send_echo t key;
+  if Quorum.has_byz_quorum t.st_q count && not (KeySet.mem key t.st_accepted)
+  then begin
     t.st_accepted <- KeySet.add key t.st_accepted;
     let sender, value, seq = key in
     t.accept_cb ~sender ~value ~seq

@@ -54,8 +54,7 @@ type support = {
 
 type proc = {
   ep : Transport.t;
-  n : int;
-  f : int;
+  q : Quorum.t;
   mutable echoed_for : Value.t SlotMap.t; (* the unique value echoed per slot *)
   mutable ready_for : Value.t SlotMap.t;
   mutable delivered : Value.t SlotMap.t;
@@ -64,11 +63,12 @@ type proc = {
   deliver_cb : sender:int -> value:Value.t -> seq:int -> unit;
 }
 
+(* [Quorum.make] (strict): agreement needs intersecting 2f+1 quorums,
+   i.e. n > 3f. *)
 let create (ep : Transport.t) ~n ~f ~deliver_cb : proc =
   {
     ep;
-    n;
-    f;
+    q = Quorum.make ~n ~f;
     echoed_for = SlotMap.empty;
     ready_for = SlotMap.empty;
     delivered = SlotMap.empty;
@@ -124,14 +124,14 @@ let handle (p : proc) ~src (m : bmsg) =
   | Echo ->
       let s = support_of p key in
       s.echoes <- PidSet.add src s.echoes;
-      if PidSet.cardinal s.echoes >= (2 * p.f) + 1 then
+      if Quorum.has_byz_quorum p.q (PidSet.cardinal s.echoes) then
         send_ready p ~sender:m.sender ~value:m.value ~seq:m.seq
   | Ready ->
       let s = support_of p key in
       s.readies <- PidSet.add src s.readies;
-      if PidSet.cardinal s.readies >= p.f + 1 then
+      if Quorum.has_one_correct p.q (PidSet.cardinal s.readies) then
         send_ready p ~sender:m.sender ~value:m.value ~seq:m.seq;
-      if PidSet.cardinal s.readies >= (2 * p.f) + 1 then
+      if Quorum.has_byz_quorum p.q (PidSet.cardinal s.readies) then
         try_deliver p ~sender:m.sender ~value:m.value ~seq:m.seq
 
 let poll (p : proc) : unit =

@@ -108,42 +108,51 @@ type client = {
 }
 
 type t = {
-  net : Net.t;
   mk_ep : pid:int -> Transport.t;
   n : int;
-  f : int;
+  q : Quorum.t;
   metas : (int, meta) Hashtbl.t; (* reg id -> meta *)
   mutable next_reg : int;
+  mutable sent : int; (* endpoint-level sends, for messages_sent *)
   (* per-pid endpoint and protocol state, created lazily *)
   eps : Transport.t option array;
   replicas : replica option array;
   clients : client option array;
 }
 
-let create_on ~(net : Net.t) ~mk_ep ~n ~f : t =
+(* [Quorum.make] (strict): the emulation is only sound for n > 3f [9]. *)
+let create_on ~mk_ep ~n ~f : t =
   {
-    net;
     mk_ep;
     n;
-    f;
+    q = Quorum.make ~n ~f;
     metas = Hashtbl.create 64;
     next_reg = 0;
+    sent = 0;
     eps = Array.make n None;
     replicas = Array.make n None;
     clients = Array.make n None;
   }
 
 let create space ~n ~f : t =
-  let net = Net.create space ~n in
-  create_on ~net
-    ~mk_ep:(fun ~pid -> Transport.of_net (Net.port net ~pid))
-    ~n ~f
+  create_on ~mk_ep:(Transport.endpoints space ~n) ~n ~f
 
 let endpoint t ~pid : Transport.t =
   match t.eps.(pid) with
   | Some ep -> ep
   | None ->
-      let ep = t.mk_ep ~pid in
+      let raw = t.mk_ep ~pid in
+      (* count sends here, at the seam, so message-complexity accounting
+         needs no peek below the transport (and no Net dependency) *)
+      let ep =
+        {
+          raw with
+          Transport.send =
+            (fun ~dst u ->
+              t.sent <- t.sent + 1;
+              raw.Transport.send ~dst u);
+        }
+      in
       t.eps.(pid) <- Some ep;
       ep
 
@@ -212,8 +221,9 @@ let rep_note_echo t (r : replica) (ep : Transport.t) reg ts f_ v ~from =
   in
   set := PidSet.add from !set;
   let count = PidSet.cardinal !set in
-  if count >= t.f + 1 then rep_send_echo r ep reg ts f_ v;
-  if count >= (2 * t.f) + 1 && not (Hashtbl.mem r.rep_accepted (reg, ts, f_))
+  if Quorum.has_one_correct t.q count then rep_send_echo r ep reg ts f_ v;
+  if Quorum.has_byz_quorum t.q count
+     && not (Hashtbl.mem r.rep_accepted (reg, ts, f_))
   then begin
     Hashtbl.replace r.rep_accepted (reg, ts, f_) ();
     rep_adopt t r reg ts f_ v;
@@ -286,11 +296,17 @@ let pump t ~pid =
       | Some m -> handle ~src m
       | None -> ())
     (ep.Transport.poll_all ());
-  Hashtbl.iter
-    (fun dst l ->
-      let msg = match !l with [ m ] -> m | ms -> Batch (List.rev ms) in
-      ep.Transport.send ~dst (Univ.inj emsg_key msg))
-    outbox
+  (Hashtbl.iter
+     (fun dst l ->
+       let msg = match !l with [ m ] -> m | ms -> Batch (List.rev ms) in
+       ep.Transport.send ~dst (Univ.inj emsg_key msg))
+     outbox
+   [@lnd.allow
+     "determinism: batch send order feeds the seeded per-message fault \
+      plan (Faultnet draws one decision per send, in send order), so \
+      sorting this iteration would silently invalidate every recorded \
+      fuzz/chaos seed; outbox insertion order is itself deterministic \
+      for a fixed schedule"])
 
 (* The replica daemon each correct process must run. It is also the
    pid's message pump: blocking client operations on the same pid rely
@@ -326,7 +342,8 @@ let emu_write t reg (v : Univ.t) : unit =
   let done_ = ref false in
   while not !done_ do
     (match Hashtbl.find_opt c.acks (reg, ts) with
-    | Some s when PidSet.cardinal !s >= t.n - t.f -> done_ := true
+    | Some s when Quorum.has_availability t.q (PidSet.cardinal !s) ->
+        done_ := true
     | _ -> ());
     if not !done_ then Sched.yield ()
   done
@@ -344,7 +361,8 @@ let emu_read t reg : Univ.t =
     let round_done = ref false in
     while not !round_done do
       match Hashtbl.find_opt c.reps rid with
-      | Some l when List.length !l >= t.n - t.f -> round_done := true
+      | Some l when Quorum.has_availability t.q (List.length !l) ->
+          round_done := true
       | _ -> Sched.yield ()
     done;
     let replies = !(Hashtbl.find c.reps rid) in
@@ -365,9 +383,10 @@ let emu_read t reg : Univ.t =
         | None -> Hashtbl.replace buckets key (v, ref 1))
       replies;
     let best = ref None in
-    Hashtbl.iter
+    (* max-selection is order-independent, so sorted iteration is free *)
+    Tables.iter_sorted
       (fun (ts, f_) (v, cnt) ->
-        if !cnt >= t.f + 1 then
+        if Quorum.has_one_correct t.q !cnt then
           match !best with
           | Some (bts, bf, _) when (bts, bf) >= (ts, f_) -> ()
           | _ -> best := Some (ts, f_, v))
@@ -396,4 +415,4 @@ let allocator (t : t) : Cell.allocator =
     cell_write = (fun v -> emu_write t reg v);
   }
 
-let messages_sent t = t.net.Net.sends
+let messages_sent t = t.sent

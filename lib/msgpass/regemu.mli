@@ -49,12 +49,12 @@ val fp : Univ.t -> string
     bucketing. *)
 
 type t = {
-  net : Net.t;
   mk_ep : pid:int -> Transport.t;
   n : int;
-  f : int;
+  q : Quorum.t;
   metas : (int, meta) Hashtbl.t;
   mutable next_reg : int;
+  mutable sent : int;  (** endpoint-level sends (see {!messages_sent}) *)
   eps : Transport.t option array;
   replicas : replica option array;
   clients : client option array;
@@ -80,14 +80,15 @@ and client = {
 }
 
 val create : Lnd_shm.Space.t -> n:int -> f:int -> t
-(** Fresh emulation over a perfectly reliable {!Net} in [space] — each
-    pid's endpoint is [Transport.of_net]. *)
+(** Fresh emulation over a perfectly reliable network in [space] — each
+    pid's endpoint comes from [Transport.endpoints]. Requires n > 3f. *)
 
-val create_on : net:Net.t -> mk_ep:(pid:int -> Transport.t) -> n:int -> f:int -> t
-(** General constructor: [net] is the underlying network (kept for raw
-    Byzantine injection and [messages_sent]); [mk_ep ~pid] builds the
-    single endpoint each pid's traffic flows through — e.g. an {!Rlink}
-    transport over a {!Faultnet} port for the fault-hardened stack. *)
+val create_on : mk_ep:(pid:int -> Transport.t) -> n:int -> f:int -> t
+(** General constructor: [mk_ep ~pid] builds the single endpoint each
+    pid's traffic flows through — e.g. an {!Rlink} transport over a
+    {!Faultnet} port for the fault-hardened stack. The emulation never
+    looks below this seam; harnesses that want raw Byzantine injection
+    keep their own handle on the underlying network. Requires n > 3f. *)
 
 val replica_daemon : t -> pid:int -> unit
 (** The replica daemon each correct process must run (daemon fiber). It
@@ -100,3 +101,5 @@ val allocator : t -> Lnd_runtime.Cell.allocator
     [Sticky.alloc_with]. Ownership is enforced; SWSR readability is not. *)
 
 val messages_sent : t -> int
+(** Total endpoint-level sends across all pids (counted at the
+    {!Transport} seam, so it is stack-agnostic). *)

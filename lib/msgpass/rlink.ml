@@ -174,11 +174,12 @@ let poll_all (t : t) : (int * Univ.t) list =
       t.tr.Transport.send ~dst:src (Univ.inj renv_key (Ack seq)))
     (List.rev !to_ack);
   let now = Sched.now () in
+  (* [sorted_bindings] orders by the table key (dst, seq) — exactly the
+     retransmission order the explicit sort used to impose. *)
   let due =
-    Hashtbl.fold
-      (fun _ e acc -> if now - e.o_last_tx >= e.o_backoff then e :: acc else acc)
-      t.out []
-    |> List.sort (fun a b -> compare (a.o_dst, a.o_seq) (b.o_dst, b.o_seq))
+    Tables.sorted_bindings t.out
+    |> List.filter_map (fun (_, e) ->
+           if now - e.o_last_tx >= e.o_backoff then Some e else None)
   in
   List.iter
     (fun e ->

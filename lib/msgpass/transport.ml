@@ -30,3 +30,10 @@ let of_net (p : Net.port) : t =
     send = (fun ~dst payload -> Net.send p ~dst payload);
     poll_all = (fun () -> Net.poll_all p);
   }
+
+(* A full set of endpoints over one fresh reliable network — the default
+   wiring for consumers (e.g. [Regemu.create]) that only need "n plain
+   connected endpoints" and should not touch [Net] themselves. *)
+let endpoints space ~n : pid:int -> t =
+  let net = Net.create space ~n in
+  fun ~pid -> of_net (Net.port net ~pid)

@@ -21,3 +21,10 @@ val broadcast : t -> Univ.t -> unit
 
 val of_net : Net.port -> t
 (** The trivial endpoint over a reliable FIFO network port. *)
+
+val endpoints : Lnd_shm.Space.t -> n:int -> pid:int -> t
+(** [endpoints space ~n] creates one fresh reliable network and returns
+    the per-pid endpoint factory over it — the default wiring for
+    consumers that only need [n] plain connected endpoints and should
+    not touch {!Net} themselves. Call the factory at most once per
+    pid. *)

@@ -22,6 +22,7 @@ let check_config { n; f } =
 
 type regs = {
   cfg : config;
+  q : Quorum.t;
   e : Cell.t array;
   r : Cell.t array;
   rjk : Cell.t array array; (* rjk.(j).(k); column k = 0 unused *)
@@ -29,10 +30,13 @@ type regs = {
 }
 
 (* Allocate the register layout through an arbitrary cell allocator: the
-   shared-memory one (the base model) or an emulated one (Section 9). *)
+   shared-memory one (the base model) or an emulated one (Section 9).
+   [Quorum.make_relaxed]: the Section 8 experiments instantiate the
+   algorithm outside its safe zone (n <= 3f) on purpose. *)
 let alloc_with (mk : Cell.allocator) (cfg : config) : regs =
   check_config cfg;
   let n = cfg.n in
+  let q = Quorum.make_relaxed ~n:cfg.n ~f:cfg.f in
   let vopt_init = Univ.inj Codecs.value_opt None in
   let e =
     Array.init n (fun i ->
@@ -63,7 +67,7 @@ let alloc_with (mk : Cell.allocator) (cfg : config) : regs =
             ~init:(Univ.inj Codecs.counter 0)
             ())
   in
-  { cfg; e; r; rjk; c }
+  { cfg; q; e; r; rjk; c }
 
 let alloc space (cfg : config) : regs = alloc_with (Cell.shm_allocator space) cfg
 
@@ -101,7 +105,7 @@ let writer (rg : regs) : writer = { w_regs = rg }
 
 let write (w : writer) (v : Value.t) : unit =
   let rg = w.w_regs in
-  let { n; f } = rg.cfg in
+  let n = rg.cfg.n in
   (* line 1: a second write is a no-op returning done *)
   if read_vopt rg.e.(0) = None then begin
     (* line 2 *)
@@ -110,7 +114,7 @@ let write (w : writer) (v : Value.t) : unit =
     let witnessed = ref false in
     while not !witnessed do
       let rs = Array.init n (fun i -> read_vopt rg.r.(i)) in
-      if count_eq rs v >= n - f then witnessed := true
+      if Quorum.has_availability rg.q (count_eq rs v) then witnessed := true
     done
   end
 
@@ -126,7 +130,8 @@ module PidSet = Set.Make (Int)
 module PidMap = Map.Make (Int)
 
 let read (rd : reader) : Value.t option =
-  let { n; f } = rd.rd_regs.cfg in
+  let n = rd.rd_regs.cfg.n in
+  let q = rd.rd_regs.q in
   let set_bot = ref PidSet.empty in
   let set_val = ref PidMap.empty (* pid -> witnessed value *) in
   let result = ref None in
@@ -171,13 +176,15 @@ let read (rd : reader) : Value.t option =
           (v, cur + 1) :: List.remove_assoc v acc)
         !set_val []
     in
-    (match List.find_opt (fun (_, cnt) -> cnt >= n - f) counts with
+    (match
+       List.find_opt (fun (_, cnt) -> Quorum.has_availability q cnt) counts
+     with
     | Some (v, _) ->
         result := Some v;
         finished := true
     | None ->
         (* line 22 *)
-        if PidSet.cardinal !set_bot > f then begin
+        if Quorum.exceeds_faults q (PidSet.cardinal !set_bot) then begin
           result := None;
           finished := true
         end)
@@ -187,7 +194,7 @@ let read (rd : reader) : Value.t option =
 (* ---------------- Help() — lines 23-40 ---------------- *)
 
 let help (rg : regs) ~pid : unit =
-  let { n; f } = rg.cfg in
+  let n = rg.cfg.n in
   let prev_c = Array.make n 0 in
   while true do
     (* lines 25-27: echo the writer's value, once *)
@@ -200,7 +207,7 @@ let help (rg : regs) ~pid : unit =
     (* lines 28-30: become a witness of a value echoed by n-f processes *)
     if read_vopt rg.r.(pid) = None then begin
       let es = Array.init n (fun i -> read_vopt rg.e.(i)) in
-      match value_with_quorum es ~threshold:(n - f) with
+      match value_with_quorum es ~threshold:(Quorum.availability rg.q) with
       | Some v -> Cell.write rg.r.(pid) (Univ.inj Codecs.value_opt (Some v))
       | None -> ()
     end;
@@ -217,7 +224,7 @@ let help (rg : regs) ~pid : unit =
       (* lines 34-36: become a witness of a value with f+1 witnesses *)
       if read_vopt rg.r.(pid) = None then begin
         let rs = Array.init n (fun i -> read_vopt rg.r.(i)) in
-        match value_with_quorum rs ~threshold:(f + 1) with
+        match value_with_quorum rs ~threshold:(Quorum.one_correct rg.q) with
         | Some v -> Cell.write rg.r.(pid) (Univ.inj Codecs.value_opt (Some v))
         | None -> ()
       end;

@@ -22,6 +22,7 @@ type config = { n : int; f : int }
 
 type regs = {
   cfg : config;
+  q : Quorum.t;  (** the thresholds derived from [cfg] (central arithmetic) *)
   e : Cell.t array;
   r : Cell.t array;
   rjk : Cell.t array array; (** [rjk.(j).(k)]; column k = 0 unused *)

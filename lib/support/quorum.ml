@@ -1,0 +1,36 @@
+(* Central quorum arithmetic for the n > 3f protocol stack; see the
+   interface for the threshold taxonomy. This module is the ONLY place
+   in lib/{sticky,verifiable,msgpass} allowed to spell out n - f /
+   f + 1 / 2f + 1 — the lnd_lint quorum-arithmetic rule enforces it. *)
+
+type t = { n : int; f : int }
+
+let sanity ~n ~f =
+  if f < 0 || n < 2 then invalid_arg "Quorum: need n >= 2, f >= 0"
+
+let make ~n ~f =
+  sanity ~n ~f;
+  if n <= 3 * f then
+    invalid_arg
+      (Printf.sprintf "Quorum.make: n > 3f required (got n=%d, f=%d)" n f);
+  { n; f }
+
+let make_relaxed ~n ~f =
+  sanity ~n ~f;
+  { n; f }
+
+let n t = t.n
+let f t = t.f
+let is_safe t = t.n > 3 * t.f
+let availability t = t.n - t.f
+let one_correct t = t.f + 1
+let byz_quorum t = (2 * t.f) + 1
+let min_system t = (3 * t.f) + 1
+let has_availability t c = c >= availability t
+let has_one_correct t c = c >= one_correct t
+let has_byz_quorum t c = c >= byz_quorum t
+let exceeds_faults t c = c > t.f
+
+let pp fmt t =
+  Format.fprintf fmt "(n=%d, f=%d%s)" t.n t.f
+    (if is_safe t then "" else ", UNSAFE: n <= 3f")

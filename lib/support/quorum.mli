@@ -1,0 +1,78 @@
+(** Central quorum arithmetic for the n > 3f protocol stack.
+
+    Every correctness claim in the reproduction hinges on the same three
+    thresholds over one (n, f) pair — Algorithms 1-2 (Theorems 14/19)
+    in shared memory and the Srikanth-Toueg / Bracha / register-emulation
+    stack over message passing:
+
+    {ul
+    {- [availability t = n - f] — the number of replies an operation can
+       always wait for: correct processes alone can furnish them, so
+       waiting never blocks on Byzantine silence;}
+    {- [one_correct t = f + 1] — any set of this many distinct processes
+       contains at least one correct process, so a claim vouched for by
+       f+1 processes is genuine;}
+    {- [byz_quorum t = 2f + 1] — two sets of this many processes
+       intersect in at least f+1, hence in a correct process; the
+       acceptance threshold of echo-broadcast protocols.}}
+
+    The [lnd_lint] quorum-arithmetic rule bans inlining these expressions
+    in [lib/sticky], [lib/verifiable] and [lib/msgpass]: all threshold
+    arithmetic must flow through this module, so a refactor cannot
+    silently bend a bound the proofs depend on. *)
+
+type t
+(** An (n, f) system configuration. Immutable. *)
+
+val make : n:int -> f:int -> t
+(** [make ~n ~f] checks the paper's resilience precondition [n > 3f]
+    (and [n >= 2], [f >= 0]); raises [Invalid_argument] otherwise. Use
+    for components whose very construction requires the bound — e.g. the
+    register emulation of Section 9. *)
+
+val make_relaxed : n:int -> f:int -> t
+(** Like {!make} but only sanity-checks [n >= 2] and [f >= 0] — for the
+    Section 8 optimality experiments, which deliberately instantiate the
+    algorithms outside their safe zone (n <= 3f) to exhibit the
+    impossibility of Theorem 23. *)
+
+val n : t -> int
+val f : t -> int
+
+val is_safe : t -> bool
+(** [n > 3f]: the configuration is inside the algorithms' safe zone. *)
+
+(** {2 Thresholds} *)
+
+val availability : t -> int
+(** [n - f]: replies that can always be awaited (witness quorums, write
+    acks, read reply collection). *)
+
+val one_correct : t -> int
+(** [f + 1]: smallest set guaranteed to contain a correct process
+    (echo amplification, witness adoption, read vouchers). *)
+
+val byz_quorum : t -> int
+(** [2f + 1]: Byzantine quorum — two such sets intersect in a correct
+    process (echo-broadcast acceptance). *)
+
+val min_system : t -> int
+(** [3f + 1]: the smallest system size satisfying [n > 3f]. *)
+
+(** {2 Predicates over reply counts} *)
+
+val has_availability : t -> int -> bool
+(** [has_availability t c] is [c >= availability t]. *)
+
+val has_one_correct : t -> int -> bool
+(** [has_one_correct t c] is [c >= one_correct t]. *)
+
+val has_byz_quorum : t -> int -> bool
+(** [has_byz_quorum t c] is [c >= byz_quorum t]. *)
+
+val exceeds_faults : t -> int -> bool
+(** [exceeds_faults t c] is [c > f]: more vouchers than there can be
+    liars — e.g. Algorithm 2's line 22, where more than f ⊥-replies
+    prove the writer never completed a write. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+(* Deterministic iteration over hash tables: snapshot, sort by key,
+   then visit. This file is the one whitelisted user of raw
+   Hashtbl.iter/fold in lib/ (see the lnd_lint determinism rule). *)
+
+let sorted_bindings ?(compare = Stdlib.compare) tbl =
+  let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  List.sort (fun (ka, _) (kb, _) -> compare ka kb) all
+
+let iter_sorted ?compare f tbl =
+  List.iter (fun (k, v) -> f k v) (sorted_bindings ?compare tbl)
+
+let fold_sorted ?compare f tbl init =
+  List.fold_left (fun acc (k, v) -> f k v acc) init (sorted_bindings ?compare tbl)

@@ -1,0 +1,29 @@
+(** Deterministic iteration over hash tables.
+
+    [Hashtbl.iter]/[Hashtbl.fold] visit bindings in bucket order — an
+    artefact of the hash function and resize history, and outright
+    randomized under [OCAMLRUNPARAM=R]. Every E1-E16 experiment must be
+    replayable by seed, so protocol and fuzz code iterates tables
+    through this module instead: bindings are snapshotted and sorted by
+    key first. The [lnd_lint] determinism rule bans raw
+    [Hashtbl.iter]/[fold] in [lib/] and points here.
+
+    All helpers assume tables maintained with [Hashtbl.replace] (at most
+    one binding per key), which is how every table in this codebase is
+    used. *)
+
+val sorted_bindings :
+  ?compare:('a -> 'a -> int) -> ('a, 'b) Hashtbl.t -> ('a * 'b) list
+(** All bindings, sorted by key ([Stdlib.compare] by default). *)
+
+val iter_sorted :
+  ?compare:('a -> 'a -> int) -> ('a -> 'b -> unit) -> ('a, 'b) Hashtbl.t -> unit
+(** [Hashtbl.iter], but in ascending key order. *)
+
+val fold_sorted :
+  ?compare:('a -> 'a -> int) ->
+  ('a -> 'b -> 'acc -> 'acc) ->
+  ('a, 'b) Hashtbl.t ->
+  'acc ->
+  'acc
+(** [Hashtbl.fold], but in ascending key order. *)

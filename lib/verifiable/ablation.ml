@@ -24,20 +24,20 @@ let read_vset reg =
 
 (* One-shot strawman verify, runnable by any process. *)
 let naive_verify (rg : Verifiable.regs) (v : Value.t) : bool =
-  let { Verifiable.n; f } = rg.cfg in
-  let replies = min n ((2 * f) + 1) in
+  let q = rg.Verifiable.q in
+  let replies = min (Quorum.n q) (Quorum.byz_quorum q) in
   let yes = ref 0 in
   for j = 0 to replies - 1 do
     if Value.Set.mem v (read_vset rg.r.(j)) then incr yes
   done;
-  !yes >= f + 1
+  Quorum.has_one_correct q !yes
 
 (* A one-shot naive verify that polls every register (a seemingly
    stronger strawman — same flaw). *)
 let naive_verify_all (rg : Verifiable.regs) (v : Value.t) : bool =
-  let { Verifiable.n; f } = rg.cfg in
+  let q = rg.Verifiable.q in
   let yes = ref 0 in
-  for j = 0 to n - 1 do
+  for j = 0 to Quorum.n q - 1 do
     if Value.Set.mem v (read_vset rg.r.(j)) then incr yes
   done;
-  !yes >= f + 1
+  Quorum.has_one_correct q !yes

@@ -28,6 +28,7 @@ let check_config { n; f } =
 
 type regs = {
   cfg : config;
+  q : Quorum.t;
   rstar : Cell.t;
   r : Cell.t array;
   rjk : Cell.t array array; (* rjk.(j).(k); row k = 0 unused *)
@@ -41,6 +42,8 @@ module VSet = Value.Set
 let alloc_with (mk : Cell.allocator) (cfg : config) : regs =
   check_config cfg;
   let n = cfg.n in
+  (* [make_relaxed]: Section 8 deliberately instantiates n <= 3f. *)
+  let q = Quorum.make_relaxed ~n:cfg.n ~f:cfg.f in
   let rstar = mk ~name:"R*" ~owner:0 ~init:(Univ.inj Codecs.value Value.v0) () in
   let r =
     Array.init n (fun i ->
@@ -71,7 +74,7 @@ let alloc_with (mk : Cell.allocator) (cfg : config) : regs =
             ~init:(Univ.inj Codecs.counter 0)
             ())
   in
-  { cfg; rstar; r; rjk; c }
+  { cfg; q; rstar; r; rjk; c }
 
 let alloc space (cfg : config) : regs = alloc_with (Cell.shm_allocator space) cfg
 
@@ -121,7 +124,8 @@ module PidSet = Set.Make (Int)
    (Theorem 40); outside that bound it may loop, so callers running
    deliberately-broken configurations should bound scheduler steps. *)
 let verify (rd : reader) (v : Value.t) : bool =
-  let { n; f } = rd.rd_regs.cfg in
+  let n = rd.rd_regs.cfg.n in
+  let q = rd.rd_regs.q in
   let set0 = ref PidSet.empty and set1 = ref PidSet.empty in
   let result = ref None in
   while !result = None do
@@ -160,8 +164,10 @@ let verify (rd : reader) (v : Value.t) : bool =
           (* lines 21-22 *)
           set0 := PidSet.add j !set0);
     (* lines 23-24 *)
-    if PidSet.cardinal !set1 >= n - f then result := Some true
-    else if PidSet.cardinal !set0 > f then result := Some false
+    if Quorum.has_availability q (PidSet.cardinal !set1) then
+      result := Some true
+    else if Quorum.exceeds_faults q (PidSet.cardinal !set0) then
+      result := Some false
   done;
   Option.get !result
 
@@ -171,7 +177,7 @@ let verify (rd : reader) (v : Value.t) : bool =
    VERIFY operations by maintaining the witness set R_pid and answering
    askers through R_{pid,k}. *)
 let help (rg : regs) ~pid : unit =
-  let { n; f } = rg.cfg in
+  let n = rg.cfg.n in
   let prev_c = Array.make n 0 in
   while true do
     (* line 27: read every reader's round counter *)
@@ -197,10 +203,10 @@ let help (rg : regs) ~pid : unit =
         VSet.filter
           (fun v ->
             VSet.mem v rsets.(0)
-            || Array.fold_left
-                 (fun cnt s -> if VSet.mem v s then cnt + 1 else cnt)
-                 0 rsets
-               >= f + 1)
+            || Quorum.has_one_correct rg.q
+                 (Array.fold_left
+                    (fun cnt s -> if VSet.mem v s then cnt + 1 else cnt)
+                    0 rsets))
           candidates
       in
       let updated = VSet.union !mine adopted in

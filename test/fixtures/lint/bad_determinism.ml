@@ -1,0 +1,7 @@
+(* Lint fixture: two determinism violations — ambient randomness and an
+   unordered Hashtbl iteration. Parsed by the lint tests, never built. *)
+
+let roll () = Random.int 6
+
+let drain tbl acc =
+  Hashtbl.iter (fun k v -> acc := (k, v) :: !acc) tbl

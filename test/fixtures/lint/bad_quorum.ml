@@ -1,0 +1,7 @@
+(* Lint fixture: every inline threshold shape the quorum-arithmetic rule
+   knows. Parsed by the lint tests, never built. *)
+
+let availability n f = n - f
+let byz_quorum f = (2 * f) + 1
+let min_system f = (3 * f) + 1
+let one_correct cfg = cfg.f + 1

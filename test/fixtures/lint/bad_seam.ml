@@ -1,0 +1,6 @@
+(* Lint fixture: protocol code reaching below the Transport seam.
+   Parsed by the lint tests, never built. *)
+
+let blast net ~pid payload =
+  let port = Net.port net ~pid in
+  Net.broadcast port payload

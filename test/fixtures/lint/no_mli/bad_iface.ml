@@ -1,0 +1,4 @@
+(* Lint fixture: a library module with no .mli. Parsed by the lint
+   tests, never built. *)
+
+let answer = 42

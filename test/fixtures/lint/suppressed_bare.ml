@@ -1,0 +1,8 @@
+(* Lint fixture: a suppression with no justification — the suppression
+   itself is the finding. Parsed by the lint tests, never built. *)
+
+let drain tbl acc =
+  (Hashtbl.iter
+     (fun k v -> acc := (k, v) :: !acc)
+     tbl
+   [@lnd.allow "determinism"])

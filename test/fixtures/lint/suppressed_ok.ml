@@ -1,0 +1,10 @@
+(* Lint fixture: a violation under a justified [@lnd.allow] — must lint
+   clean. Parsed by the lint tests, never built. *)
+
+let drain tbl acc =
+  (Hashtbl.iter
+     (fun k v -> acc := (k, v) :: !acc)
+     tbl
+   [@lnd.allow
+     "determinism: the accumulator is re-sorted by the caller, so \
+      iteration order is immaterial here"])

@@ -27,5 +27,6 @@ let () =
       ("trace-invariants", Test_trace_invariants.tests);
       ("composition", Test_composition.tests);
       ("policies", Test_policies.tests);
+      ("lint", Test_lint.tests);
       ("properties", Test_properties.tests);
     ]

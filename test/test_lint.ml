@@ -1,0 +1,118 @@
+(* The lint engine against its known-bad fixtures — each fixture is
+   flagged by exactly its intended rule at the intended line, a justified
+   suppression silences a finding, a bare suppression is itself a
+   finding — and the production tree lints clean end to end. *)
+
+open Lnd_lint_core
+
+(* Fixtures live outside the production path layout, so force every
+   AST-level rule on explicitly instead of relying on path-derived
+   contexts. *)
+let strict =
+  {
+    Rules.rng_free = true;
+    ordered_iter = true;
+    quorum = true;
+    seam = true;
+    swallow = true;
+    need_mli = false;
+  }
+
+let fixture name = Filename.concat "fixtures/lint" name
+
+let lint ?(ctx = strict) name = Driver.lint_file ~ctx (fixture name)
+
+let simplify (fs : Findings.t list) =
+  List.sort Findings.compare fs
+  |> List.map (fun (f : Findings.t) -> (f.Findings.rule, f.Findings.line))
+
+let check name expected got =
+  Alcotest.(check (list (pair string int))) name expected (simplify got)
+
+let test_determinism () =
+  check "randomness + unordered iteration flagged"
+    [ ("determinism", 4); ("determinism", 7) ]
+    (lint "bad_determinism.ml")
+
+let test_quorum () =
+  check "every inline threshold shape flagged"
+    [
+      ("quorum-arithmetic", 4);
+      ("quorum-arithmetic", 5);
+      ("quorum-arithmetic", 6);
+      ("quorum-arithmetic", 7);
+    ]
+    (lint "bad_quorum.ml")
+
+let test_seam () =
+  check "raw Net access flagged"
+    [ ("transport-seam", 5); ("transport-seam", 6) ]
+    (lint "bad_seam.ml")
+
+let test_swallow () =
+  check "catch-all handler flagged"
+    [ ("exception-swallowing", 4) ]
+    (lint "bad_swallow.ml")
+
+let test_suppressed_ok () =
+  check "justified [@lnd.allow] silences the finding" []
+    (lint "suppressed_ok.ml")
+
+let test_suppressed_bare () =
+  check "bare [@lnd.allow] is itself the finding"
+    [ ("suppression-hygiene", 8) ]
+    (lint "suppressed_bare.ml")
+
+let test_iface () =
+  check "missing .mli flagged"
+    [ ("interface-hygiene", 1) ]
+    (lint ~ctx:{ strict with Rules.need_mli = true } "no_mli/bad_iface.ml")
+
+let test_default_ctx () =
+  let c = Rules.default_ctx ~path:"lib/msgpass/regemu.ml" in
+  Alcotest.(check bool) "regemu: seam rule on" true c.Rules.seam;
+  Alcotest.(check bool) "regemu: quorum rule on" true c.Rules.quorum;
+  let t = Rules.default_ctx ~path:"lib/msgpass/faultnet.ml" in
+  Alcotest.(check bool) "faultnet: seam-exempt (IS the transport)" false
+    t.Rules.seam;
+  let r = Rules.default_ctx ~path:"lib/support/rng.ml" in
+  Alcotest.(check bool) "rng.ml: randomness allowed (IS the rng)" false
+    r.Rules.rng_free;
+  Alcotest.(check bool) "rng.ml: still needs an .mli" true r.Rules.need_mli;
+  let b = Rules.default_ctx ~path:"bin/lnd_cli.ml" in
+  Alcotest.(check bool) "bin: no .mli demanded" false b.Rules.need_mli;
+  Alcotest.(check bool) "bin: no seam rule" false b.Rules.seam
+
+(* The acceptance gate: the real tree, linted with the real contexts,
+   has zero findings. Skipped when the sources are not reachable from
+   the test cwd (e.g. a sandboxed runner). *)
+let test_production_clean () =
+  let root = "../../.." in
+  if not (Sys.file_exists (Filename.concat root "lib")) then ()
+  else
+    match
+      Driver.lint_paths
+        (List.map (Filename.concat root) [ "lib"; "bin"; "bench"; "test" ])
+    with
+    | Error msg -> Alcotest.fail msg
+    | Ok [] -> ()
+    | Ok (f :: _ as fs) ->
+        Alcotest.failf "production tree has %d lint finding(s), first: %s"
+          (List.length fs)
+          (Format.asprintf "%a" Findings.pp_human f)
+
+let tests =
+  [
+    Alcotest.test_case "determinism fixture" `Quick test_determinism;
+    Alcotest.test_case "quorum-arithmetic fixture" `Quick test_quorum;
+    Alcotest.test_case "transport-seam fixture" `Quick test_seam;
+    Alcotest.test_case "exception-swallowing fixture" `Quick test_swallow;
+    Alcotest.test_case "justified suppression lints clean" `Quick
+      test_suppressed_ok;
+    Alcotest.test_case "bare suppression is flagged" `Quick
+      test_suppressed_bare;
+    Alcotest.test_case "interface-hygiene fixture" `Quick test_iface;
+    Alcotest.test_case "path-derived rule contexts" `Quick test_default_ctx;
+    Alcotest.test_case "production tree lints clean" `Quick
+      test_production_clean;
+  ]

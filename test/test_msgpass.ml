@@ -202,19 +202,27 @@ let test_st_no_uniqueness () =
 
 (* ---------------- Register emulation ---------------- *)
 
-type emu_sys = { sched : Sched.t; emu : Regemu.t }
+type emu_sys = { sched : Sched.t; emu : Regemu.t; net : Net.t }
 
+(* The test owns the underlying [Net] (rather than letting [Regemu.create]
+   wire it invisibly) so Byzantine fibers can inject raw traffic through a
+   bare port — the emulation itself only ever sees the transport seam. *)
 let mk_emu ?(seed = 7) ~n ~f ~byzantine () : emu_sys =
   let space = Space.create ~n in
   let sched = Sched.create ~space ~choose:(Policy.random ~seed) in
-  let emu = Regemu.create space ~n ~f in
+  let net = Net.create space ~n in
+  let emu =
+    Regemu.create_on
+      ~mk_ep:(fun ~pid -> Lnd_msgpass.Transport.of_net (Net.port net ~pid))
+      ~n ~f
+  in
   for pid = 0 to n - 1 do
     if not (List.mem pid byzantine) then
       ignore
         (Sched.spawn sched ~pid ~name:(Printf.sprintf "replica%d" pid)
            ~daemon:true (fun () -> Regemu.replica_daemon emu ~pid))
   done;
-  { sched; emu }
+  { sched; emu; net }
 
 let test_emu_write_read () =
   let s = mk_emu ~n:4 ~f:1 ~byzantine:[] () in
@@ -382,7 +390,7 @@ let test_emu_lying_replica () =
      timestamp 999. *)
   ignore
     (Sched.spawn s.sched ~pid:3 ~name:"byz-replica" ~daemon:true (fun () ->
-         let port = Net.port s.emu.Regemu.net ~pid:3 in
+         let port = Net.port s.net ~pid:3 in
          while true do
            List.iter
              (fun (src, payload) ->
