@@ -718,6 +718,8 @@ let table_t11 () =
           plan = mk_plan ~drop ~cut_len;
           adversary = Chaos.No_adversary;
           msgs = 2;
+          crashes = [];
+          epoch_bump = true;
         }
       in
       match Chaos.run s with
@@ -727,6 +729,100 @@ let table_t11 () =
             r.Chaos.redundant r.Chaos.net_stats.Faultnet.sent
       | Error msg -> pf "%6d %9d | FAIL: %s\n" drop cut_len msg)
     [ (0, 0); (10, 0); (20, 0); (40, 0); (20, 1000); (20, 4000) ]
+
+(* ------------------------------------------------------------------ *)
+(* T12: durability — WAL throughput and crash-recovery overhead        *)
+(* ------------------------------------------------------------------ *)
+
+let table_t12 () =
+  header
+    "T12 Durability (lib/durable): WAL append/sync/snapshot cost and\n\
+    \    recovery replay, then the journaling + crash-recovery overhead\n\
+    \    of the chaos register scenario (same seed: volatile baseline vs\n\
+    \    the durable stack with a crash-restart injected)";
+  let module Disk = Lnd_durable.Disk in
+  let module Wal = Lnd_durable.Wal in
+  let module Chaos = Lnd_fuzz.Chaos in
+  (* WAL throughput in the deterministic cost model: 10k records under
+     three sync cadences, then a snapshotted variant, then recovery. *)
+  let total = 10_000 in
+  let wal_rows =
+    List.map
+      (fun (label, batch, snap_every) ->
+        let d = Disk.create () in
+        let w = Wal.create d ~name:"wal" in
+        for i = 1 to total do
+          Wal.append w (Printf.sprintf "W %d %d" (i mod 7) i);
+          if i mod batch = 0 then Wal.sync w;
+          if snap_every > 0 && Wal.appended w >= snap_every then
+            Wal.snapshot w [ Printf.sprintf "W %d %d" (i mod 7) i ]
+        done;
+        Wal.sync w;
+        let st = Wal.stats w in
+        let recovered, _ = Wal.recover d ~name:"wal" in
+        (label, batch, st, Disk.fsync_count d, List.length recovered))
+      [
+        ("sync each", 1, 0);
+        ("sync /16", 16, 0);
+        ("sync /256", 256, 0);
+        ("snapshot /512", 16, 512);
+      ]
+  in
+  pf "%-14s | %8s %8s %9s %10s | %9s\n" "cadence" "appends" "fsyncs"
+    "snapshots" "bytes" "replayed";
+  List.iter
+    (fun (label, _, st, fsyncs, replayed) ->
+      pf "%-14s | %8d %8d %9d %10d | %9d\n" label st.Wal.appends fsyncs
+        st.Wal.snapshots st.Wal.bytes replayed)
+    wal_rows;
+  (* The end-to-end price: the same seeded register scenario run
+     volatile (crash events stripped — no WAL anywhere) and with the
+     durable stack plus an actual crash-restart. *)
+  let base = Chaos.generate_crash 5 in
+  pf "\n%-28s | %8s | %6s %8s | %7s\n" "chaos register scenario" "steps"
+    "data" "retrans" "fsyncs";
+  let chaos_rows =
+    List.filter_map
+      (fun (label, s) ->
+        match Chaos.run s with
+        | Ok r ->
+            pf "%-28s | %8d | %6d %8d | %7d\n" label r.Chaos.steps
+              r.Chaos.data_sent r.Chaos.retransmissions r.Chaos.fsyncs;
+            Some (label, r)
+        | Error msg ->
+            pf "%-28s | FAIL: %s\n" label msg;
+            None)
+      [
+        ("volatile (no crash)", { base with Chaos.crashes = [] });
+        ("durable + crash + recovery", base);
+      ]
+  in
+  (* Machine-readable copy for the repo root. *)
+  let oc = open_out "BENCH_T12.json" in
+  let j = Printf.fprintf in
+  j oc "{\n  \"table\": \"T12\",\n  \"wal\": [\n";
+  List.iteri
+    (fun i (label, batch, st, fsyncs, replayed) ->
+      j oc
+        "    {\"cadence\": %S, \"batch\": %d, \"appends\": %d, \"fsyncs\": \
+         %d, \"snapshots\": %d, \"bytes\": %d, \"replayed\": %d}%s\n"
+        label batch st.Wal.appends fsyncs st.Wal.snapshots st.Wal.bytes
+        replayed
+        (if i = List.length wal_rows - 1 then "" else ","))
+    wal_rows;
+  j oc "  ],\n  \"chaos\": [\n";
+  List.iteri
+    (fun i (label, r) ->
+      j oc
+        "    {\"scenario\": %S, \"seed\": %d, \"steps\": %d, \"data_sent\": \
+         %d, \"retransmissions\": %d, \"redundant\": %d, \"fsyncs\": %d}%s\n"
+        label r.Chaos.scenario.Chaos.seed r.Chaos.steps r.Chaos.data_sent
+        r.Chaos.retransmissions r.Chaos.redundant r.Chaos.fsyncs
+        (if i = List.length chaos_rows - 1 then "" else ","))
+    chaos_rows;
+  j oc "  ]\n}\n";
+  close_out oc;
+  pf "(machine-readable copy written to BENCH_T12.json)\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks                                *)
@@ -832,6 +928,12 @@ let bench_wallclock () =
     rows
 
 let () =
+  (* [bench/main.exe t12] regenerates just the durability table (and its
+     BENCH_T12.json) without paying for the wall-clock suite. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "t12" then begin
+    table_t12 ();
+    exit 0
+  end;
   pf
     "lie_not_deny benchmark harness — experiment tables for the PODC'25 \
      paper\n\
@@ -849,5 +951,6 @@ let () =
   table_t9 ();
   table_t10 ();
   table_t11 ();
+  table_t12 ();
   bench_wallclock ();
   pf "\nAll tables regenerated.\n"

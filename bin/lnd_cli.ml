@@ -260,16 +260,19 @@ let fuzz_cmd =
 
 (* ---------------- chaos ---------------- *)
 
-let chaos_cmd_run from count seed_opt =
+let chaos_cmd_run from count seed_opt crash =
   let seeds =
     match seed_opt with
     | Some s -> [ s ]
     | None -> List.init count (fun i -> from + i)
   in
+  let generate =
+    if crash then Lnd_fuzz.Chaos.generate_crash else Lnd_fuzz.Chaos.generate
+  in
   let failures = ref 0 in
   List.iter
     (fun seed ->
-      let scenario = Lnd_fuzz.Chaos.generate seed in
+      let scenario = generate seed in
       match Lnd_fuzz.Chaos.run scenario with
       | Ok r ->
           pr "ok   %s\n     %s\n"
@@ -300,6 +303,17 @@ let chaos_cmd =
       & info [ "seed" ] ~docv:"SEED"
           ~doc:"Replay exactly one scenario by its seed.")
   in
+  let crash =
+    Arg.(
+      value & flag
+      & info [ "crash" ]
+          ~doc:
+            "Generate crash-restart scenarios instead: correct replicas \
+             crash mid-run (volatile state lost, disk torn at a seeded \
+             point), recover from their write-ahead log, and rejoin via \
+             state transfer — composed with the usual link faults and \
+             Byzantine adversaries.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -307,7 +321,7 @@ let chaos_cmd =
           drop/duplication/reorder/partition plans composed with Byzantine \
           adversaries, with retransmission recovering liveness (replayable \
           by seed)")
-    Term.(const chaos_cmd_run $ from $ count $ seed)
+    Term.(const chaos_cmd_run $ from $ count $ seed $ crash)
 
 (* ---------------- sweep ---------------- *)
 

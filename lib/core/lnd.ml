@@ -47,3 +47,9 @@ module Snapshot = Lnd_snapshot.Snapshot
 module Asset = Lnd_asset.Asset
 module Fuzz = Lnd_fuzz.Fuzz
 module Monitors = Lnd_history.Monitors
+
+(* Crash-recovery: durability and liveness diagnosis *)
+module Disk = Lnd_durable.Disk
+module Wal = Lnd_durable.Wal
+module Watchdog = Lnd_runtime.Watchdog
+module Chaos = Lnd_fuzz.Chaos

@@ -64,3 +64,10 @@ module Bracha = Lnd_msgpass.Bracha
 module Snapshot = Lnd_snapshot.Snapshot
 module Asset = Lnd_asset.Asset
 module Fuzz = Lnd_fuzz.Fuzz
+
+(** {1 Crash-recovery: durability and liveness diagnosis} *)
+
+module Disk = Lnd_durable.Disk
+module Wal = Lnd_durable.Wal
+module Watchdog = Lnd_runtime.Watchdog
+module Chaos = Lnd_fuzz.Chaos

@@ -1,0 +1,110 @@
+(* A deterministic in-memory "disk" with explicit fsync barriers and
+   injectable crash faults.
+
+   Every file is a pair of byte buffers: the DURABLE bytes (what survives
+   a crash) and the PENDING bytes (appended but not yet fsynced). [append]
+   only touches the pending buffer; [fsync] moves pending into durable —
+   that is the only durability barrier the disk offers, exactly like a
+   POSIX file opened without O_SYNC.
+
+   Crashes are injected two ways, both fully seeded through
+   [Lnd_support.Rng] (no wall clock, no global randomness):
+
+   - [arm_crash ~at_fsync:k] makes the k-th [fsync] call (counting every
+     call on this disk, 1-based) fail mid-barrier: a seeded prefix of the
+     file's pending bytes becomes durable — possibly with its last byte
+     corrupted, modelling a torn sector write — and [Crashed] is raised.
+     The arm is consumed by the crash, so recovery code can fsync freely.
+
+   - [crash] models a whole-process crash at an arbitrary instant: every
+     file's pending buffer is torn the same way (a seeded, possibly
+     corrupted prefix survives; the rest is lost), and the disk remains
+     usable for the recovery path.
+
+   Readers ([read]) only ever see durable bytes, so "what would recovery
+   find" is always directly observable. Consumers that need integrity
+   against torn prefixes must checksum their records — that is {!Wal}'s
+   job, not the disk's. *)
+
+open Lnd_support
+
+exception Crashed
+
+type file = { durable : Buffer.t; pending : Buffer.t }
+
+type t = {
+  files : (string, file) Hashtbl.t;
+  rng : Rng.t; (* drives torn-write prefixes and corruption *)
+  mutable fsyncs : int; (* fsync calls so far (attempts, crashed included) *)
+  mutable crash_at : int option; (* absolute fsync index to crash at *)
+  mutable crashes : int; (* crashes injected so far *)
+}
+
+let create ?(torn_seed = 0) () : t =
+  {
+    files = Hashtbl.create 8;
+    rng = Rng.create ((torn_seed * 7919) + 5);
+    fsyncs = 0;
+    crash_at = None;
+    crashes = 0;
+  }
+
+let find t ~file =
+  match Hashtbl.find_opt t.files file with
+  | Some f -> f
+  | None ->
+      let f = { durable = Buffer.create 256; pending = Buffer.create 256 } in
+      Hashtbl.replace t.files file f;
+      f
+
+let append t ~file bytes = Buffer.add_string (find t ~file).pending bytes
+
+(* A torn flush: a seeded prefix of [pending] reaches durable storage,
+   and half the time the last surviving byte is corrupted (a torn sector
+   write). The remainder of the buffer is lost. *)
+let tear t (f : file) =
+  let pending = Buffer.contents f.pending in
+  Buffer.clear f.pending;
+  let len = String.length pending in
+  if len > 0 then begin
+    let keep = Rng.int t.rng (len + 1) in
+    let kept = Bytes.of_string (String.sub pending 0 keep) in
+    if keep > 0 && Rng.bool t.rng then
+      Bytes.set kept (keep - 1)
+        (Char.chr (Char.code (Bytes.get kept (keep - 1)) lxor 0x5a));
+    Buffer.add_bytes f.durable kept
+  end
+
+let fsync t ~file =
+  let f = find t ~file in
+  t.fsyncs <- t.fsyncs + 1;
+  match t.crash_at with
+  | Some k when t.fsyncs >= k ->
+      t.crash_at <- None (* the arm is consumed: recovery fsyncs succeed *);
+      t.crashes <- t.crashes + 1;
+      tear t f;
+      raise Crashed
+  | _ ->
+      Buffer.add_buffer f.durable f.pending;
+      Buffer.clear f.pending
+
+let crash t =
+  t.crashes <- t.crashes + 1;
+  t.crash_at <- None;
+  List.iter (fun (_, f) -> tear t f) (Tables.sorted_bindings t.files)
+
+let read t ~file =
+  match Hashtbl.find_opt t.files file with
+  | Some f -> Buffer.contents f.durable
+  | None -> ""
+
+let exists t ~file = Hashtbl.mem t.files file
+let delete t ~file = Hashtbl.remove t.files file
+
+let list_files t =
+  List.map fst (Tables.sorted_bindings t.files)
+
+let fsync_count t = t.fsyncs
+let crash_count t = t.crashes
+let arm_crash t ~at_fsync = t.crash_at <- Some at_fsync
+let disarm t = t.crash_at <- None

@@ -1,0 +1,60 @@
+(** A deterministic in-memory "disk" with explicit fsync barriers and
+    injectable crash faults.
+
+    Files are append-only byte streams split into a durable part (what a
+    crash preserves) and a pending part ({!append}ed but not yet
+    {!fsync}ed). Crashes — armed at a chosen fsync boundary with
+    {!arm_crash}, or injected at an arbitrary instant with {!crash} —
+    lose the pending bytes except for a seeded, possibly
+    corrupted-at-the-tail prefix, modelling torn sector writes. All tear
+    decisions flow from [Lnd_support.Rng], so crash outcomes replay
+    exactly from [torn_seed].
+
+    The disk offers no integrity: rejecting torn prefixes is the log
+    layer's job ({!Wal} checksums its frames). Protocol code must not
+    touch this module directly (the [lnd_lint] rule [durable-seam]);
+    persistence goes through {!Wal}. *)
+
+exception Crashed
+(** Raised by {!fsync} when an armed crash fires. The fiber performing
+    the fsync dies mid-barrier, exactly like a process crashing inside
+    [fsync(2)]. *)
+
+type t
+
+val create : ?torn_seed:int -> unit -> t
+
+val append : t -> file:string -> string -> unit
+(** Append to the file's pending buffer. Not durable until {!fsync}. *)
+
+val fsync : t -> file:string -> unit
+(** Durability barrier: move the file's pending bytes into its durable
+    bytes. Raises {!Crashed} (after a seeded torn flush) when an armed
+    crash fires at this call. *)
+
+val read : t -> file:string -> string
+(** The durable bytes only — what recovery would find. *)
+
+val exists : t -> file:string -> bool
+
+val delete : t -> file:string -> unit
+(** Remove a file (assumed atomic, like a journalled unlink). *)
+
+val list_files : t -> string list
+(** All file names, sorted. *)
+
+val fsync_count : t -> int
+(** Total fsync calls so far (crashed attempts included). *)
+
+val crash_count : t -> int
+(** Crashes injected so far ({!crash} calls plus fired arms). *)
+
+val arm_crash : t -> at_fsync:int -> unit
+(** Make the [at_fsync]-th fsync call (1-based, counted from disk
+    creation) crash. Firing consumes the arm. *)
+
+val disarm : t -> unit
+
+val crash : t -> unit
+(** Whole-process crash now: tear every file's pending buffer. The disk
+    stays usable for the recovery path. *)

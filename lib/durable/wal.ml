@@ -1,0 +1,194 @@
+(* A checksummed append-only write-ahead log over {!Disk}, with periodic
+   snapshots that truncate the log.
+
+   Frame layout (binary, little-endian):
+
+     [kind: 1 byte 'R'|'S'] [len: 4 bytes] [fnv1a64(payload): 8 bytes]
+     [payload: len bytes]
+
+   'R' frames carry one record; an 'S' frame carries a whole snapshot
+   (the caller's records joined by '\n') and is only ever the FIRST
+   frame of a generation file. Decoding stops at the first frame that is
+   short, oversized, of unknown kind, or checksum-mismatched — exactly
+   the torn tail a crash between append and fsync leaves behind, so a
+   torn prefix can never smuggle a corrupted record into recovery.
+
+   Generations: the log for [name] lives in the single file
+   "name.<gen>". [snapshot] writes a fresh generation — snapshot frame,
+   fsync, only THEN delete the old generation — so at every instant at
+   least one durable, decodable generation exists: a crash during the
+   new generation's fsync leaves its first frame torn (the generation is
+   invalid and recovery falls back to the old one); a crash after the
+   fsync but before the delete leaves two valid generations and recovery
+   prefers the newer. [recover] scans generations newest-first and
+   replays the first one whose leading frame decodes.
+
+   Records must not contain '\n' (they are newline-joined inside
+   snapshot frames); [append] enforces this. *)
+
+type t = {
+  disk : Disk.t;
+  name : string;
+  mutable gen : int;
+  mutable dirty : bool; (* appended frames not yet fsynced *)
+  mutable since_snapshot : int; (* records appended since the last snapshot *)
+  mutable st_appends : int;
+  mutable st_syncs : int;
+  mutable st_snapshots : int;
+  mutable st_bytes : int; (* payload bytes framed *)
+}
+
+let gen_file name gen = Printf.sprintf "%s.%d" name gen
+
+let file t = gen_file t.name t.gen
+
+(* FNV-1a 64-bit over the payload. *)
+let fnv1a64 (s : string) : int64 =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    s;
+  !h
+
+let frame ~kind payload =
+  let len = String.length payload in
+  let b = Bytes.create (13 + len) in
+  Bytes.set b 0 kind;
+  Bytes.set_int32_le b 1 (Int32.of_int len);
+  Bytes.set_int64_le b 5 (fnv1a64 payload);
+  Bytes.blit_string payload 0 b 13 len;
+  Bytes.to_string b
+
+(* Decode the frames of [bytes]; stop at the first torn/corrupt frame. *)
+let decode (bytes : string) : (char * string) list =
+  let total = String.length bytes in
+  let out = ref [] in
+  let pos = ref 0 in
+  let ok = ref true in
+  while !ok && !pos + 13 <= total do
+    let b = Bytes.unsafe_of_string bytes in
+    let kind = Bytes.get b !pos in
+    let len = Int32.to_int (Bytes.get_int32_le b (!pos + 1)) in
+    let sum = Bytes.get_int64_le b (!pos + 5) in
+    if (kind <> 'R' && kind <> 'S') || len < 0 || !pos + 13 + len > total
+    then ok := false
+    else begin
+      let payload = String.sub bytes (!pos + 13) len in
+      if fnv1a64 payload <> sum then ok := false
+      else begin
+        out := (kind, payload) :: !out;
+        pos := !pos + 13 + len
+      end
+    end
+  done;
+  List.rev !out
+
+let create disk ~name : t =
+  {
+    disk;
+    name;
+    gen = 0;
+    dirty = false;
+    since_snapshot = 0;
+    st_appends = 0;
+    st_syncs = 0;
+    st_snapshots = 0;
+    st_bytes = 0;
+  }
+
+let append t record =
+  if String.contains record '\n' then
+    invalid_arg "Wal.append: records must not contain newlines";
+  Disk.append t.disk ~file:(file t) (frame ~kind:'R' record);
+  t.dirty <- true;
+  t.since_snapshot <- t.since_snapshot + 1;
+  t.st_appends <- t.st_appends + 1;
+  t.st_bytes <- t.st_bytes + String.length record
+
+let sync t =
+  if t.dirty then begin
+    t.st_syncs <- t.st_syncs + 1;
+    t.dirty <- false (* even a crashed fsync consumes the pending bytes *);
+    Disk.fsync t.disk ~file:(file t)
+  end
+
+let appended t = t.since_snapshot
+
+let split_snapshot payload =
+  if payload = "" then [] else String.split_on_char '\n' payload
+
+let snapshot t records =
+  List.iter
+    (fun r ->
+      if String.contains r '\n' then
+        invalid_arg "Wal.snapshot: records must not contain newlines")
+    records;
+  let old = file t in
+  let next = t.gen + 1 in
+  Disk.append t.disk ~file:(gen_file t.name next)
+    (frame ~kind:'S' (String.concat "\n" records));
+  t.st_snapshots <- t.st_snapshots + 1;
+  t.st_syncs <- t.st_syncs + 1;
+  (* the crash window: an armed crash here tears the NEW generation,
+     whose snapshot frame then fails to decode — the old generation is
+     still durable and recovery falls back to it *)
+  Disk.fsync t.disk ~file:(gen_file t.name next);
+  Disk.delete t.disk ~file:old;
+  t.gen <- next;
+  t.dirty <- false;
+  t.since_snapshot <- 0;
+  t.st_bytes <- t.st_bytes + List.fold_left (fun a r -> a + String.length r) 0 records
+
+(* All generations of [name] on [disk], newest first. *)
+let generations disk ~name =
+  let prefix = name ^ "." in
+  List.filter_map
+    (fun f ->
+      if String.starts_with ~prefix f then
+        int_of_string_opt
+          (String.sub f (String.length prefix)
+             (String.length f - String.length prefix))
+      else None)
+    (Disk.list_files disk)
+  |> List.sort (fun a b -> compare b a)
+
+let recover disk ~name : string list * t =
+  let rec pick = function
+    | [] -> (0, [])
+    | gen :: rest -> (
+        let frames = decode (Disk.read disk ~file:(gen_file name gen)) in
+        match frames with
+        | ('S', payload) :: records ->
+            (gen, split_snapshot payload @ List.map snd records)
+        | ('R', _) :: _ when gen = 0 ->
+            (* generation 0 never starts with a snapshot *)
+            (gen, List.map snd frames)
+        | _ ->
+            (* torn leading frame: this generation never became durable *)
+            pick rest)
+  in
+  let gen, records =
+    match generations disk ~name with [] -> (0, []) | gens -> pick gens
+  in
+  (* drop stale generations (an interrupted truncation leaves the old
+     one behind) and any torn newer generation *)
+  List.iter
+    (fun g -> if g <> gen then Disk.delete disk ~file:(gen_file name g))
+    (generations disk ~name);
+  let t = create disk ~name in
+  t.gen <- gen;
+  (records, t)
+
+type stats = { appends : int; syncs : int; snapshots : int; bytes : int }
+
+let stats t =
+  {
+    appends = t.st_appends;
+    syncs = t.st_syncs;
+    snapshots = t.st_snapshots;
+    bytes = t.st_bytes;
+  }

@@ -1,0 +1,58 @@
+(** A checksummed append-only write-ahead log over {!Disk}, with
+    periodic snapshots that truncate the log.
+
+    Records are opaque newline-free strings. Each is framed with a kind
+    byte, a length prefix and an FNV-1a 64 checksum; decoding stops at
+    the first torn or corrupted frame, so the prefix a crash leaves
+    behind is recovered exactly and nothing corrupt is ever replayed.
+
+    The log for [name] lives in one generation file at a time
+    ("name.<gen>"). {!snapshot} writes the compacted state as the
+    leading frame of a fresh generation, fsyncs it, and only then
+    deletes the old generation — at every instant at least one durable,
+    decodable generation exists, and {!recover} replays the newest valid
+    one (snapshot records first, tail records after, in one list —
+    callers use a single replayable record grammar for both).
+
+    Durability contract for callers: a record is durable once {!sync}
+    (or {!snapshot}) returns after its {!append}. "Journal, sync, only
+    then speak": state a process exposes to others must be synced
+    first — that is what makes recovery monotone (see
+    [Lnd_msgpass.Rlink] / [Lnd_msgpass.Regemu]). *)
+
+type t
+
+val create : Disk.t -> name:string -> t
+(** A fresh, empty log (generation 0). Use {!recover} to reopen one. *)
+
+val append : t -> string -> unit
+(** Buffer one record (not durable until {!sync}). Raises
+    [Invalid_argument] on records containing a newline. *)
+
+val sync : t -> unit
+(** Durability barrier: fsync the log file iff records were appended
+    since the last barrier. May raise {!Disk.Crashed} under injection. *)
+
+val appended : t -> int
+(** Records appended since the last snapshot — the input to a periodic
+    snapshot policy. *)
+
+val snapshot : t -> string list -> unit
+(** Write [records] (the caller's compacted state, in the same grammar
+    as appended records) as a new generation and truncate the old log.
+    May raise {!Disk.Crashed} under injection; the old generation then
+    survives intact. *)
+
+val recover : Disk.t -> name:string -> string list * t
+(** Replay the newest valid generation: all durable records (snapshot
+    records first), and a log handle positioned to keep appending to
+    that generation. Stale and torn generations are deleted. *)
+
+type stats = {
+  appends : int;
+  syncs : int;  (** fsync barriers actually issued (dirty-only) *)
+  snapshots : int;
+  bytes : int;  (** payload bytes framed *)
+}
+
+val stats : t -> stats

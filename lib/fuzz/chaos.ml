@@ -13,6 +13,7 @@
 open Lnd_support
 module Sched = Lnd_runtime.Sched
 module Policy = Lnd_runtime.Policy
+module Watchdog = Lnd_runtime.Watchdog
 module Space = Lnd_shm.Space
 module Net = Lnd_msgpass.Net
 module Faultnet = Lnd_msgpass.Faultnet
@@ -21,6 +22,8 @@ module Transport = Lnd_msgpass.Transport
 module St = Lnd_msgpass.Auth_broadcast
 module Bracha = Lnd_msgpass.Bracha
 module Regemu = Lnd_msgpass.Regemu
+module Disk = Lnd_durable.Disk
+module Wal = Lnd_durable.Wal
 
 type protocol = St_broadcast | Bracha_broadcast | Register
 
@@ -45,6 +48,23 @@ let adversary_name = function
   | Equivocator -> "equivocator"
   | Forger -> "forger"
 
+(* A crash-restart injection against one CORRECT pure-replica process
+   (register scenarios only). The victim's volatile state dies, its disk
+   suffers a seeded torn flush, and a new incarnation recovers from the
+   journal, catches up via state transfer, and rejoins. *)
+type crash_event = {
+  victim : int;
+  at_clock : int; (* logical-clock crash instant (and fsync fallback) *)
+  at_fsync : int option;
+      (* [Some k]: crash mid-barrier at the k-th fsync instead (torn
+         write), with [at_clock] as fallback if it never fires *)
+}
+
+let pp_crash_event fmt (c : crash_event) =
+  match c.at_fsync with
+  | None -> Format.fprintf fmt "p%d@%d" c.victim c.at_clock
+  | Some k -> Format.fprintf fmt "p%d@fsync%d" c.victim k
+
 type scenario = {
   seed : int;
   protocol : protocol;
@@ -53,13 +73,26 @@ type scenario = {
   plan : Faultnet.plan;
   adversary : adversary;
   msgs : int; (* broadcasts per correct sender / writes by the owner *)
+  crashes : crash_event list; (* sorted by [at_clock] at run time *)
+  epoch_bump : bool;
+      (* false = restart WITHOUT a new rlink incarnation epoch — the
+         pre-epoch bug, kept reproducible: restarted senders collide
+         with stale dedup state and the run stalls *)
 }
 
 let pp_scenario fmt s =
   Format.fprintf fmt "seed=%d %s n=%d f=%d adversary=%s msgs=%d %a" s.seed
     (protocol_name s.protocol) s.n s.f
     (adversary_name s.adversary)
-    s.msgs Faultnet.pp_plan s.plan
+    s.msgs Faultnet.pp_plan s.plan;
+  if s.crashes <> [] then begin
+    Format.fprintf fmt " crashes=%a"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+         pp_crash_event)
+      s.crashes;
+    if not s.epoch_bump then Format.fprintf fmt " legacy-epochs"
+  end
 
 (* Derive a scenario deterministically from a seed. Fault rates start at
    20% — the point of the chaos fuzzer is sustained abuse, not an
@@ -109,7 +142,64 @@ let generate (seed : int) : scenario =
     in
     Rng.pick rng all
   in
-  { seed; protocol; n; f; plan; adversary; msgs = 1 + Rng.int rng 2 }
+  {
+    seed;
+    protocol;
+    n;
+    f;
+    plan;
+    adversary;
+    msgs = 1 + Rng.int rng 2;
+    crashes = [];
+    epoch_bump = true;
+  }
+
+(* Derive a crash-restart scenario deterministically from a seed: always
+   the register emulation (the stateful protocol with something to
+   lose), a modest fault plan composed with 1-2 crash events against
+   correct pure-replica processes, optionally composed with a Byzantine
+   adversary. Victims are drawn from pids [3 .. n-1-f] — never a client
+   (0..2) and never a Byzantine pid (the top f) — so every crash hits a
+   process whose durable state matters to everyone else's liveness. *)
+let generate_crash (seed : int) : scenario =
+  let rng = Rng.create ((seed * 9241) + 17) in
+  let f = 1 + Rng.int rng 2 in
+  let n = max ((3 * f) + 2) (f + 4) + Rng.int rng 2 in
+  let plan =
+    {
+      Faultnet.fault_seed = (seed * 197) + 7;
+      drop_pct = 10 + Rng.int rng 21;
+      dup_pct = 10 + Rng.int rng 16;
+      delay_pct = 10 + Rng.int rng 21;
+      max_delay = 30 + Rng.int rng 200;
+      fair_burst = 1 + Rng.int rng 2;
+      partitions = [];
+    }
+  in
+  let adversary = Rng.pick rng [ No_adversary; Crash; Forger ] in
+  let replicas = List.init (n - f - 3) (fun i -> i + 3) in
+  let n_events = if Rng.int rng 100 < 35 then 2 else 1 in
+  let crashes = ref [] in
+  let base = ref (200 + Rng.int rng 2500) in
+  for _ = 1 to n_events do
+    let victim = Rng.pick rng replicas in
+    let at_fsync =
+      if Rng.int rng 100 < 30 then Some (1 + Rng.int rng 60) else None
+    in
+    crashes := { victim; at_clock = !base; at_fsync } :: !crashes;
+    base := !base + 600 + Rng.int rng 1500
+  done;
+  {
+    seed;
+    protocol = Register;
+    n;
+    f;
+    plan;
+    adversary;
+    msgs = 1 + Rng.int rng 2;
+    crashes = List.rev !crashes;
+    epoch_bump = true;
+  }
 
 type report = {
   scenario : scenario;
@@ -118,6 +208,8 @@ type report = {
   data_sent : int;
   retransmissions : int;
   redundant : int;
+  fsyncs : int; (* fsync barriers across all victims' disks; 0 without
+                   crash injection *)
 }
 
 type outcome = (report, string) result
@@ -128,7 +220,11 @@ let pp_report fmt (r : report) =
      retrans=%d redundant=%d"
     r.steps r.net_stats.Faultnet.sent r.net_stats.Faultnet.dropped
     r.net_stats.Faultnet.cut r.net_stats.Faultnet.duplicated
-    r.net_stats.Faultnet.delayed r.data_sent r.retransmissions r.redundant
+    r.net_stats.Faultnet.delayed r.data_sent r.retransmissions r.redundant;
+  if r.scenario.crashes <> [] then
+    Format.fprintf fmt " crashes=%d fsyncs=%d"
+      (List.length r.scenario.crashes)
+      r.fsyncs
 
 let max_steps = 4_000_000
 
@@ -154,7 +250,14 @@ type 'p harness = {
   rlinks : Rlink.t option array;
   correct : bool array;
   procs : 'p option array;
+  wd : Watchdog.t;
+  disks : Disk.t option array; (* per-victim durable state (crash runs) *)
 }
+
+(* Client operations that outlive this many logical-clock ticks are
+   reported as stalled — a diagnosable liveness verdict well before the
+   step budget burns out (the clock advances at >= 1 per step). *)
+let stall_timeout = 3_000_000
 
 let mk_harness (s : scenario) : 'p harness =
   let space = Space.create ~n:s.n in
@@ -175,7 +278,15 @@ let mk_harness (s : scenario) : 'p harness =
     rlinks = Array.make s.n None;
     correct;
     procs = Array.make s.n None;
+    wd = Watchdog.create sched;
+    disks = Array.make s.n None;
   }
+
+(* Spawn a client fiber under watchdog surveillance. The watchdog is
+   passive, so watched runs schedule identically to unwatched ones. *)
+let spawn_watched (h : 'p harness) ~pid ~name (body : unit -> unit) : unit =
+  let fb = Sched.spawn h.sched ~pid ~name body in
+  ignore (Watchdog.arm h.wd ~fiber:fb ~op:name ~timeout:stall_timeout)
 
 let rlink (h : 'p harness) ~pid : Rlink.t =
   match h.rlinks.(pid) with
@@ -196,16 +307,54 @@ let sum_rlink_stats (h : 'p harness) =
             red + st.Rlink.redundant ))
     (0, 0, 0) h.rlinks
 
+let sum_fsyncs (h : 'p harness) =
+  (Array.fold_left
+     (fun acc -> function
+       | None -> acc
+       | Some d -> acc + Disk.fsync_count d)
+     0 h.disks
+  [@lnd.allow
+    "durable-seam: reading the fsync counter for the report is \
+     observational — no bytes move"])
+
+(* The full stall diagnosis: which operations are overdue on which
+   fibers, plus each correct pid's unacked rlink backlog — enough to see
+   WHERE liveness died, and replayable from the seed alone. *)
+let stall_diagnosis (s : scenario) (h : 'p harness) : string =
+  let pending =
+    List.filter_map
+      (fun pid ->
+        match h.rlinks.(pid) with
+        | Some rl when h.correct.(pid) && Rlink.pending rl > 0 ->
+            Some (Printf.sprintf "p%d:%d" pid (Rlink.pending rl))
+        | _ -> None)
+      (List.init s.n Fun.id)
+  in
+  Format.asprintf
+    "stalled at clock %d: %a; rlink unacked [%s]; replay: lnd_cli chaos \
+     %s--seed %d"
+    (Sched.clock h.sched) Watchdog.pp_stalled
+    (Watchdog.stalled h.wd)
+    (String.concat " " pending)
+    (if s.crashes <> [] then "--crash " else "")
+    s.seed
+
 let finish (s : scenario) (h : 'p harness) ~(post : unit -> string option) :
     outcome =
-  match Sched.run ~max_steps h.sched with
+  match
+    Sched.run ~max_steps
+      ~until:(fun _ -> Watchdog.stalled h.wd <> [])
+      h.sched
+  with
   | Sched.Budget_exhausted ->
       Error "step budget exhausted (liveness lost under fault plan?)"
-  | Sched.Condition_met -> Error "unexpected stop"
+  | Sched.Condition_met -> Error (stall_diagnosis s h)
   | Sched.Quiescent -> (
       match
         List.filter
-          (fun ((fb : Sched.fiber), _) -> h.correct.(fb.Sched.pid))
+          (fun ((fb : Sched.fiber), e) ->
+            (* an injected Disk.Crashed is the crash, not a bug *)
+            h.correct.(fb.Sched.pid) && e <> Disk.Crashed)
           (Sched.failures h.sched)
       with
       | (fb, e) :: _ ->
@@ -225,6 +374,7 @@ let finish (s : scenario) (h : 'p harness) ~(post : unit -> string option) :
                   data_sent;
                   retransmissions;
                   redundant;
+                  fsyncs = sum_fsyncs h;
                 }))
 
 (* ---------------- Srikanth-Toueg broadcast under chaos ---------------- *)
@@ -280,39 +430,34 @@ let run_st (s : scenario) : outcome =
   (* correct broadcasters *)
   List.iter
     (fun b ->
-      ignore
-        (Sched.spawn h.sched ~pid:b ~name:(Printf.sprintf "bc%d" b) (fun () ->
-             let t = Option.get h.procs.(b) in
-             for i = 0 to s.msgs - 1 do
-               ignore (St.broadcast t (sent_value b i))
-             done)))
+      spawn_watched h ~pid:b ~name:(Printf.sprintf "bc%d" b) (fun () ->
+          let t = Option.get h.procs.(b) in
+          for i = 0 to s.msgs - 1 do
+            ignore (St.broadcast t (sent_value b i))
+          done))
     (broadcasters s);
   (* waiters: correctness + relay for correct senders — every correct
      process eventually accepts every correct broadcast, despite the
      fault plan *)
   for pid = 0 to s.n - 1 do
     if h.correct.(pid) then
-      ignore
-        (Sched.spawn h.sched ~pid ~name:(Printf.sprintf "wait%d" pid)
-           (fun () ->
-             let t = Option.get h.procs.(pid) in
-             let all_in () =
-               List.for_all
-                 (fun b ->
-                   let ok = ref true in
-                   for i = 0 to s.msgs - 1 do
-                     if
-                       not
-                         (St.accepted t ~sender:b ~value:(sent_value b i)
-                            ~seq:i)
-                     then ok := false
-                   done;
-                   !ok)
-                 (broadcasters s)
-             in
-             while not (all_in ()) do
-               Sched.yield ()
-             done))
+      spawn_watched h ~pid ~name:(Printf.sprintf "wait%d" pid) (fun () ->
+          let t = Option.get h.procs.(pid) in
+          let all_in () =
+            List.for_all
+              (fun b ->
+                let ok = ref true in
+                for i = 0 to s.msgs - 1 do
+                  if
+                    not (St.accepted t ~sender:b ~value:(sent_value b i) ~seq:i)
+                  then ok := false
+                done;
+                !ok)
+              (broadcasters s)
+          in
+          while not (all_in ()) do
+            Sched.yield ()
+          done)
   done;
   finish s h ~post:(fun () -> None)
 
@@ -386,35 +531,32 @@ let run_bracha (s : scenario) : outcome =
      through a bare Net port below the seam by design"]);
   List.iter
     (fun b ->
-      ignore
-        (Sched.spawn h.sched ~pid:b ~name:(Printf.sprintf "bc%d" b) (fun () ->
-             let p = Option.get h.procs.(b) in
-             for i = 0 to s.msgs - 1 do
-               ignore (Bracha.broadcast p (sent_value b i))
-             done)))
+      spawn_watched h ~pid:b ~name:(Printf.sprintf "bc%d" b) (fun () ->
+          let p = Option.get h.procs.(b) in
+          for i = 0 to s.msgs - 1 do
+            ignore (Bracha.broadcast p (sent_value b i))
+          done))
     (broadcasters s);
   (* totality + validity waiters for correct-sender slots *)
   for pid = 0 to s.n - 1 do
     if h.correct.(pid) then
-      ignore
-        (Sched.spawn h.sched ~pid ~name:(Printf.sprintf "wait%d" pid)
-           (fun () ->
-             let p = Option.get h.procs.(pid) in
-             let all_in () =
-               List.for_all
-                 (fun b ->
-                   let ok = ref true in
-                   for i = 0 to s.msgs - 1 do
-                     match Bracha.delivered p ~sender:b ~seq:i with
-                     | Some v when v = sent_value b i -> ()
-                     | _ -> ok := false
-                   done;
-                   !ok)
-                 (broadcasters s)
-             in
-             while not (all_in ()) do
-               Sched.yield ()
-             done))
+      spawn_watched h ~pid ~name:(Printf.sprintf "wait%d" pid) (fun () ->
+          let p = Option.get h.procs.(pid) in
+          let all_in () =
+            List.for_all
+              (fun b ->
+                let ok = ref true in
+                for i = 0 to s.msgs - 1 do
+                  match Bracha.delivered p ~sender:b ~seq:i with
+                  | Some v when v = sent_value b i -> ()
+                  | _ -> ok := false
+                done;
+                !ok)
+              (broadcasters s)
+          in
+          while not (all_in ()) do
+            Sched.yield ()
+          done)
   done;
   (* agreement across correct pids for EVERY delivered slot, including a
      Byzantine equivocator's *)
@@ -444,6 +586,11 @@ let run_bracha (s : scenario) : outcome =
 
 (* ---------------- Register emulation under chaos --------------------- *)
 
+(* Snapshot-and-truncate period for persistent victims: small enough
+   that chaos runs regularly cross generation boundaries (exercising the
+   snapshot path under crashes), large enough not to dominate. *)
+let snap_every = 48
+
 let run_register (s : scenario) : outcome =
   let h = mk_harness s in
   let emu =
@@ -454,11 +601,45 @@ let run_register (s : scenario) : outcome =
   let cell =
     Regemu.allocator emu ~name:"x" ~owner:0 ~init:(Univ.inj Univ.int 0) ()
   in
+  (* Crash victims run the durable stack: a seeded disk, a WAL shared by
+     the pid's rlink (epochs, dedup) and regemu (register state), and
+     periodic snapshot truncation. Non-victims stay volatile — only the
+     processes that can crash pay for durability, and crash-free
+     scenarios are byte-identical to the pre-durability fuzzer. *)
+  let victims = List.sort_uniq compare (List.map (fun c -> c.victim) s.crashes) in
+  if victims <> [] then begin
+    Regemu.set_codec emu
+      ~enc:(fun v ->
+        match Univ.prj Univ.int v with
+        | Some i -> string_of_int i
+        | None -> "?")
+      ~dec:(fun st -> Univ.inj Univ.int (int_of_string st));
+    List.iter
+      (fun v ->
+        let disk =
+          (Disk.create ~torn_seed:((s.seed * 77) + v) ()
+          [@lnd.allow
+            "durable-seam: the chaos harness is the one place that builds \
+             (and crashes) the disk under the Wal by design"])
+        in
+        h.disks.(v) <- Some disk;
+        let wal = Wal.create disk ~name:"wal" in
+        (* epoch 0 durable BEFORE the incarnation's first send *)
+        Rlink.journal_epoch wal 0;
+        let rl = Rlink.create ~epoch:0 ~wal (Faultnet.transport h.fnet ~pid:v) in
+        Rlink.enable_snapshots rl ~every:snap_every
+          ~extra:(fun () -> Regemu.snapshot_records emu ~pid:v);
+        h.rlinks.(v) <- Some rl;
+        Regemu.attach_wal emu ~pid:v wal)
+      victims
+  end;
+  let rep_fibers : Sched.fiber option array = Array.make s.n None in
   for pid = 0 to s.n - 1 do
     if h.correct.(pid) then
-      ignore
-        (Sched.spawn h.sched ~pid ~name:(Printf.sprintf "rep%d" pid)
-           ~daemon:true (fun () -> Regemu.replica_daemon emu ~pid))
+      rep_fibers.(pid) <-
+        Some
+          (Sched.spawn h.sched ~pid ~name:(Printf.sprintf "rep%d" pid)
+             ~daemon:true (fun () -> Regemu.replica_daemon emu ~pid))
   done;
   ((match s.adversary with
    | No_adversary | Crash | Equivocator -> ()
@@ -489,34 +670,93 @@ let run_register (s : scenario) : outcome =
      through a bare Net port below the seam by design"]);
   let wrote_all = ref false in
   let last = s.msgs in
-  ignore
-    (Sched.spawn h.sched ~pid:0 ~name:"writer" (fun () ->
-         for i = 1 to last do
-           cell.Lnd_runtime.Cell.cell_write (Univ.inj Univ.int i)
-         done;
-         wrote_all := true));
+  spawn_watched h ~pid:0 ~name:"writer" (fun () ->
+      for i = 1 to last do
+        cell.Lnd_runtime.Cell.cell_write (Univ.inj Univ.int i)
+      done;
+      wrote_all := true);
   (* one concurrent reader: every value read must be genuine *)
   let concurrent = ref [] in
-  ignore
-    (Sched.spawn h.sched ~pid:1 ~name:"reader-c" (fun () ->
-         while not !wrote_all do
-           concurrent := cell.Lnd_runtime.Cell.cell_read () :: !concurrent;
-           Sched.yield ()
-         done));
+  spawn_watched h ~pid:1 ~name:"reader-c" (fun () ->
+      while not !wrote_all do
+        concurrent := cell.Lnd_runtime.Cell.cell_read () :: !concurrent;
+        Sched.yield ()
+      done);
   (* final readers: after the last write completes, a read must return
      the last written value *)
   let final = Array.make s.n None in
   List.iter
     (fun pid ->
       if pid <> 0 && h.correct.(pid) then
-        ignore
-          (Sched.spawn h.sched ~pid ~name:(Printf.sprintf "reader%d" pid)
-             (fun () ->
-               while not !wrote_all do
-                 Sched.yield ()
-               done;
-               final.(pid) <- Some (cell.Lnd_runtime.Cell.cell_read ()))))
+        spawn_watched h ~pid ~name:(Printf.sprintf "reader%d" pid) (fun () ->
+            while not !wrote_all do
+              Sched.yield ()
+            done;
+            final.(pid) <- Some (cell.Lnd_runtime.Cell.cell_read ())))
     [ 1; 2 ];
+  (* The crash controller: for each event (in clock order) run the
+     scheduler up to the crash instant — or until an armed fsync fault
+     fires and kills the victim's daemon from inside — then tear the
+     disk, kill the incarnation's fibers, and boot a successor that
+     recovers from the journal, re-announces with a fresh rlink epoch,
+     catches up via state transfer, and rejoins as an ordinary replica. *)
+  List.iter
+    (fun ev ->
+      let v = ev.victim in
+      let disk = Option.get h.disks.(v) in
+      let fiber_dead () =
+        match rep_fibers.(v) with
+        | Some fb -> (
+            match fb.Sched.state with
+            | Sched.Finished _ -> true
+            | Sched.Ready _ -> false)
+        | None -> true
+      in
+      ((match ev.at_fsync with
+       | Some k ->
+           Disk.arm_crash disk ~at_fsync:(max k (Disk.fsync_count disk + 1))
+       | None -> ())
+      [@lnd.allow
+        "durable-seam: arming the seeded crash point is the harness's \
+         job — protocol code never sees the disk"]);
+      ignore
+        (Sched.run ~max_steps
+           ~until:(fun sch -> fiber_dead () || Sched.clock sch >= ev.at_clock)
+           h.sched);
+      (Disk.disarm disk
+      [@lnd.allow "durable-seam: crash-point bookkeeping, harness-only"]);
+      if not (fiber_dead ()) then begin
+        (* whole-process crash at this instant: pending bytes torn *)
+        (Disk.crash disk
+        [@lnd.allow
+          "durable-seam: crash injection is the harness's job"]);
+        match rep_fibers.(v) with
+        | Some fb -> Sched.kill fb
+        | None -> ()
+      end;
+      (* ---- restart: a new incarnation of pid v ---- *)
+      let records, wal = Wal.recover disk ~name:"wal" in
+      let prev = Rlink.epoch_of_records records in
+      let epoch = if s.epoch_bump then prev + 1 else max 0 prev in
+      Rlink.journal_epoch wal epoch;
+      let rl = Rlink.create ~epoch ~wal (Faultnet.transport h.fnet ~pid:v) in
+      Rlink.enable_snapshots rl ~every:snap_every
+        ~extra:(fun () -> Regemu.snapshot_records emu ~pid:v);
+      h.rlinks.(v) <- Some rl;
+      Regemu.forget emu ~pid:v;
+      Regemu.attach_wal emu ~pid:v wal;
+      Regemu.begin_recovery emu ~pid:v;
+      List.iter
+        (fun r ->
+          if not (Rlink.restore_record rl r) then
+            ignore (Regemu.restore_record emu ~pid:v r))
+        records;
+      rep_fibers.(v) <-
+        Some
+          (Sched.spawn h.sched ~pid:v ~name:(Printf.sprintf "rec%d" v)
+             ~daemon:true (fun () ->
+               Regemu.recover_and_serve emu ~pid:v)))
+    (List.sort (fun a b -> compare a.at_clock b.at_clock) s.crashes);
   let post () =
     let genuine v =
       match Univ.prj Univ.int v with

@@ -26,6 +26,21 @@ type adversary =
 
 val adversary_name : adversary -> string
 
+(** A crash-restart injection against one correct pure-replica process
+    (register scenarios only): the victim's volatile state dies, its
+    disk suffers a seeded torn flush, and a new incarnation recovers
+    from the journal, catches up via state transfer from [n-f] peers,
+    and rejoins. *)
+type crash_event = {
+  victim : int;
+  at_clock : int;  (** logical-clock crash instant (and fsync fallback) *)
+  at_fsync : int option;
+      (** [Some k]: crash mid-barrier at the k-th fsync instead (torn
+          write), with [at_clock] as fallback if it never fires *)
+}
+
+val pp_crash_event : Format.formatter -> crash_event -> unit
+
 type scenario = {
   seed : int;
   protocol : protocol;
@@ -34,12 +49,26 @@ type scenario = {
   plan : Lnd_msgpass.Faultnet.plan;
   adversary : adversary;
   msgs : int;  (** broadcasts per correct sender / writes by the owner *)
+  crashes : crash_event list;  (** sorted by [at_clock] at run time *)
+  epoch_bump : bool;
+      (** [false] restarts WITHOUT a new rlink incarnation epoch — the
+          pre-epoch bug, kept reproducible: the restarted sender's
+          messages are swallowed by stale dedup state and the run
+          stalls *)
 }
 
 val pp_scenario : Format.formatter -> scenario -> unit
 
 val generate : int -> scenario
-(** Derive a scenario deterministically from a seed. *)
+(** Derive a scenario deterministically from a seed ([crashes = []]:
+    plain link-fault chaos, byte-identical to the pre-durability
+    fuzzer). *)
+
+val generate_crash : int -> scenario
+(** Derive a crash-restart scenario deterministically from a seed:
+    always the register emulation, a modest fault plan, 1-2 crash
+    events against correct pure-replica pids (never a client, never a
+    Byzantine pid), optionally composed with a Byzantine adversary. *)
 
 type report = {
   scenario : scenario;
@@ -48,6 +77,9 @@ type report = {
   data_sent : int;  (** rlink data messages, summed over correct pids *)
   retransmissions : int;
   redundant : int;  (** duplicate deliveries suppressed by rlink *)
+  fsyncs : int;
+      (** fsync barriers across all victims' disks; 0 without crash
+          injection *)
 }
 
 type outcome = (report, string) result

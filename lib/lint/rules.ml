@@ -16,6 +16,7 @@ type ctx = {
   seam : bool;
   swallow : bool;
   need_mli : bool;
+  durable : bool;
 }
 
 let catalogue =
@@ -29,6 +30,10 @@ let catalogue =
     ( "transport-seam",
       "protocol code talks through the Transport record, never Net.* \
        directly" );
+    ( "durable-seam",
+      "protocol code never constructs or touches Lnd_durable.Disk \
+       directly; persistence flows through the Wal append/sync/snapshot \
+       API (which owns the checksummed framing and crash semantics)" );
     ("exception-swallowing", "no catch-all `try ... with _ ->`");
     ("interface-hygiene", "every lib/**/*.ml has a sibling .mli");
     ( "suppression-hygiene",
@@ -59,6 +64,7 @@ let protocol_dirs =
     "lib/broadcast";
     "lib/byz";
     "lib/fuzz";
+    "lib/durable";
   ]
 
 let quorum_dirs = [ "lib/sticky"; "lib/verifiable"; "lib/msgpass" ]
@@ -86,6 +92,8 @@ let default_ctx ~path =
     seam = protocol && not transport_layer;
     swallow = true;
     need_mli = in_dir "lib" p;
+    (* lib/durable IS the durable layer (Wal sits on Disk by design) *)
+    durable = protocol && not (in_dir "lib/durable" p);
   }
 
 (* ---------------- Suppressions ---------------- *)
@@ -195,6 +203,12 @@ let run (ctx : ctx) ~file ~has_mli (str : structure) : Findings.t list =
           "direct Net access in protocol code; send and receive through \
            the Transport record seam so the same code runs over Net, \
            Faultnet and Rlink"
+    | (Ldot (Lident "Disk", _) | Ldot (Ldot (_, "Disk"), _))
+      when ctx.durable ->
+        add ~loc "durable-seam"
+          "direct Disk access in protocol code; journal through the Wal \
+           append/sync/snapshot API, which owns the checksummed framing \
+           and crash semantics"
     | _ -> ()
   in
   (* -------- quorum-arithmetic: inline threshold formulas -------- *)

@@ -17,6 +17,11 @@
     {- [transport-seam] — protocol code sends and receives only through
        the [Transport] record seam, never through [Net.*] directly
        (the transport-layer files themselves are exempt).}
+    {- [durable-seam] — protocol code never constructs or touches
+       [Lnd_durable.Disk] directly; persistence flows through the [Wal]
+       append/sync/snapshot API, which owns the checksummed framing and
+       crash semantics ([lib/durable] itself is exempt — it IS the
+       layer).}
     {- [exception-swallowing] — no [try ... with _ ->]: a catch-all
        silently absorbs assertion failures and scheduler-kill exceptions.}
     {- [interface-hygiene] — every [lib/**/*.ml] has an [.mli]
@@ -37,6 +42,7 @@ type ctx = {
   seam : bool;  (** [Net.*] ban active *)
   swallow : bool;  (** catch-all ban active *)
   need_mli : bool;  (** the file must have a sibling [.mli] *)
+  durable : bool;  (** [Disk.*] ban active *)
 }
 
 val catalogue : (string * string) list

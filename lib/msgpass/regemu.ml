@@ -43,6 +43,7 @@
 open Lnd_support
 open Lnd_shm
 open Lnd_runtime
+module Wal = Lnd_durable.Wal
 
 module PidSet = Set.Make (Int)
 
@@ -52,6 +53,9 @@ type emsg =
   | Wack of int * int (* reg, ts *)
   | Rreq of int * int (* reg, rid *)
   | Rrep of int * int * int * Univ.t (* reg, rid, ts, v *)
+  | Sreq of int (* rid — full-state transfer request (recovery) *)
+  | Srep of int * (int * int * Univ.t) list
+      (* rid, per-register (reg, ts, v) — the replier's whole view *)
   | Batch of emsg list
       (* A replica bundles all its replies to one destination from one
          poll iteration into a single message. Without batching the
@@ -69,9 +73,21 @@ let rec emsg_equal a b =
   | Rreq (r1, i1), Rreq (r2, i2) -> r1 = r2 && i1 = i2
   | Rrep (r1, i1, t1, v1), Rrep (r2, i2, t2, v2) ->
       r1 = r2 && i1 = i2 && t1 = t2 && Univ.equal v1 v2
+  | Sreq i1, Sreq i2 -> i1 = i2
+  | Srep (i1, l1), Srep (i2, l2) -> (
+      i1 = i2
+      &&
+      try
+        List.for_all2
+          (fun (r1, t1, v1) (r2, t2, v2) ->
+            r1 = r2 && t1 = t2 && Univ.equal v1 v2)
+          l1 l2
+      with Invalid_argument _ -> false)
   | Batch l1, Batch l2 -> (
       try List.for_all2 emsg_equal l1 l2 with Invalid_argument _ -> false)
-  | (Wreq _ | Wecho _ | Wack _ | Rreq _ | Rrep _ | Batch _), _ -> false
+  | (Wreq _ | Wecho _ | Wack _ | Rreq _ | Rrep _ | Sreq _ | Srep _ | Batch _), _
+    ->
+      false
 
 let emsg_key : emsg Univ.key =
   Univ.key ~name:"regemu"
@@ -81,6 +97,8 @@ let emsg_key : emsg Univ.key =
       | Wack (r, t) -> Format.fprintf fmt "wack(r%d,ts%d)" r t
       | Rreq (r, i) -> Format.fprintf fmt "rreq(r%d,#%d)" r i
       | Rrep (r, i, t, _) -> Format.fprintf fmt "rrep(r%d,#%d,ts%d)" r i t
+      | Sreq i -> Format.fprintf fmt "sreq(#%d)" i
+      | Srep (i, l) -> Format.fprintf fmt "srep(#%d,%d)" i (List.length l)
       | Batch l -> Format.fprintf fmt "batch(%d)" (List.length l))
     ~equal:emsg_equal
 
@@ -97,6 +115,14 @@ type replica = {
   rep_echoes : (int * int * string, Univ.t * PidSet.t ref) Hashtbl.t;
   rep_echoed : (int * int * string, unit) Hashtbl.t;
   rep_accepted : (int * int * string, unit) Hashtbl.t;
+  (* src -> (reg, rid): the latest read request per requester. A reader
+     runs one round at a time, so this is exactly the set of replies
+     that may still be outstanding — what a recovered replica must
+     re-answer (its retransmission state died with the crash). *)
+  rep_last_rreq : (int, int * int) Hashtbl.t;
+  mutable serving : bool;
+      (* false while recovering: read requests are recorded (and
+         journalled) but answered only once state transfer completes *)
 }
 
 type client = {
@@ -105,6 +131,8 @@ type client = {
   acks : (int * int, PidSet.t ref) Hashtbl.t; (* (reg, ts) -> ackers *)
   reps : (int, (int * int * Univ.t) list ref) Hashtbl.t;
       (* rid -> (src, ts, v) replies *)
+  sreps : (int, (int * (int * int * Univ.t) list) list ref) Hashtbl.t;
+      (* rid -> (src, full view) state-transfer replies *)
 }
 
 type t = {
@@ -118,6 +146,11 @@ type t = {
   eps : Transport.t option array;
   replicas : replica option array;
   clients : client option array;
+  (* crash-recovery: per-pid journal and one value codec. Both optional —
+     with no WAL attached the emulation is byte-identical to the
+     volatile implementation. *)
+  pwals : Wal.t option array;
+  mutable codec : ((Univ.t -> string) * (string -> Univ.t)) option;
 }
 
 (* [Quorum.make] (strict): the emulation is only sound for n > 3f [9]. *)
@@ -132,6 +165,8 @@ let create_on ~mk_ep ~n ~f : t =
     eps = Array.make n None;
     replicas = Array.make n None;
     clients = Array.make n None;
+    pwals = Array.make n None;
+    codec = None;
   }
 
 let create space ~n ~f : t =
@@ -171,6 +206,8 @@ let replica_state t ~pid : replica =
           rep_echoes = Hashtbl.create 64;
           rep_echoed = Hashtbl.create 64;
           rep_accepted = Hashtbl.create 64;
+          rep_last_rreq = Hashtbl.create 16;
+          serving = true;
         }
       in
       t.replicas.(pid) <- Some r;
@@ -186,10 +223,64 @@ let client_state t ~pid : client =
           wts = Hashtbl.create 16;
           acks = Hashtbl.create 16;
           reps = Hashtbl.create 16;
+          sreps = Hashtbl.create 4;
         }
       in
       t.clients.(pid) <- Some c;
       c
+
+(* ---------------- Crash-recovery: journalling ---------------- *)
+
+(* Record grammar (one shared WAL per pid; Rlink's E/S/U records live in
+   the same log). The value encoding [venc] is always the LAST field —
+   it may contain spaces but never newlines.
+
+     W <reg> <ts>                    client write timestamp
+     A <reg> <ts> <venc>             replica adopted (reg, ts, v)
+     H <reg> <ts> <venc>             replica echoed (reg, ts, v)
+     X <src> <reg> <ts> <venc>       echo for (reg, ts, v) received from src
+     P <reg> <ts> <venc>             replica accepted (reg, ts, v)
+     R <src> <reg> <rid>             latest read request from src
+
+   Discipline ("journal, sync, only then speak"): every mutation is
+   journalled at mutation time; a sync barrier runs before any send that
+   EXPOSES the mutated state (wacks, and — via Rlink's deferred-ack
+   barrier — everything handled since the last poll). Re-sending state
+   that was journalled but whose send was lost is always safe: every
+   consumer below is idempotent (PidSet echo/ack counting, per-src reply
+   dedup). *)
+
+let set_codec t ~enc ~dec = t.codec <- Some (enc, dec)
+
+let attach_wal t ~pid wal =
+  if t.codec = None then invalid_arg "Regemu.attach_wal: set_codec first";
+  t.pwals.(pid) <- Some wal
+
+let enc_v t v =
+  match t.codec with Some (e, _) -> e v | None -> assert false
+
+let dec_v t s =
+  match t.codec with Some (_, d) -> d s | None -> assert false
+
+let jot t ~pid fmt =
+  Printf.ksprintf
+    (fun record ->
+      match t.pwals.(pid) with
+      | Some w -> Wal.append w record
+      | None -> ())
+    fmt
+
+let psync t ~pid =
+  match t.pwals.(pid) with Some w -> Wal.sync w | None -> ()
+
+let journalling t ~pid = t.pwals.(pid) <> None
+
+let forget t ~pid =
+  t.eps.(pid) <- None;
+  t.replicas.(pid) <- None;
+  t.clients.(pid) <- None
+
+let begin_recovery t ~pid = (replica_state t ~pid).serving <- false
 
 (* ---------------- Replica side ---------------- *)
 
@@ -200,17 +291,27 @@ let rep_current t (r : replica) reg : int * string * Univ.t =
       let m = meta t reg in
       (0, fp m.init, m.init)
 
-let rep_adopt t (r : replica) reg ts f_ v =
+let rep_adopt t (r : replica) ~pid reg ts f_ v =
   let cts, cfp, _ = rep_current t r reg in
-  if (ts, f_) > (cts, cfp) then Hashtbl.replace r.current reg (ts, f_, v)
+  if (ts, f_) > (cts, cfp) then begin
+    Hashtbl.replace r.current reg (ts, f_, v);
+    if journalling t ~pid then jot t ~pid "A %d %d %s" reg ts (enc_v t v)
+  end
 
-let rep_send_echo (r : replica) (ep : Transport.t) reg ts f_ v =
+let rep_send_echo t (r : replica) (ep : Transport.t) reg ts f_ v =
   if not (Hashtbl.mem r.rep_echoed (reg, ts, f_)) then begin
     Hashtbl.replace r.rep_echoed (reg, ts, f_) ();
+    (* keep the value reachable from the echo table even before any echo
+       arrives — snapshots reconstruct "H" records from it *)
+    if not (Hashtbl.mem r.rep_echoes (reg, ts, f_)) then
+      Hashtbl.replace r.rep_echoes (reg, ts, f_) (v, ref PidSet.empty);
+    let pid = ep.Transport.pid in
+    if journalling t ~pid then jot t ~pid "H %d %d %s" reg ts (enc_v t v);
     Transport.broadcast ep (Univ.inj emsg_key (Wecho (reg, ts, v)))
   end
 
 let rep_note_echo t (r : replica) (ep : Transport.t) reg ts f_ v ~from =
+  let pid = ep.Transport.pid in
   let _, set =
     match Hashtbl.find_opt r.rep_echoes (reg, ts, f_) with
     | Some p -> p
@@ -219,14 +320,22 @@ let rep_note_echo t (r : replica) (ep : Transport.t) reg ts f_ v ~from =
         Hashtbl.replace r.rep_echoes (reg, ts, f_) p;
         p
   in
-  set := PidSet.add from !set;
+  if not (PidSet.mem from !set) then begin
+    set := PidSet.add from !set;
+    if journalling t ~pid then
+      jot t ~pid "X %d %d %d %s" from reg ts (enc_v t v)
+  end;
   let count = PidSet.cardinal !set in
-  if Quorum.has_one_correct t.q count then rep_send_echo r ep reg ts f_ v;
+  if Quorum.has_one_correct t.q count then rep_send_echo t r ep reg ts f_ v;
   if Quorum.has_byz_quorum t.q count
      && not (Hashtbl.mem r.rep_accepted (reg, ts, f_))
   then begin
     Hashtbl.replace r.rep_accepted (reg, ts, f_) ();
-    rep_adopt t r reg ts f_ v;
+    if journalling t ~pid then jot t ~pid "P %d %d %s" reg ts (enc_v t v);
+    rep_adopt t r ~pid reg ts f_ v;
+    (* the ack EXPOSES acceptance: it must not outlive a crash that the
+       journal does not remember, so the sync barrier comes first *)
+    psync t ~pid;
     ep.Transport.send ~dst:(meta t reg).owner
       (Univ.inj emsg_key (Wack (reg, ts)))
   end
@@ -256,6 +365,29 @@ let cl_note_rep (c : client) rid ts v ~src =
   if not (List.exists (fun (s, _, _) -> s = src) !l) then
     l := (src, ts, v) :: !l
 
+let cl_note_srep (c : client) rid view ~src =
+  let l =
+    match Hashtbl.find_opt c.sreps rid with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace c.sreps rid l;
+        l
+  in
+  if not (List.exists (fun (s, _) -> s = src) !l) then l := (src, view) :: !l
+
+(* The full register view a replica hands to a recovering peer: one
+   (reg, ts, v) triple per register it holds ST-accepted state for.
+   Correct replicas only hold genuine triples, so a state-transfer reply
+   never needs more trust than a read reply does. *)
+let rep_view t (r : replica) : (int * int * Univ.t) list =
+  List.rev
+    (Tables.fold_sorted
+       (fun reg _ acc ->
+         let ts, _, v = rep_current t r reg in
+         (reg, ts, v) :: acc)
+       t.metas [])
+
 (* ---------------- The per-process pump ---------------- *)
 
 (* Handle one batch of incoming messages; all read-replies to the same
@@ -277,17 +409,29 @@ let pump t ~pid =
     match m with
     | Wreq (reg, ts, v) ->
         if Hashtbl.mem t.metas reg && src = (meta t reg).owner then
-          rep_send_echo r ep reg ts (fp v) v
+          rep_send_echo t r ep reg ts (fp v) v
     | Wecho (reg, ts, v) ->
         if Hashtbl.mem t.metas reg then
           rep_note_echo t r ep reg ts (fp v) v ~from:src
     | Rreq (reg, rid) ->
         if Hashtbl.mem t.metas reg then begin
-          let ts, _, v = rep_current t r reg in
-          out ~dst:src (Rrep (reg, rid, ts, v))
+          (* remember the latest outstanding request per requester: a
+             recovered incarnation re-answers it (the reply — or its
+             retransmission state — may have died with the crash) *)
+          Hashtbl.replace r.rep_last_rreq src (reg, rid);
+          if journalling t ~pid then jot t ~pid "R %d %d %d" src reg rid;
+          if r.serving then begin
+            let ts, _, v = rep_current t r reg in
+            out ~dst:src (Rrep (reg, rid, ts, v))
+          end
         end
     | Wack (reg, ts) -> cl_note_ack c reg ts ~src
     | Rrep (_, rid, ts, v) -> cl_note_rep c rid ts v ~src
+    | Sreq rid ->
+        (* state transfer: answered even while recovering — the view is
+           whatever is ST-accepted so far, always genuine *)
+        out ~dst:src (Srep (rid, rep_view t r))
+    | Srep (rid, view) -> cl_note_srep c rid view ~src
     | Batch l -> List.iter (handle ~src) l
   in
   List.iter
@@ -338,6 +482,10 @@ let emu_write t reg (v : Univ.t) : unit =
   in
   incr tsr;
   let ts = !tsr in
+  (* the broadcast exposes ts: journal it first so a restarted writer
+     never reuses a timestamp it already spoke for *)
+  jot t ~pid "W %d %d" reg ts;
+  psync t ~pid;
   Transport.broadcast ep (Univ.inj emsg_key (Wreq (reg, ts, v)));
   let done_ = ref false in
   while not !done_ do
@@ -348,6 +496,10 @@ let emu_write t reg (v : Univ.t) : unit =
     if not !done_ then Sched.yield ()
   done
 
+(* Clock ticks a read round waits for availability before retrying with a
+   fresh rid.  Only reachable when a replica restart orphaned a reply. *)
+let round_patience = 400_000
+
 let emu_read t reg : Univ.t =
   let pid = Sched.self () in
   let ep = endpoint t ~pid in
@@ -357,15 +509,29 @@ let emu_read t reg : Univ.t =
     let rid = c.next_rid in
     c.next_rid <- rid + 1;
     Transport.broadcast ep (Univ.inj emsg_key (Rreq (reg, rid)));
-    (* collect replies for this rid from >= n-f distinct replicas *)
+    (* Collect replies for this rid from >= n-f distinct replicas — but
+       not forever.  A replica that crashed after we broadcast may have
+       sent its reply from an incarnation whose retransmission state died
+       with it, and its successor only re-answers the *latest* request it
+       journalled per source; with several reader fibres on one pid the
+       older round would then hang.  After a patience window (far above
+       any crash-free round, far below the watchdog) we abandon the rid
+       and open a fresh round, which the recovered replica answers
+       normally.  [Sched.now] is not a scheduling point, so crash-free
+       runs are bit-for-bit unchanged. *)
+    let t0 = Sched.now () in
     let round_done = ref false in
     while not !round_done do
       match Hashtbl.find_opt c.reps rid with
       | Some l when Quorum.has_availability t.q (List.length !l) ->
           round_done := true
-      | _ -> Sched.yield ()
+      | _ ->
+          if Sched.now () - t0 > round_patience then round_done := true
+          else Sched.yield ()
     done;
-    let replies = !(Hashtbl.find c.reps rid) in
+    let replies =
+      match Hashtbl.find_opt c.reps rid with Some l -> !l | None -> []
+    in
     (* Bucket by (ts, fingerprint). A bucket with >= f+1 distinct vouchers
        contains at least one correct replica, and correct replicas only
        hold ST-accepted (genuine) triples, so the value is genuine.
@@ -416,3 +582,207 @@ let allocator (t : t) : Cell.allocator =
   }
 
 let messages_sent t = t.sent
+
+(* ---------------- Crash-recovery: restore and catch-up ---------------- *)
+
+let tail_from record pos = String.sub record pos (String.length record - pos)
+
+let restore_record t ~pid (record : string) : bool =
+  let r = replica_state t ~pid in
+  let c = client_state t ~pid in
+  let adopt reg ts v =
+    let f_ = fp v in
+    let cts, cfp, _ = rep_current t r reg in
+    if (ts, f_) > (cts, cfp) then Hashtbl.replace r.current reg (ts, f_, v)
+  in
+  let ensure_echoes reg ts v =
+    let f_ = fp v in
+    match Hashtbl.find_opt r.rep_echoes (reg, ts, f_) with
+    | Some (_, set) -> set
+    | None ->
+        let set = ref PidSet.empty in
+        Hashtbl.replace r.rep_echoes (reg, ts, f_) (v, set);
+        set
+  in
+  if record = "" then false
+  else
+    match record.[0] with
+    | 'W' -> (
+        match Scanf.sscanf_opt record "W %d %d" (fun reg ts -> (reg, ts)) with
+        | Some (reg, ts) ->
+            (match Hashtbl.find_opt c.wts reg with
+            | Some tsr -> if ts > !tsr then tsr := ts
+            | None -> Hashtbl.replace c.wts reg (ref ts));
+            true
+        | None -> false)
+    | 'A' -> (
+        match
+          Scanf.sscanf_opt record "A %d %d %n" (fun reg ts pos ->
+              (reg, ts, pos))
+        with
+        | Some (reg, ts, pos) ->
+            adopt reg ts (dec_v t (tail_from record pos));
+            true
+        | None -> false)
+    | 'H' -> (
+        match
+          Scanf.sscanf_opt record "H %d %d %n" (fun reg ts pos ->
+              (reg, ts, pos))
+        with
+        | Some (reg, ts, pos) ->
+            let v = dec_v t (tail_from record pos) in
+            ignore (ensure_echoes reg ts v);
+            Hashtbl.replace r.rep_echoed (reg, ts, fp v) ();
+            true
+        | None -> false)
+    | 'X' -> (
+        match
+          Scanf.sscanf_opt record "X %d %d %d %n" (fun src reg ts pos ->
+              (src, reg, ts, pos))
+        with
+        | Some (src, reg, ts, pos) ->
+            let v = dec_v t (tail_from record pos) in
+            let set = ensure_echoes reg ts v in
+            set := PidSet.add src !set;
+            true
+        | None -> false)
+    | 'P' -> (
+        match
+          Scanf.sscanf_opt record "P %d %d %n" (fun reg ts pos ->
+              (reg, ts, pos))
+        with
+        | Some (reg, ts, pos) ->
+            let v = dec_v t (tail_from record pos) in
+            ignore (ensure_echoes reg ts v);
+            Hashtbl.replace r.rep_accepted (reg, ts, fp v) ();
+            true
+        | None -> false)
+    | 'R' -> (
+        match
+          Scanf.sscanf_opt record "R %d %d %d" (fun src reg rid ->
+              (src, reg, rid))
+        with
+        | Some (src, reg, rid) ->
+            Hashtbl.replace r.rep_last_rreq src (reg, rid);
+            true
+        | None -> false)
+    | _ -> false
+
+let snapshot_records t ~pid : string list =
+  let r = replica_state t ~pid in
+  let c = client_state t ~pid in
+  let out = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  Tables.iter_sorted (fun reg tsr -> add "W %d %d" reg !tsr) c.wts;
+  Tables.iter_sorted
+    (fun reg (ts, _, v) -> add "A %d %d %s" reg ts (enc_v t v))
+    r.current;
+  Tables.iter_sorted
+    (fun (reg, ts, f_) (v, set) ->
+      if Hashtbl.mem r.rep_echoed (reg, ts, f_) then
+        add "H %d %d %s" reg ts (enc_v t v);
+      if Hashtbl.mem r.rep_accepted (reg, ts, f_) then
+        add "P %d %d %s" reg ts (enc_v t v);
+      PidSet.iter
+        (fun src -> add "X %d %d %d %s" src reg ts (enc_v t v))
+        !set)
+    r.rep_echoes;
+  Tables.iter_sorted
+    (fun src (reg, rid) -> add "R %d %d %d" src reg rid)
+    r.rep_last_rreq;
+  List.rev !out
+
+(* The fiber body a restarted process runs: catch up on what it missed
+   while down, re-announce what its predecessor may have had in flight,
+   then serve as an ordinary replica.
+
+   Safety does not depend on the state transfer: everything the crashed
+   incarnation EXPOSED (acks it sent, replies it answered) was journalled
+   and synced first, so the restored state is at least as advanced as any
+   state another process observed. The transfer is a liveness
+   accelerator — it catches the replica up past writes that completed
+   entirely while it was down, without waiting for writer
+   retransmissions. *)
+let recover_and_serve t ~pid : unit =
+  let ep = endpoint t ~pid in
+  let r = replica_state t ~pid in
+  let c = client_state t ~pid in
+  (* state transfer round: full views from >= n-f distinct peers *)
+  let rid = c.next_rid in
+  c.next_rid <- rid + 1;
+  Transport.broadcast ep (Univ.inj emsg_key (Sreq rid));
+  let enough () =
+    match Hashtbl.find_opt c.sreps rid with
+    | Some l -> Quorum.has_availability t.q (List.length !l)
+    | None -> false
+  in
+  while not (enough ()) do
+    pump t ~pid;
+    Sched.yield ()
+  done;
+  let views = !(Hashtbl.find c.sreps rid) in
+  Hashtbl.remove c.sreps rid;
+  (* bucket by (reg, ts, fingerprint); adopt any bucket vouched by >= f+1
+     distinct repliers (one of them correct, so the triple is genuine)
+     that beats the restored state — same trust rule as a read round *)
+  let buckets : (int * int * string, Univ.t * int ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (_, view) ->
+      List.iter
+        (fun (reg, ts, v) ->
+          let key = (reg, ts, fp v) in
+          match Hashtbl.find_opt buckets key with
+          | Some (_, cnt) -> incr cnt
+          | None -> Hashtbl.replace buckets key (v, ref 1))
+        view)
+    views;
+  Tables.iter_sorted
+    (fun (reg, ts, f_) (v, cnt) ->
+      if Quorum.has_one_correct t.q !cnt then rep_adopt t r ~pid reg ts f_ v)
+    buckets;
+  (* re-run thresholds and re-announce: the predecessor's unacked sends
+     (echoes, acks, replies) died with its retransmission state, and a
+     journalled echo set may already be past a threshold whose triggered
+     send was lost. Every consumer below is idempotent, so resending is
+     always safe. *)
+  Tables.iter_sorted
+    (fun (reg, ts, f_) (v, set) ->
+      let count = PidSet.cardinal !set in
+      if
+        Quorum.has_one_correct t.q count
+        || Hashtbl.mem r.rep_echoed (reg, ts, f_)
+      then begin
+        if journalling t ~pid && not (Hashtbl.mem r.rep_echoed (reg, ts, f_))
+        then jot t ~pid "H %d %d %s" reg ts (enc_v t v);
+        Hashtbl.replace r.rep_echoed (reg, ts, f_) ();
+        Transport.broadcast ep (Univ.inj emsg_key (Wecho (reg, ts, v)))
+      end;
+      if
+        Quorum.has_byz_quorum t.q count
+        && not (Hashtbl.mem r.rep_accepted (reg, ts, f_))
+      then begin
+        Hashtbl.replace r.rep_accepted (reg, ts, f_) ();
+        if journalling t ~pid then jot t ~pid "P %d %d %s" reg ts (enc_v t v);
+        rep_adopt t r ~pid reg ts f_ v
+      end)
+    r.rep_echoes;
+  (* acceptance durable before any ack leaves *)
+  psync t ~pid;
+  Tables.iter_sorted
+    (fun (reg, ts, _) () ->
+      if Hashtbl.mem t.metas reg then
+        ep.Transport.send ~dst:(meta t reg).owner
+          (Univ.inj emsg_key (Wack (reg, ts))))
+    r.rep_accepted;
+  (* re-answer the read requests the crash left hanging *)
+  Tables.iter_sorted
+    (fun src (reg, rid) ->
+      if Hashtbl.mem t.metas reg then begin
+        let ts, _, v = rep_current t r reg in
+        ep.Transport.send ~dst:src (Univ.inj emsg_key (Rrep (reg, rid, ts, v)))
+      end)
+    r.rep_last_rreq;
+  r.serving <- true;
+  replica_daemon t ~pid

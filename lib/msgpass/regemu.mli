@@ -37,6 +37,9 @@ type emsg =
   | Wack of int * int (** reg, ts *)
   | Rreq of int * int (** reg, rid *)
   | Rrep of int * int * int * Univ.t (** reg, rid, ts, v *)
+  | Sreq of int (** rid — state-transfer request from a recovering peer *)
+  | Srep of int * (int * int * Univ.t) list
+      (** rid, full view: one (reg, ts, v) per register the replier holds *)
   | Batch of emsg list
       (** a replica's bundled replies to one destination from one poll
           iteration (caps the per-iteration reply cost at n sends) *)
@@ -58,6 +61,10 @@ type t = {
   eps : Transport.t option array;
   replicas : replica option array;
   clients : client option array;
+  pwals : Lnd_durable.Wal.t option array;
+      (** per-pid journal; [None] (the default) keeps the emulation
+          byte-identical to the volatile implementation *)
+  mutable codec : ((Univ.t -> string) * (string -> Univ.t)) option;
 }
 
 and meta = { owner : int; init : Univ.t }
@@ -69,6 +76,12 @@ and replica = {
   rep_echoes : (int * int * string, Univ.t * Set.Make(Int).t ref) Hashtbl.t;
   rep_echoed : (int * int * string, unit) Hashtbl.t;
   rep_accepted : (int * int * string, unit) Hashtbl.t;
+  rep_last_rreq : (int, int * int) Hashtbl.t;
+      (** src -> (reg, rid): latest outstanding read request per
+          requester — what a recovered incarnation must re-answer *)
+  mutable serving : bool;
+      (** [false] while recovering: read requests are recorded but
+          answered only once state transfer completes *)
 }
 
 (** Per-process client state. *)
@@ -77,6 +90,8 @@ and client = {
   wts : (int, int ref) Hashtbl.t;
   acks : (int * int, Set.Make(Int).t ref) Hashtbl.t;
   reps : (int, (int * int * Univ.t) list ref) Hashtbl.t;
+  sreps : (int, (int * (int * int * Univ.t) list) list ref) Hashtbl.t;
+      (** rid -> (src, full view) state-transfer replies *)
 }
 
 val create : Lnd_shm.Space.t -> n:int -> f:int -> t
@@ -103,3 +118,58 @@ val allocator : t -> Lnd_runtime.Cell.allocator
 val messages_sent : t -> int
 (** Total endpoint-level sends across all pids (counted at the
     {!Transport} seam, so it is stack-agnostic). *)
+
+(** {2 Crash-recovery}
+
+    Durability discipline: every state mutation is journalled at
+    mutation time; a WAL sync barrier runs before any send that EXPOSES
+    the mutated state (write acks here; everything else behind
+    {!Rlink}'s deferred-ack barrier). A recovered incarnation therefore
+    restores state at least as advanced as anything another process
+    observed from its predecessor — crashes can lose progress, never
+    promises.
+
+    Record grammar (shared log with {!Rlink}'s ["E"]/["S"]/["U"]
+    records; the value encoding is always the last field and must be
+    newline-free): ["W <reg> <ts>"], ["A <reg> <ts> <venc>"] (adopted),
+    ["H ..."] (echoed), ["X <src> ..."] (echo received), ["P ..."]
+    (accepted), ["R <src> <reg> <rid>"] (outstanding read request). *)
+
+val set_codec :
+  t -> enc:(Univ.t -> string) -> dec:(string -> Univ.t) -> unit
+(** Register the value codec journal records use. [dec (enc v)] must
+    fingerprint ({!fp}) equal to [v]; [enc v] must be newline-free.
+    Required before {!attach_wal}. *)
+
+val attach_wal : t -> pid:int -> Lnd_durable.Wal.t -> unit
+(** Journal [pid]'s protocol state through [wal] from now on. Share the
+    same WAL with the pid's {!Rlink} so one sync barrier covers both
+    layers. Raises [Invalid_argument] if no codec is set. *)
+
+val forget : t -> pid:int -> unit
+(** Drop [pid]'s volatile state (endpoint, replica, client tables) — the
+    crash. The next [pid] state access starts empty, ready for
+    {!restore_record} replay. *)
+
+val begin_recovery : t -> pid:int -> unit
+(** Enter recovery mode: [pid] records (and journals) incoming read
+    requests but defers the replies until {!recover_and_serve} finishes
+    state transfer. *)
+
+val restore_record : t -> pid:int -> string -> bool
+(** Replay one recovered journal record if this layer owns it
+    (["W"/"A"/"H"/"X"/"P"/"R"]); [false] means the record belongs to
+    another grammar (feed {!Rlink.restore_record} first). Replay is
+    idempotent and order-insensitive. *)
+
+val snapshot_records : t -> pid:int -> string list
+(** [pid]'s protocol state compacted to records — feed to
+    {!Rlink.enable_snapshots} as the [extra] thunk. *)
+
+val recover_and_serve : t -> pid:int -> unit
+(** The fiber body a restarted process runs: state-transfer catch-up
+    (full views from >= n-f peers, adopting any (reg, ts, v) vouched by
+    >= f+1 of them that beats the restored state), re-announce of
+    everything the predecessor may have had in flight (echoes, acks,
+    read replies — all idempotent downstream), then the ordinary
+    {!replica_daemon} loop. *)

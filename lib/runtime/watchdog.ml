@@ -1,0 +1,50 @@
+(* A liveness watchdog over the scheduler's logical clock.
+
+   Harnesses arm an entry per pending operation (a WRITE, a READ, a
+   broadcast wait) with a logical-clock deadline; a silent hang — a
+   fiber that never finishes because the message it is waiting for will
+   never arrive — then surfaces as a diagnosable [stalled] entry naming
+   the responsible fiber and operation, instead of as an opaque
+   step-budget exhaustion.
+
+   The watchdog is completely passive: it performs no scheduler effects,
+   draws no randomness, and never perturbs the run. [stalled] is a pure
+   function of (entries, fiber states, clock), so driving a run with
+   [Sched.run ~until:(fun _ -> Watchdog.stalled w <> [])] keeps the
+   execution trace byte-identical to an unwatched run that does not
+   stall. *)
+
+type entry = {
+  wd_fiber : Sched.fiber;
+  wd_op : string;
+  mutable wd_deadline : int; (* logical-clock deadline *)
+}
+
+type t = { sched : Sched.t; mutable entries : entry list }
+
+let create sched = { sched; entries = [] }
+
+let arm t ~fiber ~op ~timeout =
+  let e = { wd_fiber = fiber; wd_op = op; wd_deadline = Sched.clock t.sched + timeout } in
+  t.entries <- e :: t.entries;
+  e
+
+let touch t e ~timeout = e.wd_deadline <- Sched.clock t.sched + timeout
+
+let live (e : entry) =
+  match e.wd_fiber.Sched.state with
+  | Sched.Finished _ -> false
+  | Sched.Ready _ -> true
+
+let stalled t =
+  let clock = Sched.clock t.sched in
+  List.filter (fun e -> live e && clock > e.wd_deadline) (List.rev t.entries)
+
+let pp_entry fmt e =
+  Format.fprintf fmt "%s (fiber %s, pid %d, deadline %d)" e.wd_op
+    e.wd_fiber.Sched.fname e.wd_fiber.Sched.pid e.wd_deadline
+
+let pp_stalled fmt es =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+    pp_entry fmt es

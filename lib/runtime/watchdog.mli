@@ -1,0 +1,35 @@
+(** A liveness watchdog over the scheduler's logical clock.
+
+    Arm one {!entry} per pending operation; an operation whose fiber is
+    still unfinished past its logical-clock deadline shows up in
+    {!stalled} with the responsible fiber — a silent hang becomes a
+    diagnosable report instead of an opaque step-budget exhaustion.
+
+    The watchdog is passive (no scheduler effects, no randomness): it
+    never perturbs a run, so harnesses keep it always-on and runs remain
+    replayable byte-for-byte from their seeds. Drive detection with
+    [Sched.run ~until:(fun _ -> Watchdog.stalled w <> [])]. *)
+
+type entry = {
+  wd_fiber : Sched.fiber;
+  wd_op : string;  (** what the fiber is trying to complete *)
+  mutable wd_deadline : int;
+}
+
+type t
+
+val create : Sched.t -> t
+
+val arm : t -> fiber:Sched.fiber -> op:string -> timeout:int -> entry
+(** Watch [fiber] until it finishes; it stalls if still running
+    [timeout] logical-clock ticks from now. *)
+
+val touch : t -> entry -> timeout:int -> unit
+(** Progress observed: push the deadline out to now + [timeout]. *)
+
+val stalled : t -> entry list
+(** Entries whose fiber is unfinished past its deadline, in arm order.
+    Pure — safe to call every scheduler step. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp_stalled : Format.formatter -> entry list -> unit

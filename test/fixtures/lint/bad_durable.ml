@@ -1,0 +1,8 @@
+(* Lint fixture: protocol code reaching below the Wal onto the raw disk.
+   Parsed by the lint tests, never built. *)
+
+let sneak_past_the_wal disk record =
+  Disk.append disk ~file:"wal.0" record;
+  Disk.fsync disk ~file:"wal.0"
+
+let peek disk = Lnd_durable.Disk.read disk ~file:"wal.0"

@@ -16,6 +16,8 @@ let () =
       ("signature-baseline", Test_sigbase.tests);
       ("message-passing", Test_msgpass.tests);
       ("fault-injection", Test_faultnet.tests);
+      ("durability", Test_durable.tests);
+      ("crash-recovery", Test_crashrec.tests);
       ("broadcast", Test_broadcast.tests);
       ("snapshot", Test_snapshot.tests);
       ("ablation", Test_ablation.tests);

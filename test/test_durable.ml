@@ -1,0 +1,185 @@
+(* The durability layer under test: the deterministic disk's crash
+   semantics (torn pending bytes, armed fsync faults) and the
+   checksummed WAL on top — replay idempotence, torn-tail rejection,
+   snapshot truncation, and a crash-point sweep over every fsync
+   boundary of a fixed workload. *)
+
+module Disk = Lnd_durable.Disk
+module Wal = Lnd_durable.Wal
+
+let recs = Alcotest.(list string)
+
+let rec is_prefix got full =
+  match (got, full) with
+  | [], _ -> true
+  | g :: gs, f :: fs -> g = f && is_prefix gs fs
+  | _ :: _, [] -> false
+
+(* Append / sync / recover round-trip, and recovery is idempotent: the
+   journal can be replayed any number of times and keeps accepting
+   appends afterwards. *)
+let test_roundtrip () =
+  let d = Disk.create () in
+  let w = Wal.create d ~name:"wal" in
+  List.iter (Wal.append w) [ "a"; "b"; "c" ];
+  Wal.sync w;
+  let r1, _ = Wal.recover d ~name:"wal" in
+  Alcotest.check recs "synced records recovered" [ "a"; "b"; "c" ] r1;
+  let r2, w2 = Wal.recover d ~name:"wal" in
+  Alcotest.check recs "recovery idempotent" r1 r2;
+  Wal.append w2 "d";
+  Wal.sync w2;
+  let r3, _ = Wal.recover d ~name:"wal" in
+  Alcotest.check recs "append after recovery lands in the same log"
+    [ "a"; "b"; "c"; "d" ] r3
+
+(* A record is durable only once [sync] returned: a crash tears the
+   pending bytes and recovery never sees more than a frame-aligned
+   prefix of them. *)
+let test_unsynced_torn () =
+  for torn_seed = 0 to 19 do
+    let d = Disk.create ~torn_seed () in
+    let w = Wal.create d ~name:"wal" in
+    Wal.append w "a";
+    Wal.sync w;
+    Wal.append w "b";
+    Wal.append w "c";
+    (* no sync *)
+    Disk.crash d;
+    let got, _ = Wal.recover d ~name:"wal" in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: synced prefix survives, frames stay whole"
+         torn_seed)
+      true
+      (is_prefix got [ "a"; "b"; "c" ] && is_prefix [ "a" ] got)
+  done
+
+(* The checksum layer rejects bytes the disk happily persisted: raw
+   garbage appended (and fsynced!) behind the WAL's back never reaches
+   recovery. *)
+let test_garbage_rejected () =
+  let d = Disk.create () in
+  let w = Wal.create d ~name:"wal" in
+  Wal.append w "a";
+  Wal.sync w;
+  Disk.append d ~file:"wal.0" "XXXXXXXXXXXXXXXXXXXXXXXXXXXX";
+  Disk.fsync d ~file:"wal.0";
+  let got, _ = Wal.recover d ~name:"wal" in
+  Alcotest.check recs "garbage frame rejected" [ "a" ] got
+
+(* Snapshots compact and truncate: recovery replays the snapshot
+   records first, then the tail, and exactly one generation file
+   remains. *)
+let test_snapshot_roundtrip () =
+  let d = Disk.create () in
+  let w = Wal.create d ~name:"wal" in
+  List.iter (Wal.append w) [ "a"; "b"; "c" ];
+  Wal.sync w;
+  Alcotest.(check int) "appended counts toward the snapshot policy" 3
+    (Wal.appended w);
+  Wal.snapshot w [ "S1"; "S2" ];
+  Alcotest.(check int) "snapshot resets the policy counter" 0 (Wal.appended w);
+  Wal.append w "d";
+  Wal.sync w;
+  let got, _ = Wal.recover d ~name:"wal" in
+  Alcotest.check recs "snapshot records first, tail after"
+    [ "S1"; "S2"; "d" ] got;
+  Alcotest.check recs "old generation truncated" [ "wal.1" ]
+    (Disk.list_files d)
+
+(* A crash inside the snapshot's own fsync tears the NEW generation;
+   its leading frame fails to decode and recovery falls back to the old
+   generation, which the truncation had not yet deleted. *)
+let test_crash_during_snapshot () =
+  let d = Disk.create ~torn_seed:11 () in
+  let w = Wal.create d ~name:"wal" in
+  List.iter (Wal.append w) [ "a"; "b" ];
+  Wal.sync w;
+  Disk.arm_crash d ~at_fsync:(Disk.fsync_count d + 1);
+  (match Wal.snapshot w [ "S" ] with
+  | () -> Alcotest.fail "armed crash did not fire"
+  | exception Disk.Crashed -> ());
+  let got, _ = Wal.recover d ~name:"wal" in
+  Alcotest.(check bool)
+    "either the old generation survives or the snapshot completed" true
+    (got = [ "a"; "b" ] || got = [ "S" ])
+
+(* Crash-point sweep: the same fixed workload — two syncs, a snapshot,
+   a final sync — killed at EVERY fsync boundary in turn, each with its
+   own torn-write seed. Whatever the crash point, recovery lands in one
+   of the states the durability contract allows: everything behind a
+   completed barrier present, pending frames only as a whole-frame
+   prefix, the snapshot either fully durable or fully absent. *)
+let test_crash_point_sweep () =
+  for k = 1 to 4 do
+    let d = Disk.create ~torn_seed:(k * 31) () in
+    Disk.arm_crash d ~at_fsync:k;
+    let w = Wal.create d ~name:"wal" in
+    (match
+       Wal.append w "r1";
+       Wal.append w "r2";
+       Wal.sync w;
+       (* fsync 1 *)
+       Wal.append w "r3";
+       Wal.sync w;
+       (* fsync 2 *)
+       Wal.snapshot w [ "S" ];
+       (* fsync 3 *)
+       Wal.append w "t";
+       Wal.sync w (* fsync 4 *)
+     with
+    | () -> Alcotest.failf "crash point %d never fired" k
+    | exception Disk.Crashed -> ());
+    let got, _ = Wal.recover d ~name:"wal" in
+    let ok =
+      match k with
+      | 1 -> is_prefix got [ "r1"; "r2" ]
+      | 2 -> is_prefix [ "r1"; "r2" ] got && is_prefix got [ "r1"; "r2"; "r3" ]
+      | 3 -> got = [ "r1"; "r2"; "r3" ] || got = [ "S" ]
+      | _ -> is_prefix [ "S" ] got && is_prefix got [ "S"; "t" ]
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "crash at fsync %d recovers an allowed state" k)
+      true ok;
+    let again, _ = Wal.recover d ~name:"wal" in
+    Alcotest.check recs
+      (Printf.sprintf "crash at fsync %d: recovery idempotent" k)
+      got again
+  done
+
+(* The disk's fault bookkeeping: arms are one-shot and disarmable. *)
+let test_arm_disarm () =
+  let d = Disk.create () in
+  Disk.arm_crash d ~at_fsync:1;
+  Disk.disarm d;
+  Disk.append d ~file:"f" "x";
+  Disk.fsync d ~file:"f";
+  Alcotest.(check int) "disarmed fsync survives" 0 (Disk.crash_count d);
+  Disk.arm_crash d ~at_fsync:2;
+  Disk.append d ~file:"f" "y";
+  (match Disk.fsync d ~file:"f" with
+  | () -> Alcotest.fail "armed crash did not fire"
+  | exception Disk.Crashed -> ());
+  Alcotest.(check int) "fired arm counted" 1 (Disk.crash_count d);
+  (* the arm is consumed: later fsyncs proceed *)
+  Disk.append d ~file:"f" "z";
+  Disk.fsync d ~file:"f";
+  Alcotest.(check int) "arm consumed by firing" 1 (Disk.crash_count d)
+
+let tests =
+  [
+    Alcotest.test_case "wal round-trip + idempotent recovery" `Quick
+      test_roundtrip;
+    Alcotest.test_case "unsynced tail torn, never corrupt" `Quick
+      test_unsynced_torn;
+    Alcotest.test_case "checksum rejects raw garbage" `Quick
+      test_garbage_rejected;
+    Alcotest.test_case "snapshot round-trip + truncation" `Quick
+      test_snapshot_roundtrip;
+    Alcotest.test_case "crash during snapshot falls back" `Quick
+      test_crash_during_snapshot;
+    Alcotest.test_case "crash-point sweep over every fsync" `Quick
+      test_crash_point_sweep;
+    Alcotest.test_case "arm / disarm / one-shot semantics" `Quick
+      test_arm_disarm;
+  ]

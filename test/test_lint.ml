@@ -16,6 +16,7 @@ let strict =
     seam = true;
     swallow = true;
     need_mli = false;
+    durable = true;
   }
 
 let fixture name = Filename.concat "fixtures/lint" name
@@ -49,6 +50,11 @@ let test_seam () =
     [ ("transport-seam", 5); ("transport-seam", 6) ]
     (lint "bad_seam.ml")
 
+let test_durable () =
+  check "raw Disk access flagged"
+    [ ("durable-seam", 5); ("durable-seam", 6); ("durable-seam", 8) ]
+    (lint "bad_durable.ml")
+
 let test_swallow () =
   check "catch-all handler flagged"
     [ ("exception-swallowing", 4) ]
@@ -79,6 +85,11 @@ let test_default_ctx () =
   Alcotest.(check bool) "rng.ml: randomness allowed (IS the rng)" false
     r.Rules.rng_free;
   Alcotest.(check bool) "rng.ml: still needs an .mli" true r.Rules.need_mli;
+  Alcotest.(check bool) "regemu: durable rule on" true c.Rules.durable;
+  let d = Rules.default_ctx ~path:"lib/durable/wal.ml" in
+  Alcotest.(check bool) "wal.ml: durable-exempt (IS the layer)" false
+    d.Rules.durable;
+  Alcotest.(check bool) "wal.ml: determinism still on" true d.Rules.rng_free;
   let b = Rules.default_ctx ~path:"bin/lnd_cli.ml" in
   Alcotest.(check bool) "bin: no .mli demanded" false b.Rules.need_mli;
   Alcotest.(check bool) "bin: no seam rule" false b.Rules.seam
@@ -106,6 +117,7 @@ let tests =
     Alcotest.test_case "determinism fixture" `Quick test_determinism;
     Alcotest.test_case "quorum-arithmetic fixture" `Quick test_quorum;
     Alcotest.test_case "transport-seam fixture" `Quick test_seam;
+    Alcotest.test_case "durable-seam fixture" `Quick test_durable;
     Alcotest.test_case "exception-swallowing fixture" `Quick test_swallow;
     Alcotest.test_case "justified suppression lints clean" `Quick
       test_suppressed_ok;
