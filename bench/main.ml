@@ -825,6 +825,77 @@ let table_t12 () =
   pf "(machine-readable copy written to BENCH_T12.json)\n"
 
 (* ------------------------------------------------------------------ *)
+(* T13: observability — trace-derived metrics registry                 *)
+(* ------------------------------------------------------------------ *)
+
+let table_t13 () =
+  header
+    "T13 Observability (lib/obs): chaos scenarios replayed with the\n\
+    \    recording trace sink installed; the metrics registry is harvested\n\
+    \    from the causal event stream (Metrics.of_events). The same runs\n\
+    \    under the default Null sink record nothing and stay byte-identical";
+  let module Chaos = Lnd_fuzz.Chaos in
+  let module Trace = Lnd_obs.Trace in
+  let module Metrics = Lnd_obs.Metrics in
+  let rows =
+    List.map
+      (fun (label, s) ->
+        let _, tr = Chaos.run_traced s in
+        let m = Metrics.of_events (Trace.events tr) in
+        (label, Trace.size tr, m))
+      [
+        ("st-broadcast, link faults", Chaos.generate 4);
+        ("register, link faults", Chaos.generate 1);
+        ("register, crash+recover", Chaos.generate_crash 3);
+      ]
+  in
+  let sum_suffix m suffix =
+    List.fold_left
+      (fun acc n ->
+        if
+          String.length n > 5 + String.length suffix
+          && String.sub n 0 5 = "span."
+          && String.sub n
+               (String.length n - String.length suffix)
+               (String.length suffix)
+             = suffix
+        then acc + Metrics.counter m n
+        else acc)
+      0 (Metrics.names m)
+  in
+  pf "%-26s | %7s %5s %4s | %7s %5s %5s | %7s %6s | %6s %6s\n" "scenario"
+    "events" "spans" "abrt" "deliver" "drop" "dup" "retrans" "redund" "fsyncs"
+    "bytes";
+  List.iter
+    (fun (label, events, m) ->
+      pf "%-26s | %7d %5d %4d | %7d %5d %5d | %7d %6d | %6d %6d\n" label
+        events
+        (sum_suffix m ".count")
+        (sum_suffix m ".aborted")
+        (Metrics.counter m "net.deliver")
+        (Metrics.counter m "net.drop")
+        (Metrics.counter m "net.dup")
+        (Metrics.counter m "rlink.retransmissions")
+        (Metrics.counter m "rlink.redundant")
+        (Metrics.counter m "wal.fsyncs")
+        (Metrics.counter m "wal.bytes"))
+    rows;
+  let phist m name =
+    match Metrics.histogram m name with
+    | Some h -> Printf.sprintf "%d/%d (n=%d)" h.Metrics.p50 h.Metrics.p95 h.Metrics.count
+    | None -> "-"
+  in
+  pf "\n%-26s | %16s | %16s | %16s\n" "latency (p50/p95 steps)" "quorum depth"
+    "fsync latency" "delay ticks";
+  List.iter
+    (fun (label, _, m) ->
+      pf "%-26s | %16s | %16s | %16s\n" label
+        (phist m "reg.quorum.count")
+        (phist m "wal.fsync.latency")
+        (phist m "net.delay.ticks"))
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -934,6 +1005,10 @@ let () =
     table_t12 ();
     exit 0
   end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "t13" then begin
+    table_t13 ();
+    exit 0
+  end;
   pf
     "lie_not_deny benchmark harness — experiment tables for the PODC'25 \
      paper\n\
@@ -952,5 +1027,6 @@ let () =
   table_t10 ();
   table_t11 ();
   table_t12 ();
+  table_t13 ();
   bench_wallclock ();
   pf "\nAll tables regenerated.\n"

@@ -8,6 +8,8 @@
      fuzz          random Byzantine scenarios, replayable by seed
      chaos         message-passing protocols over faulty links (Faultnet +
                    retransmission), replayable by seed
+     trace         replay a chaos seed with the observability sink and
+                   export a deterministic JSONL / Chrome trace + metrics
 
    Examples:
      lnd_cli verify -n 7 -f 2 --adversary deny --seed 3
@@ -15,7 +17,8 @@
      lnd_cli impossibility -f 2
      lnd_cli sweep --register sticky
      lnd_cli chaos --count 50
-     lnd_cli chaos --seed 17 *)
+     lnd_cli chaos --seed 17
+     lnd_cli trace --seed 17 --chrome /tmp/t.json --metrics *)
 
 open Lnd
 open Cmdliner
@@ -323,6 +326,88 @@ let chaos_cmd =
           by seed)")
     Term.(const chaos_cmd_run $ from $ count $ seed $ crash)
 
+(* ---------------- trace ---------------- *)
+
+let trace_cmd_run seed crash full out chrome metrics =
+  let scenario =
+    if crash then Lnd_fuzz.Chaos.generate_crash seed
+    else Lnd_fuzz.Chaos.generate seed
+  in
+  let keep = if full then None else Some Lnd_fuzz.Chaos.compact_keep in
+  let outcome, tr = Lnd_fuzz.Chaos.run_traced ?keep scenario in
+  (match out with
+  | "-" -> print_string (Trace.to_jsonl tr)
+  | file ->
+      let oc = open_out file in
+      output_string oc (Trace.to_jsonl tr);
+      close_out oc;
+      Printf.eprintf "trace: %d events -> %s\n" (Trace.size tr) file);
+  (match chrome with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Trace.to_chrome tr);
+      close_out oc;
+      Printf.eprintf "chrome trace -> %s\n" file);
+  if metrics then
+    prerr_string (Metrics.dump (Metrics.of_events (Trace.events tr)));
+  match outcome with
+  | Ok r ->
+      Printf.eprintf "ok   %s\n     %s\n"
+        (Format.asprintf "%a" Lnd_fuzz.Chaos.pp_scenario scenario)
+        (Format.asprintf "%a" Lnd_fuzz.Chaos.pp_report r)
+  | Error msg ->
+      Printf.eprintf "FAIL %s: %s\n"
+        (Format.asprintf "%a" Lnd_fuzz.Chaos.pp_scenario scenario)
+        msg;
+      exit 1
+
+let trace_cmd =
+  let crash =
+    Arg.(
+      value & flag
+      & info [ "crash" ]
+          ~doc:"Replay a crash-restart scenario instead of a link-fault one.")
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:
+            "Keep per-step events (fiber switches, shared-memory accesses) \
+             instead of the compact protocol-level stream.")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the JSONL trace to $(docv) ('-' = stdout).")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Also write a Chrome-trace JSON file (load in chrome://tracing \
+             or Perfetto).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Dump the trace-derived metrics registry to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay a chaos seed with the observability sink installed and \
+          export its causal trace — deterministic JSONL (and optionally a \
+          Chrome trace) plus trace-derived metrics; the run verdict goes to \
+          stderr")
+    Term.(
+      const trace_cmd_run $ seed_arg $ crash $ full $ out $ chrome $ metrics)
+
 (* ---------------- sweep ---------------- *)
 
 let sweep_cmd_run register =
@@ -394,5 +479,5 @@ let () =
                 with Byzantine processes (Hu & Toueg, PODC 2025)")
           [
             verify_cmd; sticky_cmd; impossibility_cmd; sweep_cmd; fuzz_cmd;
-            chaos_cmd;
+            chaos_cmd; trace_cmd;
           ]))

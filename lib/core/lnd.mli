@@ -71,3 +71,10 @@ module Disk = Lnd_durable.Disk
 module Wal = Lnd_durable.Wal
 module Watchdog = Lnd_runtime.Watchdog
 module Chaos = Lnd_fuzz.Chaos
+
+(** {1 Observability: causal op-tracing and metrics} *)
+
+module Obs = Lnd_obs.Obs
+module Trace = Lnd_obs.Trace
+module Metrics = Lnd_obs.Metrics
+module Trace_replay = Lnd_history.Trace_replay

@@ -27,6 +27,7 @@
    job, not the disk's. *)
 
 open Lnd_support
+module Obs = Lnd_obs.Obs
 
 exception Crashed
 
@@ -82,6 +83,9 @@ let fsync t ~file =
   | Some k when t.fsyncs >= k ->
       t.crash_at <- None (* the arm is consumed: recovery fsyncs succeed *);
       t.crashes <- t.crashes + 1;
+      if Obs.enabled () then
+        Obs.emit
+          (Obs.Disk_crash { torn = (if Buffer.length f.pending > 0 then 1 else 0) });
       tear t f;
       raise Crashed
   | _ ->
@@ -91,7 +95,15 @@ let fsync t ~file =
 let crash t =
   t.crashes <- t.crashes + 1;
   t.crash_at <- None;
-  List.iter (fun (_, f) -> tear t f) (Tables.sorted_bindings t.files)
+  let files = Tables.sorted_bindings t.files in
+  if Obs.enabled () then begin
+    let torn =
+      List.length
+        (List.filter (fun (_, f) -> Buffer.length f.pending > 0) files)
+    in
+    Obs.emit (Obs.Disk_crash { torn })
+  end;
+  List.iter (fun (_, f) -> tear t f) files
 
 let read t ~file =
   match Hashtbl.find_opt t.files file with

@@ -26,12 +26,16 @@
    Records must not contain '\n' (they are newline-joined inside
    snapshot frames); [append] enforces this. *)
 
+module Obs = Lnd_obs.Obs
+
 type t = {
   disk : Disk.t;
   name : string;
   mutable gen : int;
   mutable dirty : bool; (* appended frames not yet fsynced *)
   mutable since_snapshot : int; (* records appended since the last snapshot *)
+  mutable dirty_at : int; (* clock at the first unsynced append *)
+  mutable unsynced : int; (* records appended since the last barrier *)
   mutable st_appends : int;
   mutable st_syncs : int;
   mutable st_snapshots : int;
@@ -94,6 +98,8 @@ let create disk ~name : t =
     gen = 0;
     dirty = false;
     since_snapshot = 0;
+    dirty_at = 0;
+    unsynced = 0;
     st_appends = 0;
     st_syncs = 0;
     st_snapshots = 0;
@@ -104,15 +110,25 @@ let append t record =
   if String.contains record '\n' then
     invalid_arg "Wal.append: records must not contain newlines";
   Disk.append t.disk ~file:(file t) (frame ~kind:'R' record);
+  if not t.dirty then t.dirty_at <- Obs.now ();
   t.dirty <- true;
   t.since_snapshot <- t.since_snapshot + 1;
+  t.unsynced <- t.unsynced + 1;
   t.st_appends <- t.st_appends + 1;
-  t.st_bytes <- t.st_bytes + String.length record
+  t.st_bytes <- t.st_bytes + String.length record;
+  if Obs.enabled () then
+    Obs.emit (Obs.Wal_append { bytes = String.length record })
 
 let sync t =
   if t.dirty then begin
     t.st_syncs <- t.st_syncs + 1;
     t.dirty <- false (* even a crashed fsync consumes the pending bytes *);
+    if Obs.enabled () then begin
+      Obs.emit
+        (Obs.Wal_sync
+           { records = t.unsynced; latency = Obs.now () - t.dirty_at })
+    end;
+    t.unsynced <- 0;
     Disk.fsync t.disk ~file:(file t)
   end
 
@@ -140,6 +156,9 @@ let snapshot t records =
   Disk.delete t.disk ~file:old;
   t.gen <- next;
   t.dirty <- false;
+  t.unsynced <- 0;
+  if Obs.enabled () then
+    Obs.emit (Obs.Wal_snapshot { records = List.length records });
   t.since_snapshot <- 0;
   t.st_bytes <- t.st_bytes + List.fold_left (fun a r -> a + String.length r) 0 records
 
@@ -181,6 +200,8 @@ let recover disk ~name : string list * t =
     (generations disk ~name);
   let t = create disk ~name in
   t.gen <- gen;
+  if Obs.enabled () then
+    Obs.emit (Obs.Wal_recover { records = List.length records });
   (records, t)
 
 type stats = { appends : int; syncs : int; snapshots : int; bytes : int }

@@ -24,6 +24,8 @@ module Bracha = Lnd_msgpass.Bracha
 module Regemu = Lnd_msgpass.Regemu
 module Disk = Lnd_durable.Disk
 module Wal = Lnd_durable.Wal
+module Obs = Lnd_obs.Obs
+module Trace = Lnd_obs.Trace
 
 type protocol = St_broadcast | Bracha_broadcast | Register
 
@@ -791,3 +793,25 @@ let run (s : scenario) : outcome =
   | Register -> run_register s
 
 let run_seed (seed : int) : outcome = run (generate seed)
+
+(* Run a scenario with a recording trace sink installed for the whole
+   run (installed BEFORE the harness so [Sched.create] wires the event
+   clock), then finish the trace: dangling spans — Help daemons and any
+   operation a crash injection killed mid-flight — are force-closed as
+   aborted so exports are always well-nested. *)
+(* Default export filter: drop the two per-step event classes (fiber
+   switches and raw shared-memory accesses) and keep protocol-level
+   causality. Span opens/closes survive any filter by construction. *)
+let compact_keep (e : Obs.event) =
+  match e.kind with
+  | Obs.Sched_switch _ | Obs.Shm_access _ -> false
+  | _ -> true
+
+let run_traced ?keep (s : scenario) : outcome * Trace.t =
+  let tr = Trace.create ?keep () in
+  Obs.install (Trace.sink tr);
+  let out =
+    Fun.protect ~finally:(fun () -> Obs.uninstall ()) (fun () -> run s)
+  in
+  Trace.finish tr;
+  (out, tr)

@@ -88,3 +88,15 @@ val pp_report : Format.formatter -> report -> unit
 
 val run : scenario -> outcome
 val run_seed : int -> outcome
+
+val compact_keep : Lnd_obs.Obs.event -> bool
+(** Default export filter: keeps everything except per-step
+    [Sched_switch] and [Shm_access] events. Shared by [lnd_cli trace]
+    and the golden-trace fixtures. *)
+
+val run_traced :
+  ?keep:(Lnd_obs.Obs.event -> bool) -> scenario -> outcome * Lnd_obs.Trace.t
+(** Run with a recording {!Lnd_obs.Trace} sink installed for the whole
+    run, then {!Lnd_obs.Trace.finish} it (dangling daemon/killed-fiber
+    spans are closed as aborted). [keep] filters non-span events. The
+    sink is uninstalled on return, even if the run raises. *)

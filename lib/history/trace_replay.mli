@@ -1,0 +1,29 @@
+(** Reconstruct checker inputs from a recorded {!Lnd_obs} trace.
+
+    Operation spans carry their argument at open and their result at
+    close, and shared-memory events carry the full register access, so a
+    trace is a complete substitute for the bespoke history plumbing: the
+    same {!Byzlin} and {!Trace_invariants} verdicts must come out of a
+    replayed trace as out of the directly recorded history (the
+    trace-driven checker test in [test_obs.ml] asserts exactly that).
+
+    Spans whose close is missing or marked [aborted] become incomplete
+    history entries ([ret = None]) — the same treatment an in-flight
+    operation gets from {!History.record} when its fiber dies. Spans
+    with names that are not operations of the target spec (HELP rounds,
+    EMU_* emulation internals) are ignored. *)
+
+val verifiable_history :
+  Lnd_obs.Obs.event list ->
+  (Spec.Verifiable_spec.op, Spec.Verifiable_spec.res) History.t
+(** WRITE/READ/SIGN/VERIFY spans as a verifiable-register history. *)
+
+val sticky_history :
+  Lnd_obs.Obs.event list ->
+  (Spec.Sticky_spec.op, Spec.Sticky_spec.res) History.t
+(** WRITE/READ spans as a sticky-register history. *)
+
+val accesses : Lnd_obs.Obs.event list -> Lnd_shm.Space.access list
+(** The shared-memory access sequence, renumbered from 0 — identical to
+    {!Lnd_shm.Space.trace} output when the space's ring capacity was not
+    exceeded. *)

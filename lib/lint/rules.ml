@@ -17,6 +17,7 @@ type ctx = {
   swallow : bool;
   need_mli : bool;
   durable : bool;
+  obs : bool;
 }
 
 let catalogue =
@@ -34,6 +35,11 @@ let catalogue =
       "protocol code never constructs or touches Lnd_durable.Disk \
        directly; persistence flows through the Wal append/sync/snapshot \
        API (which owns the checksummed framing and crash semantics)" );
+    ( "obs-seam",
+      "protocol code never prints to the std streams directly \
+       (print_* / Printf.printf / Format.eprintf); diagnostics flow \
+       through the Lnd_obs.Obs sink, which stays silent and free under \
+       the default Null sink" );
     ("exception-swallowing", "no catch-all `try ... with _ ->`");
     ("interface-hygiene", "every lib/**/*.ml has a sibling .mli");
     ( "suppression-hygiene",
@@ -69,6 +75,9 @@ let protocol_dirs =
 
 let quorum_dirs = [ "lib/sticky"; "lib/verifiable"; "lib/msgpass" ]
 
+let obs_dirs =
+  [ "lib/sticky"; "lib/verifiable"; "lib/msgpass"; "lib/broadcast" ]
+
 (* The files that ARE the transport: they implement the stack below the
    seam, so of course they touch Net. *)
 let transport_layer_files =
@@ -94,6 +103,7 @@ let default_ctx ~path =
     need_mli = in_dir "lib" p;
     (* lib/durable IS the durable layer (Wal sits on Disk by design) *)
     durable = protocol && not (in_dir "lib/durable" p);
+    obs = List.exists (fun d -> in_dir d p) obs_dirs;
   }
 
 (* ---------------- Suppressions ---------------- *)
@@ -209,6 +219,25 @@ let run (ctx : ctx) ~file ~has_mli (str : structure) : Findings.t list =
           "direct Disk access in protocol code; journal through the Wal \
            append/sync/snapshot API, which owns the checksummed framing \
            and crash semantics"
+    | Lident
+        (( "print_string" | "print_endline" | "print_newline" | "print_int"
+         | "print_char" | "print_float" | "prerr_string" | "prerr_endline" )
+         as fn)
+      when ctx.obs ->
+        add ~loc "obs-seam"
+          (Printf.sprintf
+             "direct %s in protocol code; emit a typed event through the \
+              Lnd_obs.Obs sink instead — the default Null sink keeps runs \
+              silent, replayable and byte-identical"
+             fn)
+    | Ldot (Lident (("Printf" | "Format") as m), (("printf" | "eprintf") as fn))
+      when ctx.obs ->
+        add ~loc "obs-seam"
+          (Printf.sprintf
+             "direct %s.%s in protocol code; emit a typed event through \
+              the Lnd_obs.Obs sink instead — the default Null sink keeps \
+              runs silent, replayable and byte-identical"
+             m fn)
     | _ -> ()
   in
   (* -------- quorum-arithmetic: inline threshold formulas -------- *)

@@ -22,6 +22,11 @@
        append/sync/snapshot API, which owns the checksummed framing and
        crash semantics ([lib/durable] itself is exempt — it IS the
        layer).}
+    {- [obs-seam] — protocol code never prints to the std streams
+       directly ([print_*], [Printf.printf]/[eprintf],
+       [Format.printf]/[eprintf]); diagnostics are typed events emitted
+       through the [Lnd_obs.Obs] sink, so the default Null sink keeps
+       runs silent and byte-identical.}
     {- [exception-swallowing] — no [try ... with _ ->]: a catch-all
        silently absorbs assertion failures and scheduler-kill exceptions.}
     {- [interface-hygiene] — every [lib/**/*.ml] has an [.mli]
@@ -43,6 +48,7 @@ type ctx = {
   swallow : bool;  (** catch-all ban active *)
   need_mli : bool;  (** the file must have a sibling [.mli] *)
   durable : bool;  (** [Disk.*] ban active *)
+  obs : bool;  (** direct-printing ban active *)
 }
 
 val catalogue : (string * string) list

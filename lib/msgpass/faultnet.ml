@@ -47,6 +47,7 @@
 
 open Lnd_support
 open Lnd_runtime
+module Obs = Lnd_obs.Obs
 
 (* (deliver-at-clock, payload) *)
 let fenv_key : (int * Univ.t) Univ.key =
@@ -180,7 +181,11 @@ let send (p : port) ~(dst : int) (payload : Univ.t) : unit =
   if src = dst then
     (* self-links are local, not network traffic: always perfect *)
     Net.send p.nport ~dst (Univ.inj fenv_key (now, payload))
-  else if partitioned t ~src ~dst ~now then t.st_cut <- t.st_cut + 1
+  else if partitioned t ~src ~dst ~now then begin
+    t.st_cut <- t.st_cut + 1;
+    if Obs.enabled () then
+      Obs.emit ~pid:src (Obs.Net_verdict { dst; verdict = Obs.Cut })
+  end
   else begin
     let link = t.links.(src).(dst) in
     let forced = t.plan.fair_burst > 0 && link.burst >= t.plan.fair_burst in
@@ -190,13 +195,17 @@ let send (p : port) ~(dst : int) (payload : Univ.t) : unit =
     in
     if drop then begin
       link.burst <- link.burst + 1;
-      t.st_dropped <- t.st_dropped + 1
+      t.st_dropped <- t.st_dropped + 1;
+      if Obs.enabled () then
+        Obs.emit ~pid:src (Obs.Net_verdict { dst; verdict = Obs.Dropped })
     end
     else begin
       link.burst <- 0;
       let copies =
         if t.plan.dup_pct > 0 && Rng.int link.rng 100 < t.plan.dup_pct then begin
           t.st_duplicated <- t.st_duplicated + 1;
+          if Obs.enabled () then
+            Obs.emit ~pid:src (Obs.Net_verdict { dst; verdict = Obs.Dup });
           2
         end
         else 1
@@ -212,6 +221,11 @@ let send (p : port) ~(dst : int) (payload : Univ.t) : unit =
           end
           else 0
         in
+        if Obs.enabled () then
+          Obs.emit ~pid:src
+            (Obs.Net_verdict
+               { dst;
+                 verdict = (if delay > 0 then Obs.Delayed delay else Obs.Deliver) });
         Net.send p.nport ~dst (Univ.inj fenv_key (now + delay, payload))
       done
     end

@@ -44,6 +44,7 @@ open Lnd_support
 open Lnd_shm
 open Lnd_runtime
 module Wal = Lnd_durable.Wal
+module Obs = Lnd_obs.Obs
 
 module PidSet = Set.Make (Int)
 
@@ -425,8 +426,26 @@ let pump t ~pid =
             out ~dst:src (Rrep (reg, rid, ts, v))
           end
         end
-    | Wack (reg, ts) -> cl_note_ack c reg ts ~src
-    | Rrep (_, rid, ts, v) -> cl_note_rep c rid ts v ~src
+    | Wack (reg, ts) ->
+        cl_note_ack c reg ts ~src;
+        if Obs.enabled () then begin
+          let count =
+            match Hashtbl.find_opt c.acks (reg, ts) with
+            | Some s -> PidSet.cardinal !s
+            | None -> 0
+          in
+          Obs.emit ~pid (Obs.Reg_reply { reg; rid = ts; src; count })
+        end
+    | Rrep (reg, rid, ts, v) ->
+        cl_note_rep c rid ts v ~src;
+        if Obs.enabled () then begin
+          let count =
+            match Hashtbl.find_opt c.reps rid with
+            | Some l -> List.length !l
+            | None -> 0
+          in
+          Obs.emit ~pid (Obs.Reg_reply { reg; rid; src; count })
+        end
     | Sreq rid ->
         (* state transfer: answered even while recovering — the view is
            whatever is ST-accepted so far, always genuine *)
@@ -482,6 +501,17 @@ let emu_write t reg (v : Univ.t) : unit =
   in
   incr tsr;
   let ts = !tsr in
+  let sp =
+    if Obs.enabled () then begin
+      let sp =
+        Obs.span_open ~pid ~name:"EMU_WRITE"
+          ~arg:(Printf.sprintf "r%d=%s" reg (fp v)) ()
+      in
+      Obs.emit ~pid (Obs.Reg_round { reg; round = "write"; rid = ts });
+      sp
+    end
+    else 0
+  in
   (* the broadcast exposes ts: journal it first so a restarted writer
      never reuses a timestamp it already spoke for *)
   jot t ~pid "W %d %d" reg ts;
@@ -491,10 +521,14 @@ let emu_write t reg (v : Univ.t) : unit =
   while not !done_ do
     (match Hashtbl.find_opt c.acks (reg, ts) with
     | Some s when Quorum.has_availability t.q (PidSet.cardinal !s) ->
+        if Obs.enabled () then
+          Obs.emit ~pid
+            (Obs.Reg_quorum { reg; rid = ts; count = PidSet.cardinal !s });
         done_ := true
     | _ -> ());
     if not !done_ then Sched.yield ()
-  done
+  done;
+  if Obs.enabled () then Obs.span_close ~pid ~result:"done" ~name:"EMU_WRITE" sp
 
 (* Clock ticks a read round waits for availability before retrying with a
    fresh rid.  Only reachable when a replica restart orphaned a reply. *)
@@ -504,10 +538,17 @@ let emu_read t reg : Univ.t =
   let pid = Sched.self () in
   let ep = endpoint t ~pid in
   let c = client_state t ~pid in
+  let sp =
+    if Obs.enabled () then
+      Obs.span_open ~pid ~name:"EMU_READ" ~arg:(Printf.sprintf "r%d" reg) ()
+    else 0
+  in
   let result = ref None in
   while !result = None do
     let rid = c.next_rid in
     c.next_rid <- rid + 1;
+    if Obs.enabled () then
+      Obs.emit ~pid (Obs.Reg_round { reg; round = "read"; rid });
     Transport.broadcast ep (Univ.inj emsg_key (Rreq (reg, rid)));
     (* Collect replies for this rid from >= n-f distinct replicas — but
        not forever.  A replica that crashed after we broadcast may have
@@ -558,11 +599,22 @@ let emu_read t reg : Univ.t =
           | _ -> best := Some (ts, f_, v))
       buckets;
     (match !best with
-    | Some (_, _, v) -> result := Some v
+    | Some (bts, bf, v) ->
+        if Obs.enabled () then begin
+          let count =
+            match Hashtbl.find_opt buckets (bts, bf) with
+            | Some (_, cnt) -> !cnt
+            | None -> 0
+          in
+          Obs.emit ~pid (Obs.Reg_quorum { reg; rid; count })
+        end;
+        result := Some v
     | None -> () (* replicas still converging: new round *));
     Hashtbl.remove c.reps rid
   done;
-  Option.get !result
+  let v = Option.get !result in
+  if Obs.enabled () then Obs.span_close ~pid ~result:(fp v) ~name:"EMU_READ" sp;
+  v
 
 (* ---------------- Allocator ---------------- *)
 
@@ -710,6 +762,14 @@ let recover_and_serve t ~pid : unit =
   (* state transfer round: full views from >= n-f distinct peers *)
   let rid = c.next_rid in
   c.next_rid <- rid + 1;
+  let sp =
+    if Obs.enabled () then begin
+      let sp = Obs.span_open ~pid ~name:"RECOVER" () in
+      Obs.emit ~pid (Obs.Reg_round { reg = -1; round = "recover"; rid });
+      sp
+    end
+    else 0
+  in
   Transport.broadcast ep (Univ.inj emsg_key (Sreq rid));
   let enough () =
     match Hashtbl.find_opt c.sreps rid with
@@ -785,4 +845,5 @@ let recover_and_serve t ~pid : unit =
       end)
     r.rep_last_rreq;
   r.serving <- true;
+  if Obs.enabled () then Obs.span_close ~pid ~result:"done" ~name:"RECOVER" sp;
   replica_daemon t ~pid

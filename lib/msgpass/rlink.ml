@@ -59,6 +59,7 @@
 open Lnd_support
 open Lnd_runtime
 module Wal = Lnd_durable.Wal
+module Obs = Lnd_obs.Obs
 
 type renv = Data of int * int * Univ.t | Ack of int * int
 
@@ -184,6 +185,8 @@ let send (t : t) ~(dst : int) (payload : Univ.t) : unit =
   in
   Hashtbl.replace t.out (dst, seq) e;
   t.st_data <- t.st_data + 1;
+  if Obs.enabled () then
+    Obs.emit ~pid:t.tr.Transport.pid (Obs.Link_data { dst; seq; retrans = false });
   t.tr.Transport.send ~dst (Univ.inj renv_key (Data (t.epoch, seq, payload)))
 
 let broadcast (t : t) (payload : Univ.t) : unit =
@@ -205,6 +208,8 @@ let mark_seen (t : t) ~src ~seq =
 (* A higher epoch from [src]: its previous incarnation can never speak
    again, so that source's dedup state restarts from scratch. *)
 let bump_peer (t : t) ~src ~epoch =
+  if Obs.enabled () then
+    Obs.emit ~pid:t.tr.Transport.pid (Obs.Link_epoch { src; epoch });
   t.peer_epoch.(src) <- epoch;
   t.seen_upto.(src) <- 0;
   List.iter
@@ -314,6 +319,8 @@ let poll_all (t : t) : (int * Univ.t) list =
       List.iter
         (fun (dst, e, seq) ->
           t.st_acks <- t.st_acks + 1;
+          if Obs.enabled () then
+            Obs.emit ~pid:t.tr.Transport.pid (Obs.Link_ack { dst; seq });
           t.tr.Transport.send ~dst (Univ.inj renv_key (Ack (e, seq))))
         acks
   | _ -> ());
@@ -323,10 +330,13 @@ let poll_all (t : t) : (int * Univ.t) list =
     (fun (src, u) ->
       match Univ.prj renv_key u with
       | Some (Data (e, seq, payload)) ->
-          if e < t.peer_epoch.(src) then
+          if e < t.peer_epoch.(src) then begin
             (* a straggler from a dead incarnation: not acked, not
                delivered — its dedup space no longer exists *)
-            t.st_stale <- t.st_stale + 1
+            t.st_stale <- t.st_stale + 1;
+            if Obs.enabled () then
+              Obs.emit ~pid:t.tr.Transport.pid (Obs.Link_stale { src })
+          end
           else begin
             if e > t.peer_epoch.(src) then bump_peer t ~src ~epoch:e;
             (* ack every copy: the previous ack may have been lost *)
@@ -336,14 +346,24 @@ let poll_all (t : t) : (int * Univ.t) list =
             if is_new t ~src ~seq then begin
               journal_seen t ~src ~epoch:e ~seq;
               mark_seen t ~src ~seq;
+              if Obs.enabled () then
+                Obs.emit ~pid:t.tr.Transport.pid (Obs.Link_deliver { src; seq });
               delivered := (src, payload) :: !delivered
             end
-            else t.st_redundant <- t.st_redundant + 1
+            else begin
+              t.st_redundant <- t.st_redundant + 1;
+              if Obs.enabled () then
+                Obs.emit ~pid:t.tr.Transport.pid (Obs.Link_dedup { src; seq })
+            end
           end
       | Some (Ack (e, seq)) ->
           (* acks only settle the incarnation that sent the data *)
           if e = t.epoch then Hashtbl.remove t.out (src, seq)
-          else t.st_stale <- t.st_stale + 1
+          else begin
+            t.st_stale <- t.st_stale + 1;
+            if Obs.enabled () then
+              Obs.emit ~pid:t.tr.Transport.pid (Obs.Link_stale { src })
+          end
       | None ->
           (* raw Byzantine traffic: pass through, unsequenced *)
           t.st_raw <- t.st_raw + 1;
@@ -352,6 +372,8 @@ let poll_all (t : t) : (int * Univ.t) list =
   List.iter
     (fun (src, e, seq) ->
       t.st_acks <- t.st_acks + 1;
+      if Obs.enabled () then
+        Obs.emit ~pid:t.tr.Transport.pid (Obs.Link_ack { dst = src; seq });
       t.tr.Transport.send ~dst:src (Univ.inj renv_key (Ack (e, seq))))
     (List.rev !to_ack);
   let now = Sched.now () in
@@ -367,6 +389,9 @@ let poll_all (t : t) : (int * Univ.t) list =
       e.o_last_tx <- now;
       e.o_backoff <- min (2 * e.o_backoff) t.cfg.max_backoff;
       t.st_retrans <- t.st_retrans + 1;
+      if Obs.enabled () then
+        Obs.emit ~pid:t.tr.Transport.pid
+          (Obs.Link_data { dst = e.o_dst; seq = e.o_seq; retrans = true });
       t.tr.Transport.send ~dst:e.o_dst
         (Univ.inj renv_key (Data (t.epoch, e.o_seq, e.o_payload))))
     due;

@@ -1,0 +1,159 @@
+type hstats = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  p50 : int;
+  p95 : int;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
+  hists : (string, int list ref) Hashtbl.t; (* samples, reverse order *)
+}
+
+let create () =
+  { counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    hists = Hashtbl.create 16 }
+
+let cell tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add tbl name r;
+      r
+
+let incr ?(by = 1) t name =
+  let r = cell t.counters name in
+  r := !r + by
+
+let set_gauge t name v = cell t.gauges name := v
+
+let observe t name v =
+  match Hashtbl.find_opt t.hists name with
+  | Some r -> r := v :: !r
+  | None -> Hashtbl.add t.hists name (ref [ v ])
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with Some r -> Some !r | None -> None
+
+let nearest_rank sorted n p =
+  (* nearest-rank percentile on a sorted array of n > 0 samples *)
+  let rank = ((p * n) + 99) / 100 in
+  let idx = if rank <= 0 then 0 else rank - 1 in
+  sorted.(if idx >= n then n - 1 else idx)
+
+let hstats_of samples =
+  let sorted = Array.of_list samples in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let sum = Array.fold_left ( + ) 0 sorted in
+  { count = n;
+    sum;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    p50 = nearest_rank sorted n 50;
+    p95 = nearest_rank sorted n 95 }
+
+let histogram t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some { contents = [] } | None -> None
+  | Some r -> Some (hstats_of !r)
+
+let names t =
+  let acc = ref [] in
+  Hashtbl.iter (fun k _ -> acc := k :: !acc) t.counters;
+  Hashtbl.iter (fun k _ -> acc := k :: !acc) t.gauges;
+  Hashtbl.iter (fun k _ -> acc := k :: !acc) t.hists;
+  List.sort_uniq compare !acc
+
+let dump t =
+  let b = Buffer.create 512 in
+  let sorted tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "counter %s %d\n" k !v))
+    (sorted t.counters);
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "gauge %s %d\n" k !v))
+    (sorted t.gauges);
+  List.iter
+    (fun (k, v) ->
+      let h = hstats_of !v in
+      Buffer.add_string b
+        (Printf.sprintf "hist %s count=%d sum=%d min=%d max=%d p50=%d p95=%d\n"
+           k h.count h.sum h.min h.max h.p50 h.p95))
+    (List.filter (fun (_, v) -> !v <> []) (sorted t.hists));
+  Buffer.contents b
+
+(* --- Standard derivation from a trace ---------------------------------- *)
+
+let of_events evs =
+  let m = create () in
+  (* open span id -> (name, opened-at) for latency histograms *)
+  let opens : (int, string * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Obs.event) ->
+      match e.kind with
+      | Span_open { name; _ } -> Hashtbl.replace opens e.span (name, e.at)
+      | Span_close { name; aborted; _ } ->
+          incr m ("span." ^ name ^ ".count");
+          if aborted then incr m ("span." ^ name ^ ".aborted");
+          (match Hashtbl.find_opt opens e.span with
+          | Some (_, at0) ->
+              Hashtbl.remove opens e.span;
+              observe m ("span." ^ name ^ ".steps") (e.at - at0)
+          | None -> ())
+      | Sched_spawn _ -> incr m "sched.spawns"
+      | Sched_switch _ -> incr m "sched.switches"
+      | Sched_exit { failed; _ } ->
+          incr m "sched.exits";
+          if failed then incr m "sched.failures"
+      | Shm_access { access = `Read; _ } -> incr m "shm.reads"
+      | Shm_access { access = `Write; _ } -> incr m "shm.writes"
+      | Net_verdict { verdict; _ } -> (
+          match verdict with
+          | Deliver -> incr m "net.deliver"
+          | Dropped -> incr m "net.drop"
+          | Cut -> incr m "net.cut"
+          | Dup -> incr m "net.dup"
+          | Delayed n ->
+              incr m "net.delay";
+              observe m "net.delay.ticks" n)
+      | Link_data { retrans; _ } ->
+          if retrans then incr m "rlink.retransmissions"
+          else incr m "rlink.data_sent"
+      | Link_ack _ -> incr m "rlink.acks"
+      | Link_deliver _ -> incr m "rlink.delivered"
+      | Link_dedup _ -> incr m "rlink.redundant"
+      | Link_stale _ -> incr m "rlink.stale"
+      | Link_epoch _ -> incr m "rlink.epoch_bumps"
+      | Reg_round { round; _ } -> incr m ("reg.rounds." ^ round)
+      | Reg_reply _ -> incr m "reg.replies"
+      | Reg_quorum { count; _ } ->
+          incr m "reg.quorums";
+          observe m "reg.quorum.count" count
+      | Wal_append { bytes } ->
+          incr m "wal.appends";
+          incr ~by:bytes m "wal.bytes"
+      | Wal_sync { records; latency } ->
+          incr m "wal.fsyncs";
+          observe m "wal.fsync.latency" latency;
+          observe m "wal.sync.batch" records
+      | Wal_snapshot _ -> incr m "wal.snapshots"
+      | Wal_recover { records } ->
+          incr m "wal.recovers";
+          observe m "wal.recover.records" records
+      | Disk_crash { torn } ->
+          incr m "disk.crashes";
+          incr ~by:torn m "disk.torn_files")
+    evs;
+  m

@@ -1,0 +1,44 @@
+(** Metrics registry: counters, gauges and histograms with a
+    deterministic dump, plus derivation of a standard metric set from a
+    recorded event stream.
+
+    Histogram samples are logical-step integers; percentiles use the
+    nearest-rank method on the sorted sample list, so dumps are exact
+    and reproducible. *)
+
+type t
+
+type hstats = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  p50 : int;
+  p95 : int;
+}
+
+val create : unit -> t
+val incr : ?by:int -> t -> string -> unit
+val set_gauge : t -> string -> int -> unit
+val observe : t -> string -> int -> unit
+
+val counter : t -> string -> int
+(** Current counter value; [0] if never incremented. *)
+
+val gauge : t -> string -> int option
+val histogram : t -> string -> hstats option
+
+val names : t -> string list
+(** All registered metric names, sorted. *)
+
+val dump : t -> string
+(** One line per metric, sorted by name:
+    [counter <name> <value>], [gauge <name> <value>],
+    [hist <name> count=.. sum=.. min=.. max=.. p50=.. p95=..]. *)
+
+val of_events : Obs.event list -> t
+(** Derive the standard metric set from a trace: [sched.*], [shm.*],
+    [net.*], [rlink.*], [reg.*] (including the [reg.quorum.count]
+    wait-depth histogram), [wal.*] (including [wal.fsync.latency] and
+    [wal.bytes] journalled), [disk.*], and per-operation span counts and
+    step-latency histograms ([span.<NAME>.count] / [span.<NAME>.steps]). *)

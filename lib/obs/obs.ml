@@ -1,0 +1,99 @@
+type access = [ `Read | `Write ]
+
+type verdict = Deliver | Dropped | Cut | Dup | Delayed of int
+
+type kind =
+  | Span_open of { name : string; arg : string option; parent : int }
+  | Span_close of { name : string; result : string option; aborted : bool }
+  | Sched_spawn of { fid : int; fname : string; daemon : bool }
+  | Sched_switch of { fid : int; fname : string }
+  | Sched_exit of { fid : int; fname : string; failed : bool }
+  | Shm_access of { access : access; reg : string; value : Lnd_support.Univ.t }
+  | Net_verdict of { dst : int; verdict : verdict }
+  | Link_data of { dst : int; seq : int; retrans : bool }
+  | Link_ack of { dst : int; seq : int }
+  | Link_deliver of { src : int; seq : int }
+  | Link_dedup of { src : int; seq : int }
+  | Link_stale of { src : int }
+  | Link_epoch of { src : int; epoch : int }
+  | Reg_round of { reg : int; round : string; rid : int }
+  | Reg_reply of { reg : int; rid : int; src : int; count : int }
+  | Reg_quorum of { reg : int; rid : int; count : int }
+  | Wal_append of { bytes : int }
+  | Wal_sync of { records : int; latency : int }
+  | Wal_snapshot of { records : int }
+  | Wal_recover of { records : int }
+  | Disk_crash of { torn : int }
+
+type event = { at : int; pid : int; span : int; kind : kind }
+type sink = { emit : event -> unit }
+
+let sink_r : sink option ref = ref None
+let clock_r : (unit -> int) ref = ref (fun () -> 0)
+let ambient_span = ref 0
+let ambient_pid = ref (-1)
+let next_span = ref 1
+
+(* Parent of each still-open span, so [span_close] can restore the
+   ambient chain even when closes arrive out of stack order (each fiber
+   closes its own spans, but fibers interleave). *)
+let parents : (int, int) Hashtbl.t = Hashtbl.create 64
+
+let enabled () = !sink_r <> None
+
+let install ?clock s =
+  sink_r := Some s;
+  (match clock with Some c -> clock_r := c | None -> ());
+  ambient_span := 0;
+  ambient_pid := -1;
+  next_span := 1;
+  Hashtbl.reset parents
+
+let uninstall () =
+  sink_r := None;
+  clock_r := (fun () -> 0);
+  ambient_span := 0;
+  ambient_pid := -1
+
+let set_clock c = clock_r := c
+let now () = !clock_r ()
+
+let emit ?pid kind =
+  match !sink_r with
+  | None -> ()
+  | Some s ->
+      let pid = match pid with Some p -> p | None -> !ambient_pid in
+      s.emit { at = now (); pid; span = !ambient_span; kind }
+
+let span_open ?pid ~name ?arg () =
+  match !sink_r with
+  | None -> 0
+  | Some s ->
+      let id = !next_span in
+      incr next_span;
+      let parent = !ambient_span in
+      Hashtbl.replace parents id parent;
+      let pid = match pid with Some p -> p | None -> !ambient_pid in
+      s.emit { at = now (); pid; span = id; kind = Span_open { name; arg; parent } };
+      ambient_span := id;
+      id
+
+let span_close ?pid ?result ~name id =
+  match !sink_r with
+  | None -> ()
+  | Some s ->
+      if id <> 0 then begin
+        let parent = try Hashtbl.find parents id with Not_found -> 0 in
+        Hashtbl.remove parents id;
+        let pid = match pid with Some p -> p | None -> !ambient_pid in
+        s.emit
+          { at = now (); pid; span = id;
+            kind = Span_close { name; result; aborted = false } };
+        ambient_span := parent
+      end
+
+let ambient () = !ambient_span
+
+let set_ambient ~span ~pid =
+  ambient_span := span;
+  ambient_pid := pid

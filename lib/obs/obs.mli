@@ -1,0 +1,105 @@
+(** Observability seam: structured events with causal span ids.
+
+    Every layer of the stack (scheduler, shared memory, links, register
+    emulation, WAL, the register algorithms themselves) emits typed events
+    through this module. By default no sink is installed and every
+    emission is a no-op behind a single [enabled] check, so instrumented
+    code costs one branch per probe and allocates nothing. Installing a
+    sink (see {!Trace}) turns the same probes into an exact, replayable
+    record of a run.
+
+    Span discipline: a span is opened for each register operation
+    (WRITE/READ/SIGN/VERIFY, Help rounds, emulated-register ops) and
+    every event emitted while it is ambient carries its id. The ambient
+    span follows the {e fiber}, not the call stack: {!Lnd_runtime.Sched}
+    saves and restores it at every fiber switch, so concurrent operations
+    interleave without stealing each other's children.
+
+    Determinism contract: with a sink installed, a fixed seed produces a
+    byte-identical event stream; with no sink, instrumented code behaves
+    identically to uninstrumented code (same scheduling, same output). *)
+
+type access = [ `Read | `Write ]
+
+type verdict =
+  | Deliver  (** the network let the message through untouched *)
+  | Dropped  (** fair-lossy loss *)
+  | Cut  (** partition: link administratively severed *)
+  | Dup  (** an extra copy was injected *)
+  | Delayed of int  (** held back this many poll rounds *)
+
+type kind =
+  | Span_open of { name : string; arg : string option; parent : int }
+  | Span_close of { name : string; result : string option; aborted : bool }
+      (** [aborted] marks spans force-closed by {!Trace.finish} (their
+          fiber was killed mid-operation, e.g. a Help daemon). *)
+  | Sched_spawn of { fid : int; fname : string; daemon : bool }
+  | Sched_switch of { fid : int; fname : string }
+  | Sched_exit of { fid : int; fname : string; failed : bool }
+  | Shm_access of { access : access; reg : string; value : Lnd_support.Univ.t }
+  | Net_verdict of { dst : int; verdict : verdict }
+  | Link_data of { dst : int; seq : int; retrans : bool }
+  | Link_ack of { dst : int; seq : int }
+  | Link_deliver of { src : int; seq : int }
+  | Link_dedup of { src : int; seq : int }
+  | Link_stale of { src : int }
+  | Link_epoch of { src : int; epoch : int }
+  | Reg_round of { reg : int; round : string; rid : int }
+  | Reg_reply of { reg : int; rid : int; src : int; count : int }
+  | Reg_quorum of { reg : int; rid : int; count : int }
+  | Wal_append of { bytes : int }
+  | Wal_sync of { records : int; latency : int }
+      (** [latency]: logical steps between the first unsynced append and
+          this barrier. *)
+  | Wal_snapshot of { records : int }
+  | Wal_recover of { records : int }
+  | Disk_crash of { torn : int }
+
+type event = { at : int; pid : int; span : int; kind : kind }
+(** [at] is the logical clock (see {!set_clock}); [pid] the emitting
+    process ([-1] when outside any fiber); [span] the ambient span id
+    ([0] = no span). *)
+
+type sink = { emit : event -> unit }
+
+val install : ?clock:(unit -> int) -> sink -> unit
+(** Install a sink and reset span state. At most one sink is active;
+    installing replaces the previous one. *)
+
+val uninstall : unit -> unit
+(** Remove the sink: all probes become no-ops again. *)
+
+val enabled : unit -> bool
+(** Cheap guard for call sites: skip argument construction when no sink
+    is installed. *)
+
+val set_clock : (unit -> int) -> unit
+(** Set the logical-clock hook. [Sched.create] installs one reading its
+    step counter whenever a sink is active, so events are stamped with
+    scheduler time; the hook must be callable outside any fiber. *)
+
+val now : unit -> int
+(** Current logical time per the installed clock hook (0 by default). *)
+
+val emit : ?pid:int -> kind -> unit
+(** Emit an event stamped with the current clock, ambient span and — if
+    [pid] is omitted — the ambient pid. No-op without a sink. *)
+
+(** {2 Spans} *)
+
+val span_open : ?pid:int -> name:string -> ?arg:string -> unit -> int
+(** Open a span as a child of the ambient span, make it ambient, and
+    return its id. Returns [0] (the null span) without a sink. *)
+
+val span_close : ?pid:int -> ?result:string -> name:string -> int -> unit
+(** Close a span and restore its parent as ambient. Closing the null
+    span [0] is a no-op. *)
+
+(** {2 Ambient state (scheduler use)} *)
+
+val ambient : unit -> int
+(** The ambient span id (what an [emit] would be tagged with). *)
+
+val set_ambient : span:int -> pid:int -> unit
+(** Swap the ambient span and pid wholesale. The scheduler calls this at
+    each fiber switch so spans follow fibers, not the host call stack. *)

@@ -1,0 +1,51 @@
+(** Recording sink: turns {!Obs} events into replayable artifacts.
+
+    A trace is an in-memory event buffer plus enough bookkeeping to
+    force-close spans whose fiber was killed mid-operation (Help daemons
+    at scenario teardown). Export formats:
+
+    - JSONL: one event per line, fixed field order — byte-identical for
+      a fixed seed, suitable as a committed golden fixture;
+    - Chrome trace ([chrome://tracing] / Perfetto): spans as async b/e
+      pairs keyed by span id, everything else as instant events. *)
+
+type t
+
+val create : ?keep:(Obs.event -> bool) -> unit -> t
+(** [create ~keep ()] records events satisfying [keep] (default: all).
+    Span open/close events are always recorded regardless of [keep] so
+    the causal skeleton stays intact. *)
+
+val sink : t -> Obs.sink
+(** The sink to pass to {!Obs.install}. *)
+
+val finish : t -> unit
+(** Close every span still open, deepest first, with synthetic
+    [Span_close { aborted = true }] events stamped at the last recorded
+    time. Idempotent. Call after the run, before export. *)
+
+val events : t -> Obs.event list
+(** Recorded events in emission order. *)
+
+val size : t -> int
+(** Number of recorded events. *)
+
+val event_to_json : Obs.event -> string
+(** One event as a single-line JSON object with fixed field order. *)
+
+val to_jsonl : t -> string
+(** All events, one JSON object per line, trailing newline. *)
+
+val to_chrome : t -> string
+(** Chrome-trace JSON array of the recorded events. *)
+
+val check_nesting : Obs.event list -> string option
+(** [None] if spans are well-nested: every close matches an open, no
+    span closes while a child is open, no id opens twice, and nothing is
+    left open at the end. Otherwise a description of the first
+    violation. *)
+
+val diff : expected:string -> actual:string -> string option
+(** Compare two JSONL exports. [None] when byte-identical; otherwise a
+    structured description of the first divergent event (index, expected
+    line, actual line). *)

@@ -12,6 +12,7 @@
 
 open Lnd_support
 open Lnd_shm
+module Obs = Lnd_obs.Obs
 
 type _ Effect.t +=
   | E_read : Register.t -> Univ.t Effect.t
@@ -37,6 +38,9 @@ type fiber = {
   fname : string;
   daemon : bool; (* daemons (Help loops) never block quiescence *)
   mutable state : state;
+  mutable ospan : int;
+      (* ambient Obs span, saved/restored at fiber switches so spans
+         follow fibers rather than the host call stack *)
 }
 
 and state = Ready of (unit -> unit) | Finished of outcome
@@ -53,19 +57,27 @@ type t = {
       (* invoked the moment any fiber dies with an exception other than
          Killed — so harnesses surface failures loudly instead of
          discovering them (or not) in a post-run [failures] sweep *)
+  mutable last_fid : int; (* last fiber stepped, for Obs switch events *)
 }
 
 let create ~space ~choose =
-  {
-    space;
-    fibers = [];
-    next_fid = 0;
-    steps = 0;
-    clock = 0;
-    enabled = (fun _ -> true);
-    choose;
-    on_failure = None;
-  }
+  let t =
+    {
+      space;
+      fibers = [];
+      next_fid = 0;
+      steps = 0;
+      clock = 0;
+      enabled = (fun _ -> true);
+      choose;
+      on_failure = None;
+      last_fid = -1;
+    }
+  in
+  (* Events carry scheduler time; the hook is a plain field read so it
+     stays callable outside any fiber (unlike the E_now effect). *)
+  Obs.set_clock (fun () -> t.clock);
+  t
 
 let set_on_failure t h = t.on_failure <- h
 
@@ -88,17 +100,29 @@ let rmw (r : Register.t) (f : Univ.t -> Univ.t) : Univ.t = Effect.perform (E_rmw
 let spawn t ~pid ~name ?(daemon = false) (body : unit -> unit) : fiber =
   if pid < 0 || pid >= Space.n t.space then invalid_arg "Sched.spawn: bad pid";
   let fiber =
-    { fid = t.next_fid; pid; fname = name; daemon; state = Finished Completed }
+    { fid = t.next_fid; pid; fname = name; daemon; state = Finished Completed;
+      ospan = 0 }
   in
   t.next_fid <- t.next_fid + 1;
+  if Obs.enabled () then
+    Obs.emit ~pid
+      (Obs.Sched_spawn { fid = fiber.fid; fname = name; daemon });
   let start () =
     let open Effect.Deep in
     match_with body ()
       {
-        retc = (fun () -> fiber.state <- Finished Completed);
+        retc =
+          (fun () ->
+            fiber.state <- Finished Completed;
+            if Obs.enabled () then
+              Obs.emit ~pid
+                (Obs.Sched_exit { fid = fiber.fid; fname = name; failed = false }));
         exnc =
           (fun e ->
             fiber.state <- Finished (Failed e);
+            if Obs.enabled () then
+              Obs.emit ~pid
+                (Obs.Sched_exit { fid = fiber.fid; fname = name; failed = true });
             match e with
             | Killed -> ()
             | e -> Option.iter (fun h -> h fiber e) t.on_failure);
@@ -179,7 +203,19 @@ let step_fiber t (f : fiber) : unit =
       f.state <- Finished Completed;
       t.steps <- t.steps + 1;
       t.clock <- t.clock + 1;
-      go ()
+      if Obs.enabled () then begin
+        if t.last_fid <> f.fid then begin
+          t.last_fid <- f.fid;
+          Obs.emit ~pid:f.pid (Obs.Sched_switch { fid = f.fid; fname = f.fname })
+        end;
+        (* Make the fiber's saved span ambient for the duration of its
+           step, then stash whatever it left ambient. *)
+        Obs.set_ambient ~span:f.ospan ~pid:f.pid;
+        go ();
+        f.ospan <- Obs.ambient ();
+        Obs.set_ambient ~span:0 ~pid:(-1)
+      end
+      else go ()
 
 type stop_reason = Quiescent | Budget_exhausted | Condition_met
 

@@ -25,6 +25,8 @@ type fiber = {
   fname : string;
   daemon : bool; (** daemons (Help loops) never block quiescence *)
   mutable state : state;
+  mutable ospan : int;
+      (** ambient {!Lnd_obs.Obs} span, saved/restored at fiber switches *)
 }
 
 and state = Ready of (unit -> unit) | Finished of outcome
@@ -41,9 +43,14 @@ type t = {
       (** the policy: pick the index of the next fiber among the ready *)
   mutable on_failure : (fiber -> exn -> unit) option;
       (** failure hook, see {!set_on_failure} *)
+  mutable last_fid : int;
+      (** last fiber stepped, for observability switch events *)
 }
 
 val create : space:Lnd_shm.Space.t -> choose:(t -> fiber array -> int) -> t
+(** Also points the {!Lnd_obs.Obs} logical-clock hook at this scheduler's
+    clock (last-created wins), so trace events are stamped with scheduler
+    time. With no sink installed the instrumentation is inert. *)
 
 val set_on_failure : t -> (fiber -> exn -> unit) option -> unit
 (** Install (or clear) a hook invoked the moment any fiber terminates

@@ -7,6 +7,7 @@
    cost tables of the benchmark harness. *)
 
 open Lnd_support
+module Obs = Lnd_obs.Obs
 
 exception Permission_violation of { pid : int; reg : string; op : string }
 
@@ -114,6 +115,9 @@ let read t ~by (r : Register.t) : Univ.t =
   t.total_reads <- t.total_reads + 1;
   t.reads_by.(by) <- t.reads_by.(by) + 1;
   record_access t ~pid:by ~kind:`Read ~reg:r ~value:r.value;
+  if Obs.enabled () then
+    Obs.emit ~pid:by
+      (Obs.Shm_access { access = `Read; reg = r.name; value = r.value });
   r.value
 
 let write t ~by (r : Register.t) (v : Univ.t) : unit =
@@ -123,6 +127,8 @@ let write t ~by (r : Register.t) (v : Univ.t) : unit =
   t.total_writes <- t.total_writes + 1;
   t.writes_by.(by) <- t.writes_by.(by) + 1;
   record_access t ~pid:by ~kind:`Write ~reg:r ~value:v;
+  if Obs.enabled () then
+    Obs.emit ~pid:by (Obs.Shm_access { access = `Write; reg = r.name; value = v });
   r.value <- v
 
 (* Registers owned by [pid]; the "reset" adversary of Theorem 23 rewrites

@@ -14,6 +14,7 @@
 
 open Lnd_support
 open Lnd_runtime
+module Obs = Lnd_obs.Obs
 
 type config = { n : int; f : int }
 
@@ -106,6 +107,9 @@ let writer (rg : regs) : writer = { w_regs = rg }
 let write (w : writer) (v : Value.t) : unit =
   let rg = w.w_regs in
   let n = rg.cfg.n in
+  let sp =
+    if Obs.enabled () then Obs.span_open ~name:"WRITE" ~arg:v () else 0
+  in
   (* line 1: a second write is a no-op returning done *)
   if read_vopt rg.e.(0) = None then begin
     (* line 2 *)
@@ -116,7 +120,8 @@ let write (w : writer) (v : Value.t) : unit =
       let rs = Array.init n (fun i -> read_vopt rg.r.(i)) in
       if Quorum.has_availability rg.q (count_eq rs v) then witnessed := true
     done
-  end
+  end;
+  if Obs.enabled () then Obs.span_close ~result:"done" ~name:"WRITE" sp
 
 (* ---------------- Readers: READ(), lines 7-22 ---------------- *)
 
@@ -132,6 +137,7 @@ module PidMap = Map.Make (Int)
 let read (rd : reader) : Value.t option =
   let n = rd.rd_regs.cfg.n in
   let q = rd.rd_regs.q in
+  let sp = if Obs.enabled () then Obs.span_open ~name:"READ" () else 0 in
   let set_bot = ref PidSet.empty in
   let set_val = ref PidMap.empty (* pid -> witnessed value *) in
   let result = ref None in
@@ -189,6 +195,10 @@ let read (rd : reader) : Value.t option =
           finished := true
         end)
   done;
+  if Obs.enabled () then
+    Obs.span_close
+      ~result:(match !result with None -> "⊥" | Some v -> "v:" ^ v)
+      ~name:"READ" sp;
   !result
 
 (* ---------------- Help() — lines 23-40 ---------------- *)
@@ -221,6 +231,16 @@ let help (rg : regs) ~pid : unit =
       if cks.(k) > prev_c.(k) then askers := k :: !askers
     done;
     if !askers <> [] then begin
+      (* one HELP span per round actually serving askers, so the trace
+         shows helping work without one span per idle poll *)
+      let sp =
+        if Obs.enabled () then
+          Obs.span_open ~name:"HELP"
+            ~arg:
+              (String.concat "," (List.map string_of_int !askers))
+            ()
+        else 0
+      in
       (* lines 34-36: become a witness of a value with f+1 witnesses *)
       if read_vopt rg.r.(pid) = None then begin
         let rs = Array.init n (fun i -> read_vopt rg.r.(i)) in
@@ -236,7 +256,8 @@ let help (rg : regs) ~pid : unit =
           Cell.write rg.rjk.(pid).(k)
             (Univ.inj Codecs.vopt_stamped (rj, cks.(k)));
           prev_c.(k) <- cks.(k))
-        !askers
+        !askers;
+      if Obs.enabled () then Obs.span_close ~result:"done" ~name:"HELP" sp
     end
     else Sched.yield ()
   done

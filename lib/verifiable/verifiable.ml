@@ -16,6 +16,7 @@
 
 open Lnd_support
 open Lnd_runtime
+module Obs = Lnd_obs.Obs
 
 type config = { n : int; f : int }
 
@@ -95,17 +96,29 @@ let writer (rg : regs) : writer = { w_regs = rg; written = VSet.empty }
 
 (* WRITE(v): lines 1-3. *)
 let write (w : writer) (v : Value.t) : unit =
+  let sp =
+    if Obs.enabled () then Obs.span_open ~name:"WRITE" ~arg:v () else 0
+  in
   Cell.write w.w_regs.rstar (Univ.inj Codecs.value v);
-  w.written <- VSet.add v w.written
+  w.written <- VSet.add v w.written;
+  if Obs.enabled () then Obs.span_close ~result:"done" ~name:"WRITE" sp
 
 (* SIGN(v): lines 4-8. Returns true for SUCCESS, false for FAIL. *)
 let sign (w : writer) (v : Value.t) : bool =
-  if VSet.mem v w.written then begin
-    let r1 = read_vset w.w_regs.r.(0) in
-    Cell.write w.w_regs.r.(0) (Univ.inj Codecs.vset (VSet.add v r1));
-    true
-  end
-  else false
+  let sp =
+    if Obs.enabled () then Obs.span_open ~name:"SIGN" ~arg:v () else 0
+  in
+  let res =
+    if VSet.mem v w.written then begin
+      let r1 = read_vset w.w_regs.r.(0) in
+      Cell.write w.w_regs.r.(0) (Univ.inj Codecs.vset (VSet.add v r1));
+      true
+    end
+    else false
+  in
+  if Obs.enabled () then
+    Obs.span_close ~result:(string_of_bool res) ~name:"SIGN" sp;
+  res
 
 (* ---------------- Readers (p1 .. p(n-1)) ---------------- *)
 
@@ -116,7 +129,11 @@ let reader (rg : regs) ~pid : reader =
   { rd_regs = rg; rd_pid = pid; ck = 0 }
 
 (* READ(): lines 9-10. *)
-let read (rd : reader) : Value.t = read_value rd.rd_regs.rstar
+let read (rd : reader) : Value.t =
+  let sp = if Obs.enabled () then Obs.span_open ~name:"READ" () else 0 in
+  let v = read_value rd.rd_regs.rstar in
+  if Obs.enabled () then Obs.span_close ~result:("v:" ^ v) ~name:"READ" sp;
+  v
 
 module PidSet = Set.Make (Int)
 
@@ -126,6 +143,9 @@ module PidSet = Set.Make (Int)
 let verify (rd : reader) (v : Value.t) : bool =
   let n = rd.rd_regs.cfg.n in
   let q = rd.rd_regs.q in
+  let sp =
+    if Obs.enabled () then Obs.span_open ~name:"VERIFY" ~arg:v () else 0
+  in
   let set0 = ref PidSet.empty and set1 = ref PidSet.empty in
   let result = ref None in
   while !result = None do
@@ -169,7 +189,10 @@ let verify (rd : reader) (v : Value.t) : bool =
     else if Quorum.exceeds_faults q (PidSet.cardinal !set0) then
       result := Some false
   done;
-  Option.get !result
+  let res = Option.get !result in
+  if Obs.enabled () then
+    Obs.span_close ~result:(string_of_bool res) ~name:"VERIFY" sp;
+  res
 
 (* ---------------- Help() — lines 25-36 ---------------- *)
 
@@ -191,6 +214,14 @@ let help (rg : regs) ~pid : unit =
       if cks.(k) > prev_c.(k) then askers := k :: !askers
     done;
     if !askers <> [] then begin
+      (* one HELP span per round actually serving askers *)
+      let sp =
+        if Obs.enabled () then
+          Obs.span_open ~name:"HELP"
+            ~arg:(String.concat "," (List.map string_of_int !askers))
+            ()
+        else 0
+      in
       (* line 30: read every witness set *)
       let rsets = Array.init n (fun i -> read_vset rg.r.(i)) in
       (* lines 31-32: become a witness of every value v that the writer
@@ -222,7 +253,8 @@ let help (rg : regs) ~pid : unit =
           Cell.write rg.rjk.(pid).(k)
             (Univ.inj Codecs.vset_stamped (rj, cks.(k)));
           prev_c.(k) <- cks.(k))
-        !askers
+        !askers;
+      if Obs.enabled () then Obs.span_close ~result:"done" ~name:"HELP" sp
     end
     else Sched.yield ()
   done

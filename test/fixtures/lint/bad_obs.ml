@@ -1,0 +1,9 @@
+(* Lint fixture: protocol code printing straight to the std streams
+   instead of emitting through the Obs sink. Parsed by the lint tests,
+   never built. *)
+
+let narrate_round ~round acks =
+  print_string "round ";
+  print_int round;
+  Printf.printf " acks=%d\n" (List.length acks);
+  Format.eprintf "still waiting@."

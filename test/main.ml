@@ -27,6 +27,7 @@ let () =
       ("fuzz", Test_fuzz.tests);
       ("regular-registers", Test_regular.tests);
       ("trace-invariants", Test_trace_invariants.tests);
+      ("observability", Test_obs.tests);
       ("composition", Test_composition.tests);
       ("policies", Test_policies.tests);
       ("lint", Test_lint.tests);

@@ -17,6 +17,7 @@ let strict =
     swallow = true;
     need_mli = false;
     durable = true;
+    obs = true;
   }
 
 let fixture name = Filename.concat "fixtures/lint" name
@@ -55,6 +56,16 @@ let test_durable () =
     [ ("durable-seam", 5); ("durable-seam", 6); ("durable-seam", 8) ]
     (lint "bad_durable.ml")
 
+let test_obs () =
+  check "direct printing flagged"
+    [
+      ("obs-seam", 6);
+      ("obs-seam", 7);
+      ("obs-seam", 8);
+      ("obs-seam", 9);
+    ]
+    (lint "bad_obs.ml")
+
 let test_swallow () =
   check "catch-all handler flagged"
     [ ("exception-swallowing", 4) ]
@@ -90,9 +101,14 @@ let test_default_ctx () =
   Alcotest.(check bool) "wal.ml: durable-exempt (IS the layer)" false
     d.Rules.durable;
   Alcotest.(check bool) "wal.ml: determinism still on" true d.Rules.rng_free;
+  Alcotest.(check bool) "regemu: obs rule on" true c.Rules.obs;
+  let o = Rules.default_ctx ~path:"lib/fuzz/chaos.ml" in
+  Alcotest.(check bool) "chaos.ml: may print (harness, not protocol)" false
+    o.Rules.obs;
   let b = Rules.default_ctx ~path:"bin/lnd_cli.ml" in
   Alcotest.(check bool) "bin: no .mli demanded" false b.Rules.need_mli;
-  Alcotest.(check bool) "bin: no seam rule" false b.Rules.seam
+  Alcotest.(check bool) "bin: no seam rule" false b.Rules.seam;
+  Alcotest.(check bool) "bin: no obs rule" false b.Rules.obs
 
 (* The acceptance gate: the real tree, linted with the real contexts,
    has zero findings. Skipped when the sources are not reachable from
@@ -118,6 +134,7 @@ let tests =
     Alcotest.test_case "quorum-arithmetic fixture" `Quick test_quorum;
     Alcotest.test_case "transport-seam fixture" `Quick test_seam;
     Alcotest.test_case "durable-seam fixture" `Quick test_durable;
+    Alcotest.test_case "obs-seam fixture" `Quick test_obs;
     Alcotest.test_case "exception-swallowing fixture" `Quick test_swallow;
     Alcotest.test_case "justified suppression lints clean" `Quick
       test_suppressed_ok;
