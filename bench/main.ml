@@ -893,7 +893,127 @@ let table_t13 () =
         (phist m "reg.quorum.count")
         (phist m "wal.fsync.latency")
         (phist m "net.delay.ticks"))
-    rows
+    rows;
+  (* Machine-readable copy for the repo root / CI artifact. *)
+  let oc = open_out "BENCH_T13.json" in
+  let j = Printf.fprintf in
+  j oc "{\n  \"table\": \"T13\",\n  \"scenarios\": [\n";
+  List.iteri
+    (fun i (label, events, m) ->
+      let c = Metrics.counter m in
+      let h name =
+        match Metrics.histogram m name with
+        | Some h ->
+            Printf.sprintf "{\"p50\": %d, \"p95\": %d, \"count\": %d}"
+              h.Metrics.p50 h.Metrics.p95 h.Metrics.count
+        | None -> "null"
+      in
+      j oc
+        "    {\"scenario\": %S, \"events\": %d, \"spans\": %d, \"aborted\": \
+         %d,\n\
+        \     \"deliver\": %d, \"drop\": %d, \"dup\": %d, \"retrans\": %d, \
+         \"redundant\": %d,\n\
+        \     \"fsyncs\": %d, \"wal_bytes\": %d,\n\
+        \     \"quorum_depth\": %s, \"fsync_latency\": %s, \"delay_ticks\": \
+         %s}%s\n"
+        label events
+        (sum_suffix m ".count")
+        (sum_suffix m ".aborted")
+        (c "net.deliver") (c "net.drop") (c "net.dup")
+        (c "rlink.retransmissions")
+        (c "rlink.redundant") (c "wal.fsyncs") (c "wal.bytes")
+        (h "reg.quorum.count")
+        (h "wal.fsync.latency")
+        (h "net.delay.ticks")
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  j oc "  ]\n}\n";
+  close_out oc;
+  pf "(machine-readable copy written to BENCH_T13.json)\n"
+
+(* ------------------------------------------------------------------ *)
+(* T14: accountability — auditor overhead and blame quality            *)
+(* ------------------------------------------------------------------ *)
+
+let table_t14 () =
+  header
+    "T14 Accountability (lib/audit): the same chaos batches replayed with\n\
+    \    the forensic auditor fanned out next to the recording trace.\n\
+    \    Overhead is the claim volume the auditor digests online; quality\n\
+    \    is recall over detectable Byzantine pids with zero false blame";
+  let module Chaos = Lnd_fuzz.Chaos in
+  let module Audit = Lnd_audit.Audit in
+  let seeds = 20 in
+  let sweep label gen =
+    let runs = ref 0
+    and failed = ref 0
+    and events = ref 0
+    and claims = ref 0
+    and stalls = ref 0
+    and accusations = ref 0
+    and detectable = ref 0
+    and attributed = ref 0
+    and false_blame = ref 0 in
+    for seed = 1 to seeds do
+      let s = gen seed in
+      let out, _tr, rp = Chaos.run_audited ~keep:Chaos.compact_keep s in
+      incr runs;
+      (match out with Ok _ -> () | Error _ -> incr failed);
+      events := !events + rp.Audit.rp_events;
+      claims := !claims + rp.Audit.rp_claims;
+      stalls := !stalls + rp.Audit.rp_stalls;
+      accusations := !accusations + List.length rp.Audit.rp_accusations;
+      let acc = Audit.accused rp in
+      let det = Chaos.detectable s in
+      let byz = Chaos.byzantine_pids s in
+      detectable := !detectable + List.length det;
+      attributed :=
+        !attributed + List.length (List.filter (fun p -> List.mem p acc) det);
+      false_blame :=
+        !false_blame
+        + List.length (List.filter (fun p -> not (List.mem p byz)) acc)
+    done;
+    ( label,
+      !runs,
+      !failed,
+      !events,
+      !claims,
+      !stalls,
+      !accusations,
+      !detectable,
+      !attributed,
+      !false_blame )
+  in
+  let rows =
+    [
+      sweep "link chaos (seeds 1-20)" Chaos.generate;
+      sweep "crash chaos (seeds 1-20)" Chaos.generate_crash;
+    ]
+  in
+  pf "%-24s | %4s %4s | %7s %7s %6s | %5s %5s %5s %5s\n" "batch" "runs"
+    "fail" "events" "claims" "stalls" "accus" "det" "attr" "false";
+  List.iter
+    (fun (label, runs, failed, events, claims, stalls, accus, det, attr, fb) ->
+      pf "%-24s | %4d %4d | %7d %7d %6d | %5d %5d %5d %5d\n" label runs
+        failed events claims stalls accus det attr fb)
+    rows;
+  let oc = open_out "BENCH_T14.json" in
+  let j = Printf.fprintf in
+  j oc "{\n  \"table\": \"T14\",\n  \"sweeps\": [\n";
+  List.iteri
+    (fun i (label, runs, failed, events, claims, stalls, accus, det, attr, fb)
+       ->
+      j oc
+        "    {\"batch\": %S, \"runs\": %d, \"failed\": %d, \"events\": %d, \
+         \"claims\": %d,\n\
+        \     \"stalls\": %d, \"accusations\": %d, \"detectable\": %d, \
+         \"attributed\": %d, \"false_blame\": %d}%s\n"
+        label runs failed events claims stalls accus det attr fb
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  j oc "  ]\n}\n";
+  close_out oc;
+  pf "(machine-readable copy written to BENCH_T14.json)\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks                                *)
@@ -1009,6 +1129,10 @@ let () =
     table_t13 ();
     exit 0
   end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "t14" then begin
+    table_t14 ();
+    exit 0
+  end;
   pf
     "lie_not_deny benchmark harness — experiment tables for the PODC'25 \
      paper\n\
@@ -1028,5 +1152,6 @@ let () =
   table_t11 ();
   table_t12 ();
   table_t13 ();
+  table_t14 ();
   bench_wallclock ();
   pf "\nAll tables regenerated.\n"

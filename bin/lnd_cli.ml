@@ -408,6 +408,97 @@ let trace_cmd =
     Term.(
       const trace_cmd_run $ seed_arg $ crash $ full $ out $ chrome $ metrics)
 
+(* ---------------- audit ---------------- *)
+
+let audit_cmd_run seed count crash json strict =
+  let audit_one seed =
+    let scenario =
+      if crash then Lnd_fuzz.Chaos.generate_crash seed
+      else Lnd_fuzz.Chaos.generate seed
+    in
+    let outcome, _tr, report =
+      Lnd_fuzz.Chaos.run_audited ~keep:Lnd_fuzz.Chaos.compact_keep scenario
+    in
+    let accused = Audit.accused report in
+    let detectable = Lnd_fuzz.Chaos.detectable scenario in
+    let byz = Lnd_fuzz.Chaos.byzantine_pids scenario in
+    let false_blame = List.filter (fun p -> not (List.mem p byz)) accused in
+    let missed = List.filter (fun p -> not (List.mem p accused)) detectable in
+    if json then
+      pr "{\"seed\":%d,\"crash\":%b,\"adversary\":\"%s\",\"detectable\":[%s],\
+          \"false_blame\":[%s],\"missed\":[%s],\"report\":%s}\n"
+        seed crash
+        (Lnd_fuzz.Chaos.adversary_name scenario.Lnd_fuzz.Chaos.adversary)
+        (String.concat "," (List.map string_of_int detectable))
+        (String.concat "," (List.map string_of_int false_blame))
+        (String.concat "," (List.map string_of_int missed))
+        (Audit.report_to_json report)
+    else begin
+      pr "%s %s\n"
+        (match outcome with Ok _ -> "ok  " | Error _ -> "FAIL")
+        (Format.asprintf "%a" Lnd_fuzz.Chaos.pp_scenario scenario);
+      pr "     %s\n" (Format.asprintf "%a" Audit.pp_report report)
+    end;
+    (outcome, false_blame, missed)
+  in
+  let failures = ref 0 in
+  for s = seed to seed + count - 1 do
+    let outcome, false_blame, missed = audit_one s in
+    let bad =
+      (match outcome with Ok _ -> false | Error _ -> true)
+      || false_blame <> [] || missed <> []
+    in
+    if bad then begin
+      incr failures;
+      Printf.eprintf "AUDIT FAIL seed=%d%s: run=%s false_blame=[%s] \
+                      missed=[%s]\n"
+        s
+        (if crash then " --crash" else "")
+        (match outcome with Ok _ -> "ok" | Error e -> e)
+        (String.concat "," (List.map string_of_int false_blame))
+        (String.concat "," (List.map string_of_int missed))
+    end
+  done;
+  if strict && !failures > 0 then exit 1
+
+let audit_cmd =
+  let count =
+    Arg.(
+      value & opt int 1
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Audit $(docv) consecutive seeds starting at --seed.")
+  in
+  let crash =
+    Arg.(
+      value & flag
+      & info [ "crash" ]
+          ~doc:"Audit crash-restart scenarios instead of link-fault ones.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON object per seed (scenario, ground truth, blame \
+             report) instead of the human-readable summary.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit non-zero if any seed fails its run, accuses a correct \
+             process (false blame) or misses a detectable Byzantine pid.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Replay chaos seeds with the accountability auditor fanned out \
+          next to the trace sink and print the blame report: every \
+          detectable Byzantine pid must be attributed, and no correct \
+          process may ever be accused")
+    Term.(const audit_cmd_run $ seed_arg $ count $ crash $ json $ strict)
+
 (* ---------------- sweep ---------------- *)
 
 let sweep_cmd_run register =
@@ -479,5 +570,5 @@ let () =
                 with Byzantine processes (Hu & Toueg, PODC 2025)")
           [
             verify_cmd; sticky_cmd; impossibility_cmd; sweep_cmd; fuzz_cmd;
-            chaos_cmd; trace_cmd;
+            chaos_cmd; trace_cmd; audit_cmd;
           ]))

@@ -59,3 +59,6 @@ module Obs = Lnd_obs.Obs
 module Trace = Lnd_obs.Trace
 module Metrics = Lnd_obs.Metrics
 module Trace_replay = Lnd_history.Trace_replay
+
+(* Accountability: forensic Byzantine blame attribution *)
+module Audit = Lnd_audit.Audit

@@ -78,3 +78,7 @@ module Obs = Lnd_obs.Obs
 module Trace = Lnd_obs.Trace
 module Metrics = Lnd_obs.Metrics
 module Trace_replay = Lnd_history.Trace_replay
+
+(** {1 Accountability: forensic Byzantine blame attribution} *)
+
+module Audit = Lnd_audit.Audit

@@ -198,6 +198,23 @@ let recover disk ~name : string list * t =
   List.iter
     (fun g -> if g <> gen then Disk.delete disk ~file:(gen_file name g))
     (generations disk ~name);
+  (* Truncate the torn tail before reuse: a crash mid-fsync can leave a
+     corrupt partial frame after the last valid one. Appending new
+     frames BEHIND that garbage would make them undecodable — a later
+     recovery would silently roll the log back to the tear, losing
+     records that were fsynced after this recovery (e.g. the new
+     incarnation's epoch). Rewriting the surviving frames restores the
+     invariant that the durable file is a clean frame sequence. *)
+  let raw = Disk.read disk ~file:(gen_file name gen) in
+  let frames = decode raw in
+  let clean =
+    String.concat "" (List.map (fun (k, p) -> frame ~kind:k p) frames)
+  in
+  if String.length clean <> String.length raw then begin
+    Disk.delete disk ~file:(gen_file name gen);
+    Disk.append disk ~file:(gen_file name gen) clean;
+    Disk.fsync disk ~file:(gen_file name gen)
+  end;
   let t = create disk ~name in
   t.gen <- gen;
   if Obs.enabled () then

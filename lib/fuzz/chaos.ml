@@ -350,7 +350,11 @@ let finish (s : scenario) (h : 'p harness) ~(post : unit -> string option) :
   with
   | Sched.Budget_exhausted ->
       Error "step budget exhausted (liveness lost under fault plan?)"
-  | Sched.Condition_met -> Error (stall_diagnosis s h)
+  | Sched.Condition_met ->
+      (* publish the diagnosis as typed events too, so a recorded trace
+         (and the auditor behind it) can tell "slow" from "lying" *)
+      Watchdog.emit_stalled h.wd;
+      Error (stall_diagnosis s h)
   | Sched.Quiescent -> (
       match
         List.filter
@@ -647,7 +651,21 @@ let run_register (s : scenario) : outcome =
    | No_adversary | Crash | Equivocator -> ()
    | Forger ->
        (* a Byzantine replica answering reads with a forged, huge
-          timestamp — must stay below the f+1 voucher threshold *)
+          timestamp — must stay below the f+1 voucher threshold. A real
+          Byzantine process reads the wire format, so it unwraps the
+          faultnet delivery stamps and rlink Data envelopes correct
+          readers send through. *)
+       let unwrap payload =
+         let payload =
+           match Univ.prj Faultnet.fenv_key payload with
+           | Some (_, p) -> p
+           | None -> payload
+         in
+         match Univ.prj Rlink.renv_key payload with
+         | Some (Rlink.Data (_, _, p)) -> Some p
+         | Some (Rlink.Ack _) -> None
+         | None -> Some payload
+       in
        List.iter
          (fun pid ->
            ignore
@@ -656,7 +674,10 @@ let run_register (s : scenario) : outcome =
                   while true do
                     List.iter
                       (fun (src, payload) ->
-                        match Univ.prj Regemu.emsg_key payload with
+                        match
+                          Option.bind (unwrap payload)
+                            (Univ.prj Regemu.emsg_key)
+                        with
                         | Some (Regemu.Rreq (reg, rid)) ->
                             Net.send port ~dst:src
                               (Univ.inj Regemu.emsg_key
@@ -815,3 +836,28 @@ let run_traced ?keep (s : scenario) : outcome * Trace.t =
   in
   Trace.finish tr;
   (out, tr)
+
+(* The ground truth an accountability auditor can be held to: Byzantine
+   pids that actually LIE on the wire. A Crash adversary's processes
+   merely fall silent — silence is slowness, not evidence, so they are
+   (correctly) unattributable. *)
+let detectable (s : scenario) : int list =
+  match s.adversary with
+  | No_adversary | Crash -> []
+  | Equivocator | Forger -> byzantine_pids s
+
+let run_audited ?keep (s : scenario) :
+    outcome * Trace.t * Lnd_audit.Audit.report =
+  let tr = Trace.create ?keep () in
+  let au =
+    Lnd_audit.Audit.create ?keep
+      ~q:(Quorum.make_relaxed ~n:s.n ~f:s.f)
+      ()
+  in
+  (* trace first in the fan-out: evidence indices cite trace lines *)
+  Obs.install (Obs.fanout [ Trace.sink tr; Lnd_audit.Audit.sink au ]);
+  let out =
+    Fun.protect ~finally:(fun () -> Obs.uninstall ()) (fun () -> run s)
+  in
+  Trace.finish tr;
+  (out, tr, Lnd_audit.Audit.finalize au)

@@ -89,6 +89,17 @@ val pp_report : Format.formatter -> report -> unit
 val run : scenario -> outcome
 val run_seed : int -> outcome
 
+val byzantine_pids : scenario -> int list
+(** The pids the adversary controls (the top [f] of [n]); [[]] under
+    [No_adversary]. *)
+
+val detectable : scenario -> int list
+(** The Byzantine pids an accountability auditor can be held to
+    attributing: those that actually lie on the wire ([Equivocator] and
+    [Forger] pids). A [Crash] adversary's processes merely fall silent,
+    which is indistinguishable from slowness — accusing them would be
+    false blame. *)
+
 val compact_keep : Lnd_obs.Obs.event -> bool
 (** Default export filter: keeps everything except per-step
     [Sched_switch] and [Shm_access] events. Shared by [lnd_cli trace]
@@ -100,3 +111,14 @@ val run_traced :
     run, then {!Lnd_obs.Trace.finish} it (dangling daemon/killed-fiber
     spans are closed as aborted). [keep] filters non-span events. The
     sink is uninstalled on return, even if the run raises. *)
+
+val run_audited :
+  ?keep:(Lnd_obs.Obs.event -> bool) ->
+  scenario ->
+  outcome * Lnd_obs.Trace.t * Lnd_audit.Audit.report
+(** Like {!run_traced}, but with an {!Lnd_audit.Audit} accountability
+    auditor fanned out next to the recording trace (same [keep], so
+    every evidence index in the report is a line number of the trace's
+    JSONL export). Returns the finalized blame report: the auditor's
+    accusations must cover {!detectable} pids and never name a correct
+    one. *)

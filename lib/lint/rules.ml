@@ -71,12 +71,14 @@ let protocol_dirs =
     "lib/byz";
     "lib/fuzz";
     "lib/durable";
+    "lib/audit";
   ]
 
-let quorum_dirs = [ "lib/sticky"; "lib/verifiable"; "lib/msgpass" ]
+let quorum_dirs =
+  [ "lib/sticky"; "lib/verifiable"; "lib/msgpass"; "lib/audit" ]
 
 let obs_dirs =
-  [ "lib/sticky"; "lib/verifiable"; "lib/msgpass"; "lib/broadcast" ]
+  [ "lib/sticky"; "lib/verifiable"; "lib/msgpass"; "lib/broadcast"; "lib/audit" ]
 
 (* The files that ARE the transport: they implement the stack below the
    seam, so of course they touch Net. *)

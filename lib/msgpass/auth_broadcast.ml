@@ -103,13 +103,30 @@ let note_echo (t : t) (key : Key.t) ~(from : int) : unit =
     t.accept_cb ~sender ~value ~seq
   end
 
-(* Handle all pending messages once (n register reads). *)
+(* Handle all pending messages once (n register reads). Each decoded
+   payload is recorded as a receiver-side [Obs.Claim] before it is acted
+   on, attributing what [src] said for the accountability auditor. *)
 let poll (t : t) : unit =
+  let module Obs = Lnd_obs.Obs in
+  let pid = t.st_ep.Transport.pid in
   List.iter
     (fun (src, payload) ->
       match Univ.prj bmsg_key payload with
-      | None -> () (* garbage from a Byzantine sender *)
+      | None ->
+          (* garbage from a Byzantine sender *)
+          if Obs.enabled () then
+            Obs.emit ~pid (Obs.Claim { src; claim = Cl_garbage; fp = "" })
       | Some m -> (
+          if Obs.enabled () then begin
+            let fp = Format.asprintf "%a" Value.pp m.value in
+            let cl =
+              match m.tag with
+              | Init -> Obs.Cl_init { sender = m.sender; seq = m.seq }
+              | Echo ->
+                  Obs.Cl_vouch { sender = m.sender; seq = m.seq; tag = "echo" }
+            in
+            Obs.emit ~pid (Obs.Claim { src; claim = cl; fp })
+          end;
           match m.tag with
           | Init ->
               (* only the sender's own channel counts as an init *)

@@ -134,12 +134,32 @@ let handle (p : proc) ~src (m : bmsg) =
       if Quorum.has_byz_quorum p.q (PidSet.cardinal s.readies) then
         try_deliver p ~sender:m.sender ~value:m.value ~seq:m.seq
 
+(* Each decoded payload is recorded as a receiver-side [Obs.Claim]
+   before [handle] acts on it, attributing what [src] said for the
+   accountability auditor. *)
 let poll (p : proc) : unit =
+  let module Obs = Lnd_obs.Obs in
+  let pid = p.ep.Transport.pid in
   List.iter
     (fun (src, payload) ->
       match Univ.prj bmsg_key payload with
-      | Some m -> handle p ~src m
-      | None -> ())
+      | Some m ->
+          if Obs.enabled () then begin
+            let fp = Format.asprintf "%a" Value.pp m.value in
+            let cl =
+              match m.tag with
+              | Init -> Obs.Cl_init { sender = m.sender; seq = m.seq }
+              | Echo ->
+                  Obs.Cl_vouch { sender = m.sender; seq = m.seq; tag = "echo" }
+              | Ready ->
+                  Obs.Cl_vouch { sender = m.sender; seq = m.seq; tag = "ready" }
+            in
+            Obs.emit ~pid (Obs.Claim { src; claim = cl; fp })
+          end;
+          handle p ~src m
+      | None ->
+          if Obs.enabled () then
+            Obs.emit ~pid (Obs.Claim { src; claim = Cl_garbage; fp = "" }))
     (p.ep.Transport.poll_all ())
 
 let daemon (p : proc) : unit =

@@ -406,12 +406,21 @@ let pump t ~pid =
     | Some l -> l := m :: !l
     | None -> Hashtbl.replace outbox dst (ref [ m ])
   in
+  (* Every decoded payload is recorded as a receiver-side [Obs.Claim]
+     BEFORE it is acted on: the claim attributes what [src] said, so an
+     auditor can cross-examine senders without trusting any receiver's
+     subsequent behaviour. *)
+  let claim ~src cl f_ =
+    if Obs.enabled () then Obs.emit ~pid (Obs.Claim { src; claim = cl; fp = f_ })
+  in
   let rec handle ~src (m : emsg) =
     match m with
     | Wreq (reg, ts, v) ->
+        claim ~src (Obs.Cl_wreq { reg; ts }) (fp v);
         if Hashtbl.mem t.metas reg && src = (meta t reg).owner then
           rep_send_echo t r ep reg ts (fp v) v
     | Wecho (reg, ts, v) ->
+        claim ~src (Obs.Cl_wecho { reg; ts }) (fp v);
         if Hashtbl.mem t.metas reg then
           rep_note_echo t r ep reg ts (fp v) v ~from:src
     | Rreq (reg, rid) ->
@@ -427,6 +436,7 @@ let pump t ~pid =
           end
         end
     | Wack (reg, ts) ->
+        claim ~src (Obs.Cl_wack { reg; ts }) "";
         cl_note_ack c reg ts ~src;
         if Obs.enabled () then begin
           let count =
@@ -437,6 +447,7 @@ let pump t ~pid =
           Obs.emit ~pid (Obs.Reg_reply { reg; rid = ts; src; count })
         end
     | Rrep (reg, rid, ts, v) ->
+        claim ~src (Obs.Cl_rrep { reg; rid; ts }) (fp v);
         cl_note_rep c rid ts v ~src;
         if Obs.enabled () then begin
           let count =
@@ -450,14 +461,18 @@ let pump t ~pid =
         (* state transfer: answered even while recovering — the view is
            whatever is ST-accepted so far, always genuine *)
         out ~dst:src (Srep (rid, rep_view t r))
-    | Srep (rid, view) -> cl_note_srep c rid view ~src
+    | Srep (rid, view) ->
+        List.iter
+          (fun (reg, ts, v) -> claim ~src (Obs.Cl_state { reg; ts }) (fp v))
+          view;
+        cl_note_srep c rid view ~src
     | Batch l -> List.iter (handle ~src) l
   in
   List.iter
     (fun (src, payload) ->
       match Univ.prj emsg_key payload with
       | Some m -> handle ~src m
-      | None -> ())
+      | None -> claim ~src Obs.Cl_garbage "")
     (ep.Transport.poll_all ());
   (Hashtbl.iter
      (fun dst l ->
@@ -508,6 +523,10 @@ let emu_write t reg (v : Univ.t) : unit =
           ~arg:(Printf.sprintf "r%d=%s" reg (fp v)) ()
       in
       Obs.emit ~pid (Obs.Reg_round { reg; round = "write"; rid = ts });
+      (* declare the write before the Wreq broadcast: every claim a
+         replica later derives from it (echo, ack, reply) then has an
+         earlier justification on the event stream *)
+      Obs.emit ~pid (Obs.Reg_write_ann { reg; ts; fp = fp v });
       sp
     end
     else 0
@@ -627,6 +646,8 @@ let allocator (t : t) : Cell.allocator =
   let reg = t.next_reg in
   t.next_reg <- reg + 1;
   Hashtbl.replace t.metas reg { owner; init };
+  if Obs.enabled () then
+    Obs.emit ~pid:owner (Obs.Reg_alloc { reg; owner; fp = fp init });
   {
     Cell.cell_name = Printf.sprintf "emu:%s" name;
     cell_read = (fun () -> emu_read t reg);

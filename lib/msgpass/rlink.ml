@@ -122,6 +122,11 @@ type t = {
 }
 
 let create ?(cfg = default_cfg) ?(epoch = 0) ?wal (tr : Transport.t) : t =
+  (* Announce the incarnation: the auditor checks that a pid's epochs
+     only ever move forward, so replaying a pre-crash incarnation is
+     attributable evidence. *)
+  if Obs.enabled () then
+    Obs.emit ~pid:tr.Transport.pid (Obs.Link_incarnation { epoch });
   {
     tr;
     cfg;

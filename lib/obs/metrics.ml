@@ -154,6 +154,12 @@ let of_events evs =
           observe m "wal.recover.records" records
       | Disk_crash { torn } ->
           incr m "disk.crashes";
-          incr ~by:torn m "disk.torn_files")
+          incr ~by:torn m "disk.torn_files"
+      | Claim { claim = Cl_garbage; _ } -> incr m "audit.claims.garbage"
+      | Claim _ -> incr m "audit.claims"
+      | Reg_write_ann _ -> incr m "reg.write_anns"
+      | Reg_alloc _ -> incr m "reg.allocs"
+      | Link_incarnation _ -> incr m "rlink.incarnations"
+      | Watchdog_stall _ -> incr m "watchdog.stalls")
     evs;
   m

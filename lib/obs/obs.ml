@@ -2,6 +2,16 @@ type access = [ `Read | `Write ]
 
 type verdict = Deliver | Dropped | Cut | Dup | Delayed of int
 
+type claim =
+  | Cl_init of { sender : int; seq : int }
+  | Cl_vouch of { sender : int; seq : int; tag : string }
+  | Cl_wreq of { reg : int; ts : int }
+  | Cl_wecho of { reg : int; ts : int }
+  | Cl_wack of { reg : int; ts : int }
+  | Cl_rrep of { reg : int; rid : int; ts : int }
+  | Cl_state of { reg : int; ts : int }
+  | Cl_garbage
+
 type kind =
   | Span_open of { name : string; arg : string option; parent : int }
   | Span_close of { name : string; result : string option; aborted : bool }
@@ -24,9 +34,17 @@ type kind =
   | Wal_snapshot of { records : int }
   | Wal_recover of { records : int }
   | Disk_crash of { torn : int }
+  | Claim of { src : int; claim : claim; fp : string }
+  | Reg_write_ann of { reg : int; ts : int; fp : string }
+  | Reg_alloc of { reg : int; owner : int; fp : string }
+  | Link_incarnation of { epoch : int }
+  | Watchdog_stall of { fid : int; fname : string; op : string; deadline : int }
 
 type event = { at : int; pid : int; span : int; kind : kind }
 type sink = { emit : event -> unit }
+
+let fanout sinks =
+  { emit = (fun e -> List.iter (fun s -> s.emit e) sinks) }
 
 let sink_r : sink option ref = ref None
 let clock_r : (unit -> int) ref = ref (fun () -> 0)

@@ -28,6 +28,24 @@ type verdict =
   | Dup  (** an extra copy was injected *)
   | Delayed of int  (** held back this many poll rounds *)
 
+(** A message-level claim, emitted by the {e receiver} the moment a
+    protocol payload is decoded and before it is acted on. A claim
+    attributes the payload to [src] (the transport-level sender), so an
+    auditor can cross-examine what each process {e said} independently of
+    what any correct process later did about it. *)
+type claim =
+  | Cl_init of { sender : int; seq : int }
+      (** broadcast Init: [src] claims to originate slot [(sender, seq)] *)
+  | Cl_vouch of { sender : int; seq : int; tag : string }
+      (** broadcast Echo/Ready ([tag]): [src] vouches for [(sender, seq)] *)
+  | Cl_wreq of { reg : int; ts : int }  (** emulated-register write request *)
+  | Cl_wecho of { reg : int; ts : int }  (** write echo (vouch) *)
+  | Cl_wack of { reg : int; ts : int }  (** write acknowledgement *)
+  | Cl_rrep of { reg : int; rid : int; ts : int }  (** read reply *)
+  | Cl_state of { reg : int; ts : int }
+      (** one register triple inside a state-transfer reply *)
+  | Cl_garbage  (** a payload that failed to decode at all *)
+
 type kind =
   | Span_open of { name : string; arg : string option; parent : int }
   | Span_close of { name : string; result : string option; aborted : bool }
@@ -54,6 +72,19 @@ type kind =
   | Wal_snapshot of { records : int }
   | Wal_recover of { records : int }
   | Disk_crash of { torn : int }
+  | Claim of { src : int; claim : claim; fp : string }
+      (** receiver-side record of a decoded payload from [src]; [fp] is
+          the value fingerprint ([""] where the payload carries none) *)
+  | Reg_write_ann of { reg : int; ts : int; fp : string }
+      (** the owner declares a write (emitted before the Wreq broadcast,
+          so every derived claim has an earlier justification on stream) *)
+  | Reg_alloc of { reg : int; owner : int; fp : string }
+      (** an emulated register is allocated with this initial value *)
+  | Link_incarnation of { epoch : int }
+      (** an rlink endpoint (re)starts with this incarnation epoch *)
+  | Watchdog_stall of { fid : int; fname : string; op : string; deadline : int }
+      (** liveness diagnosis: [fid]/[fname] missed [op]'s [deadline] —
+          evidence of slowness, never of lying *)
 
 type event = { at : int; pid : int; span : int; kind : kind }
 (** [at] is the logical clock (see {!set_clock}); [pid] the emitting
@@ -61,6 +92,12 @@ type event = { at : int; pid : int; span : int; kind : kind }
     ([0] = no span). *)
 
 type sink = { emit : event -> unit }
+
+val fanout : sink list -> sink
+(** A sink that forwards every event to each of [sinks] in order, so a
+    trace recorder and an online auditor can observe the same run. The
+    combinator is pure composition: the Null fast-path (no sink
+    installed) is untouched and still allocation-free. *)
 
 val install : ?clock:(unit -> int) -> sink -> unit
 (** Install a sink and reset span state. At most one sink is active;

@@ -160,6 +160,55 @@ let add_kind b (k : Obs.kind) =
   | Wal_snapshot { records } -> fld_int b "records" records
   | Wal_recover { records } -> fld_int b "records" records
   | Disk_crash { torn } -> fld_int b "torn" torn
+  | Claim { src; claim; fp } ->
+      fld_int b "src" src;
+      (match claim with
+      | Cl_init { sender; seq } ->
+          fld_str b "claim" "init";
+          fld_int b "sender" sender;
+          fld_int b "seq" seq
+      | Cl_vouch { sender; seq; tag } ->
+          fld_str b "claim" "vouch";
+          fld_str b "tag" tag;
+          fld_int b "sender" sender;
+          fld_int b "seq" seq
+      | Cl_wreq { reg; ts } ->
+          fld_str b "claim" "wreq";
+          fld_int b "reg" reg;
+          fld_int b "ts" ts
+      | Cl_wecho { reg; ts } ->
+          fld_str b "claim" "wecho";
+          fld_int b "reg" reg;
+          fld_int b "ts" ts
+      | Cl_wack { reg; ts } ->
+          fld_str b "claim" "wack";
+          fld_int b "reg" reg;
+          fld_int b "ts" ts
+      | Cl_rrep { reg; rid; ts } ->
+          fld_str b "claim" "rrep";
+          fld_int b "reg" reg;
+          fld_int b "rid" rid;
+          fld_int b "ts" ts
+      | Cl_state { reg; ts } ->
+          fld_str b "claim" "state";
+          fld_int b "reg" reg;
+          fld_int b "ts" ts
+      | Cl_garbage -> fld_str b "claim" "garbage");
+      if fp <> "" then fld_str b "fp" fp
+  | Reg_write_ann { reg; ts; fp } ->
+      fld_int b "reg" reg;
+      fld_int b "ts" ts;
+      fld_str b "fp" fp
+  | Reg_alloc { reg; owner; fp } ->
+      fld_int b "reg" reg;
+      fld_int b "owner" owner;
+      fld_str b "fp" fp
+  | Link_incarnation { epoch } -> fld_int b "epoch" epoch
+  | Watchdog_stall { fid; fname; op; deadline } ->
+      fld_int b "fid" fid;
+      fld_str b "fname" fname;
+      fld_str b "op" op;
+      fld_int b "deadline" deadline
 
 let kind_name (k : Obs.kind) =
   match k with
@@ -184,6 +233,11 @@ let kind_name (k : Obs.kind) =
   | Wal_snapshot _ -> "wal_snapshot"
   | Wal_recover _ -> "wal_recover"
   | Disk_crash _ -> "disk_crash"
+  | Claim _ -> "claim"
+  | Reg_write_ann _ -> "reg_write_ann"
+  | Reg_alloc _ -> "reg_alloc"
+  | Link_incarnation _ -> "link_incarnation"
+  | Watchdog_stall _ -> "watchdog_stall"
 
 let add_event_json b (e : Obs.event) =
   Buffer.add_string b "{\"at\":";

@@ -40,6 +40,27 @@ let stalled t =
   let clock = Sched.clock t.sched in
   List.filter (fun e -> live e && clock > e.wd_deadline) (List.rev t.entries)
 
+(* Publish the current stall diagnosis as typed events, one per stalled
+   entry, each attributed to the stalled fiber's pid. Stalls land in
+   traces as evidence of SLOWNESS — the accountability auditor never
+   turns one into an accusation, which is exactly the paper's asymmetry:
+   a process can be late without lying. Emission is observation-only
+   (no scheduler effects), so runs stay byte-identical under the Null
+   sink. *)
+let emit_stalled t =
+  if Lnd_obs.Obs.enabled () then
+    List.iter
+      (fun e ->
+        Lnd_obs.Obs.emit ~pid:e.wd_fiber.Sched.pid
+          (Lnd_obs.Obs.Watchdog_stall
+             {
+               fid = e.wd_fiber.Sched.fid;
+               fname = e.wd_fiber.Sched.fname;
+               op = e.wd_op;
+               deadline = e.wd_deadline;
+             }))
+      (stalled t)
+
 let pp_entry fmt e =
   Format.fprintf fmt "%s (fiber %s, pid %d, deadline %d)" e.wd_op
     e.wd_fiber.Sched.fname e.wd_fiber.Sched.pid e.wd_deadline

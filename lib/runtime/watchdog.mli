@@ -31,5 +31,12 @@ val stalled : t -> entry list
 (** Entries whose fiber is unfinished past its deadline, in arm order.
     Pure — safe to call every scheduler step. *)
 
+val emit_stalled : t -> unit
+(** Publish the current {!stalled} diagnosis as typed
+    [Lnd_obs.Obs.Watchdog_stall] events (one per stalled entry, tagged
+    with the stalled fiber's pid), so stalls land in recorded traces and
+    an auditor can tell "slow" from "lying". No-op under the Null sink;
+    emission is observation-only and never perturbs the run. *)
+
 val pp_entry : Format.formatter -> entry -> unit
 val pp_stalled : Format.formatter -> entry list -> unit

@@ -1,0 +1,12 @@
+(* Lint fixture: an auditor breaking the contracts lib/audit is held to
+   — unordered iteration over its evidence ledger (accusation order
+   would depend on hash layout), an inline f+1 witness threshold
+   instead of Lnd_support.Quorum, and an accusation printed straight to
+   stdout instead of flowing through the Obs sink. Parsed by the lint
+   tests, never built. *)
+
+let sweep ledger out = Hashtbl.iter (fun pid ev -> out := (pid, ev) :: !out) ledger
+
+let enough_witnesses ~f votes = List.length votes >= f + 1
+
+let publish pid rule = Printf.printf "ACCUSE p%d: %s\n" pid rule

@@ -1,0 +1,153 @@
+(* Minimal strict JSON validator (RFC 8259 grammar, no extensions).
+   The exporters in lib/obs and lib/audit hand-roll their JSON; these
+   tests parse every emitted document from scratch so an escaping or
+   comma bug cannot hide behind "it looked fine". *)
+
+let validate (s : string) : (unit, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "%s at byte %d" msg !pos) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit =
+    let k = String.length lit in
+    if !pos + k <= n && String.sub s !pos k = lit then pos := !pos + k
+    else fail (Printf.sprintf "bad literal (wanted %s)" lit)
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+              advance ();
+              go ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    let digits () =
+      let d = ref 0 in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+            incr d;
+            advance ();
+            go ()
+        | _ -> ()
+      in
+      go ();
+      if !d = 0 then fail "digits expected"
+    in
+    digits ();
+    (match peek () with
+    | Some '.' ->
+        advance ();
+        digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | _ -> fail "value expected"
+  and obj () =
+    expect '{';
+    skip_ws ();
+    match peek () with
+    | Some '}' -> advance ()
+    | _ ->
+        let rec members () =
+          skip_ws ();
+          string_lit ();
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+              advance ();
+              members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected ',' or '}'"
+        in
+        members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    match peek () with
+    | Some ']' -> advance ()
+    | _ ->
+        let rec elements () =
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+              advance ();
+              elements ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements ()
+  in
+  try
+    value ();
+    skip_ws ();
+    if !pos <> n then fail "trailing bytes";
+    Ok ()
+  with Failure msg -> Error msg
+
+let check ~what s =
+  match validate s with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s is not valid JSON: %s" what msg
+
+(* Every line of a JSONL document is itself a JSON value. *)
+let check_jsonl ~what s =
+  List.iteri
+    (fun i line ->
+      if line <> "" then
+        check ~what:(Printf.sprintf "%s line %d" what (i + 1)) line)
+    (String.split_on_char '\n' s)

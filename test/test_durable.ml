@@ -54,6 +54,43 @@ let test_unsynced_torn () =
       (is_prefix got [ "a"; "b"; "c" ] && is_prefix [ "a" ] got)
   done
 
+(* Recovery truncates the torn tail before reuse: records synced by the
+   NEXT incarnation must not hide behind the garbage a torn flush left
+   in the durable file — a second crash would otherwise roll the log
+   back to the tear, silently losing fsynced records (the restarted
+   process's journalled epoch among them: it would reboot as an
+   apparent epoch replayer). *)
+let test_torn_tail_truncated () =
+  for torn_seed = 0 to 19 do
+    let d = Disk.create ~torn_seed () in
+    let w = Wal.create d ~name:"wal" in
+    List.iter (Wal.append w) [ "a"; "b" ];
+    Wal.sync w;
+    (* crash mid-barrier: a corrupt prefix of the pending frame may
+       land behind the synced records *)
+    Disk.arm_crash d ~at_fsync:(Disk.fsync_count d + 1);
+    Wal.append w "lost";
+    (try
+       Wal.sync w;
+       Alcotest.fail "armed fsync crash did not fire"
+     with Disk.Crashed -> ());
+    Disk.disarm d;
+    let r1, w1 = Wal.recover d ~name:"wal" in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: first recovery sees the synced prefix"
+         torn_seed)
+      true
+      (is_prefix r1 [ "a"; "b"; "lost" ] && is_prefix [ "a"; "b" ] r1);
+    Wal.append w1 "epoch";
+    Wal.sync w1;
+    Disk.crash d;
+    let r2, _ = Wal.recover d ~name:"wal" in
+    Alcotest.check recs
+      (Printf.sprintf "seed %d: post-recovery syncs survive a second crash"
+         torn_seed)
+      (r1 @ [ "epoch" ]) r2
+  done
+
 (* The checksum layer rejects bytes the disk happily persisted: raw
    garbage appended (and fsynced!) behind the WAL's back never reaches
    recovery. *)
@@ -170,6 +207,8 @@ let tests =
   [
     Alcotest.test_case "wal round-trip + idempotent recovery" `Quick
       test_roundtrip;
+    Alcotest.test_case "recovery truncates the torn tail" `Quick
+      test_torn_tail_truncated;
     Alcotest.test_case "unsynced tail torn, never corrupt" `Quick
       test_unsynced_torn;
     Alcotest.test_case "checksum rejects raw garbage" `Quick

@@ -71,6 +71,14 @@ let test_swallow () =
     [ ("exception-swallowing", 4) ]
     (lint "bad_swallow.ml")
 
+(* The rules the auditor is held to, all tripped in one fixture:
+   hash-ordered ledger iteration, an inline witness threshold, and an
+   accusation printed past the Obs sink. *)
+let test_audit_fixture () =
+  check "auditor contract violations flagged"
+    [ ("determinism", 8); ("quorum-arithmetic", 10); ("obs-seam", 12) ]
+    (lint "bad_audit.ml")
+
 let test_suppressed_ok () =
   check "justified [@lnd.allow] silences the finding" []
     (lint "suppressed_ok.ml")
@@ -105,6 +113,11 @@ let test_default_ctx () =
   let o = Rules.default_ctx ~path:"lib/fuzz/chaos.ml" in
   Alcotest.(check bool) "chaos.ml: may print (harness, not protocol)" false
     o.Rules.obs;
+  let a = Rules.default_ctx ~path:"lib/audit/audit.ml" in
+  Alcotest.(check bool) "audit: ordered-iteration rule on" true
+    a.Rules.ordered_iter;
+  Alcotest.(check bool) "audit: quorum rule on" true a.Rules.quorum;
+  Alcotest.(check bool) "audit: obs rule on" true a.Rules.obs;
   let b = Rules.default_ctx ~path:"bin/lnd_cli.ml" in
   Alcotest.(check bool) "bin: no .mli demanded" false b.Rules.need_mli;
   Alcotest.(check bool) "bin: no seam rule" false b.Rules.seam;
@@ -136,6 +149,7 @@ let tests =
     Alcotest.test_case "durable-seam fixture" `Quick test_durable;
     Alcotest.test_case "obs-seam fixture" `Quick test_obs;
     Alcotest.test_case "exception-swallowing fixture" `Quick test_swallow;
+    Alcotest.test_case "auditor-contract fixture" `Quick test_audit_fixture;
     Alcotest.test_case "justified suppression lints clean" `Quick
       test_suppressed_ok;
     Alcotest.test_case "bare suppression is flagged" `Quick

@@ -112,6 +112,63 @@ let test_diff () =
   Alcotest.(check bool) "truncation reported" true
     (Trace.diff ~expected:"a\nb\n" ~actual:"a\n" <> None)
 
+let test_diff_edge_cases () =
+  (* two empty traces agree; an empty side diverges at line 0 *)
+  Alcotest.(check (option string)) "both empty" None
+    (Trace.diff ~expected:"" ~actual:"");
+  Alcotest.(check bool) "unexpected first event" true
+    (Trace.diff ~expected:"" ~actual:"a\n" <> None);
+  Alcotest.(check bool) "expected event missing" true
+    (Trace.diff ~expected:"a\n" ~actual:"" <> None);
+  (* byte-unequal but event-equal traces are still flagged, with a
+     message blaming layout rather than a phantom divergent event *)
+  Alcotest.(check bool) "layout-only difference named as such" true
+    (match Trace.diff ~expected:"a\nb\n" ~actual:"a\nb" with
+    | Some msg -> contains ~sub:"whitespace" msg
+    | None -> false)
+
+(* A dangling span closed by [finish] is exported like any other close,
+   flagged aborted, after every live event — so evidence indices into
+   the live stream stay valid line numbers. *)
+let test_aborted_close_exported () =
+  let tr =
+    with_trace (fun _ ->
+        let a = Obs.span_open ~pid:1 ~name:"WRITE" ~arg:"v" () in
+        ignore a;
+        Obs.emit ~pid:2 (Obs.Link_incarnation { epoch = 0 }))
+  in
+  let jsonl = Trace.to_jsonl tr in
+  Jsonchk.check_jsonl ~what:"jsonl with aborted close" jsonl;
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)
+  in
+  Alcotest.(check int) "open + incarnation + synthetic close" 3
+    (List.length lines);
+  let last = List.nth lines 2 in
+  Alcotest.(check bool) "synthetic close is last and aborted" true
+    (contains ~sub:"aborted" last && contains ~sub:"WRITE" last);
+  Alcotest.(check (option string)) "stream stays well-nested" None
+    (Trace.check_nesting (Trace.events tr))
+
+(* ---- exports are real JSON ---- *)
+
+let test_exports_parse () =
+  let _, tr =
+    Chaos.run_traced ~keep:Chaos.compact_keep (Chaos.generate_crash 4)
+  in
+  Jsonchk.check_jsonl ~what:"JSONL export" (Trace.to_jsonl tr);
+  Jsonchk.check ~what:"Chrome trace export" (Trace.to_chrome tr);
+  (* escaping-hostile payloads survive both exporters *)
+  let tr =
+    with_trace (fun _ ->
+        let s =
+          Obs.span_open ~pid:0 ~name:"WRITE" ~arg:"quote\" slash\\ nl\n" ()
+        in
+        Obs.span_close ~pid:0 ~result:"ctrl\x01 done" ~name:"WRITE" s)
+  in
+  Jsonchk.check_jsonl ~what:"hostile JSONL" (Trace.to_jsonl tr);
+  Jsonchk.check ~what:"hostile Chrome trace" (Trace.to_chrome tr)
+
 (* ---- metrics registry ---- *)
 
 let test_metrics_registry () =
@@ -315,6 +372,11 @@ let tests =
       test_nesting_detects_violations;
     Alcotest.test_case "JSONL escaping is exact" `Quick test_json_escaping;
     Alcotest.test_case "trace diff pinpoints divergence" `Quick test_diff;
+    Alcotest.test_case "trace diff edge cases" `Quick test_diff_edge_cases;
+    Alcotest.test_case "aborted close exported after live events" `Quick
+      test_aborted_close_exported;
+    Alcotest.test_case "JSONL and Chrome exports parse as JSON" `Quick
+      test_exports_parse;
     Alcotest.test_case "metrics registry: deterministic dump" `Quick
       test_metrics_registry;
     Alcotest.test_case "golden trace: register links (seed 1)" `Quick
