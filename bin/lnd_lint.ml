@@ -1,11 +1,13 @@
-(* lnd_lint — the protocol-aware static-analysis pass.
+(* lnd_lint — the protocol-aware static-analysis pass (parsetree level).
 
-   Usage: lnd_lint [--json] [--rules] [PATH ...]
+   Usage: lnd_lint [--json] [--sarif FILE] [--rules] [PATH ...]
 
    PATHs (files or directories; default: lib bin bench test) are scanned
    for .ml files, each is parsed and run through every rule in
    Lnd_lint_core.Rules, and the findings are reported one per line
-   (file:line:col: [rule] message) or as a JSON array with --json.
+   (file:line:col: [rule] message), as a JSON array with --json, and as
+   a SARIF 2.1.0 log with --sarif FILE. The typedtree-level companion is
+   bin/lnd_sem.ml; both share this CLI surface (Lnd_lint_core.Cli).
 
    Exit status: 0 = clean, 1 = findings, 2 = usage or I/O error. CI runs
    this as a blocking job, so a finding is a build failure; suppress a
@@ -15,36 +17,17 @@
 
 open Lnd_lint_core
 
-let default_paths = [ "lib"; "bin"; "bench"; "test" ]
-
-let usage () =
-  prerr_endline "usage: lnd_lint [--json] [--rules] [PATH ...]";
-  prerr_endline "  default PATHs: lib bin bench test";
-  exit 2
-
-let print_rules () =
-  List.iter
-    (fun (name, desc) -> Printf.printf "%-22s %s\n" name desc)
-    Rules.catalogue;
-  exit 0
+let tool = "lnd_lint"
+let catalogue = Rules.catalogue
 
 let () =
-  let json = ref false and paths = ref [] in
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--json" -> json := true
-        | "--rules" -> print_rules ()
-        | "--help" | "-h" -> usage ()
-        | p when String.length p > 0 && p.[0] = '-' -> usage ()
-        | p -> paths := p :: !paths)
-    Sys.argv;
-  let paths = match List.rev !paths with [] -> default_paths | ps -> ps in
-  match Driver.lint_paths paths with
+  let opts =
+    Cli.parse ~tool ~accept_build:false
+      ~default_paths:[ "lib"; "bin"; "bench"; "test" ]
+      ~catalogue Sys.argv
+  in
+  match Driver.lint_paths opts.Cli.paths with
   | Error msg ->
-      Printf.eprintf "lnd_lint: %s\n" msg;
+      Printf.eprintf "%s: %s\n" tool msg;
       exit 2
-  | Ok findings ->
-      Findings.report ~json:!json Format.std_formatter findings;
-      exit (if findings = [] then 0 else 1)
+  | Ok findings -> Cli.finish ~tool ~catalogue opts findings

@@ -1,0 +1,32 @@
+(* lnd_sem — the typedtree-level effect & ordering verifier.
+
+   Usage: lnd_sem [--json] [--sarif FILE] [--build DIR] [--rules] [PATH ...]
+
+   Where lnd_lint pattern-matches the parsetree per file, lnd_sem reads
+   the .cmt files a `dune build @check` leaves behind and checks
+   resolved-name, flow-sensitive properties: sync-before-speak
+   (sem-ordering), sign-before-send / verify-before-trust
+   (sem-sign / sem-verify), and [@lnd.pure] effect-freedom (sem-pure).
+
+   PATHs are workspace-relative source prefixes (default: lib); --build
+   names the dune build root holding the cmts (default: _build/default).
+   Same CLI contract as lnd_lint: findings one per line or --json,
+   --sarif writes a SARIF 2.1.0 log, exit 0 = clean, 1 = findings,
+   2 = usage or I/O error. CI runs this blocking; suppress a deliberate
+   violation with [@lnd.allow "rule: justification"]. *)
+
+open Lnd_lint_core
+
+let tool = "lnd_sem"
+let catalogue = Rules.sem_catalogue
+
+let () =
+  let opts =
+    Cli.parse ~tool ~accept_build:true ~default_paths:[ "lib" ] ~catalogue
+      Sys.argv
+  in
+  match Lnd_sem_core.Semdriver.analyze_paths ~build:opts.Cli.build opts.Cli.paths with
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" tool msg;
+      exit 2
+  | Ok findings -> Cli.finish ~tool ~catalogue opts findings

@@ -1,0 +1,80 @@
+(* The CLI surface lnd_lint and lnd_sem share: same flags, same report
+   formats, same exit-status contract, so CI and editors drive both
+   tools identically.
+
+   Flags: [--json] (machine-readable findings on stdout), [--sarif FILE]
+   (additionally write a SARIF 2.1.0 log), [--rules] (print the tool's
+   rule catalogue and exit 0), [--build DIR] (lnd_sem only: the dune
+   build root the .cmt files live under). Exit status: 0 = clean,
+   1 = findings, 2 = usage or I/O error. *)
+
+type opts = {
+  json : bool;
+  sarif : string option;
+  build : string;  (* only surfaced when [accept_build] *)
+  paths : string list;
+}
+
+let usage ~tool ~accept_build ~default_paths () : 'a =
+  Printf.eprintf "usage: %s [--json] [--sarif FILE]%s [--rules] [PATH ...]\n"
+    tool
+    (if accept_build then " [--build DIR]" else "");
+  Printf.eprintf "  default PATHs: %s\n" (String.concat " " default_paths);
+  exit 2
+
+let parse ~tool ~accept_build ~default_paths
+    ~(catalogue : (string * string) list) (argv : string array) : opts =
+  let json = ref false
+  and sarif = ref None
+  and build = ref "_build/default"
+  and paths = ref [] in
+  let usage () = usage ~tool ~accept_build ~default_paths () in
+  let n = Array.length argv in
+  let rec go i =
+    if i < n then
+      match argv.(i) with
+      | "--json" ->
+          json := true;
+          go (i + 1)
+      | "--sarif" when i + 1 < n ->
+          sarif := Some argv.(i + 1);
+          go (i + 2)
+      | "--build" when accept_build && i + 1 < n ->
+          build := argv.(i + 1);
+          go (i + 2)
+      | "--rules" ->
+          List.iter
+            (fun (name, desc) -> Printf.printf "%-22s %s\n" name desc)
+            catalogue;
+          exit 0
+      | "--help" | "-h" -> usage ()
+      | p when String.length p > 0 && p.[0] = '-' -> usage ()
+      | p ->
+          paths := p :: !paths;
+          go (i + 1)
+  in
+  go 1;
+  {
+    json = !json;
+    sarif = !sarif;
+    build = !build;
+    paths = (match List.rev !paths with [] -> default_paths | ps -> ps);
+  }
+
+(* Report, write the SARIF log if requested, exit per contract. *)
+let finish ~tool ~(catalogue : (string * string) list) (o : opts)
+    (findings : Findings.t list) : 'a =
+  (match o.sarif with
+  | None -> ()
+  | Some file -> (
+      let log = Findings.to_sarif ~tool ~rules:catalogue findings in
+      try
+        let oc = open_out_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc log)
+      with Sys_error msg ->
+        Printf.eprintf "%s: %s\n" tool msg;
+        exit 2));
+  Findings.report ~json:o.json Format.std_formatter findings;
+  exit (if findings = [] then 0 else 1)

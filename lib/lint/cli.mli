@@ -1,0 +1,26 @@
+(** The CLI surface [lnd_lint] and [lnd_sem] share: one flag set
+    ([--json], [--sarif FILE], [--rules], and [--build DIR] for the
+    cmt-based tool), one report path, one exit-status contract
+    (0 = clean, 1 = findings, 2 = usage/I-O error). *)
+
+type opts = {
+  json : bool;
+  sarif : string option;  (** write a SARIF 2.1.0 log here too *)
+  build : string;  (** dune build root (default [_build/default]) *)
+  paths : string list;  (** positional paths, defaulted *)
+}
+
+val parse :
+  tool:string ->
+  accept_build:bool ->
+  default_paths:string list ->
+  catalogue:(string * string) list ->
+  string array ->
+  opts
+(** Parse [argv]. Handles [--rules] (prints [catalogue], exits 0) and
+    usage errors (exits 2) itself. *)
+
+val finish :
+  tool:string -> catalogue:(string * string) list -> opts -> Findings.t list -> 'a
+(** Write the SARIF log if requested, print the report, and exit with
+    the contract status. Findings must already be sorted. *)

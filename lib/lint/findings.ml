@@ -36,6 +36,51 @@ let pp_json fmt (f : t) =
     {|{"file":"%s","line":%d,"col":%d,"rule":"%s","message":"%s"}|}
     (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.msg)
 
+(* SARIF 2.1.0, the interchange format code-scanning UIs ingest. One
+   run, one driver, rule metadata from the tool's catalogue, one result
+   per finding. Emitted by hand like pp_json — strict RFC 8259 output,
+   no JSON library dependency (test/jsonchk.ml validates it). *)
+let to_sarif ~(tool : string) ~(rules : (string * string) list)
+    (fs : t list) : string =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  add "  \"version\": \"2.1.0\",\n";
+  add "  \"runs\": [\n";
+  add "    {\n";
+  add "      \"tool\": {\n";
+  add "        \"driver\": {\n";
+  add "          \"name\": \"%s\",\n" (json_escape tool);
+  add "          \"rules\": [";
+  List.iteri
+    (fun i (name, desc) ->
+      add "%s\n            {\"id\": \"%s\", \"shortDescription\": {\"text\": \
+           \"%s\"}}"
+        (if i > 0 then "," else "")
+        (json_escape name) (json_escape desc))
+    rules;
+  add "\n          ]\n";
+  add "        }\n";
+  add "      },\n";
+  add "      \"results\": [";
+  List.iteri
+    (fun i f ->
+      add
+        "%s\n        {\"ruleId\": \"%s\", \"level\": \"error\", \"message\": \
+         {\"text\": \"%s\"}, \"locations\": [{\"physicalLocation\": \
+         {\"artifactLocation\": {\"uri\": \"%s\"}, \"region\": \
+         {\"startLine\": %d, \"startColumn\": %d}}}]}"
+        (if i > 0 then "," else "")
+        (json_escape f.rule) (json_escape f.msg) (json_escape f.file) f.line
+        (f.col + 1))
+    fs;
+  add "\n      ]\n";
+  add "    }\n";
+  add "  ]\n";
+  add "}\n";
+  Buffer.contents b
+
 let report ~json fmt (fs : t list) =
   if json then begin
     Format.fprintf fmt "[";

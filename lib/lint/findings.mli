@@ -19,6 +19,12 @@ val pp_json : Format.formatter -> t -> unit
 (** One JSON object with fields [file], [line], [col], [rule],
     [message]. *)
 
+val to_sarif : tool:string -> rules:(string * string) list -> t list -> string
+(** A complete SARIF 2.1.0 log (one run, [level] "error" results,
+    1-based columns) for code-scanning ingestion. [rules] is the tool's
+    catalogue, embedded as driver rule metadata. Strict RFC 8259
+    output. *)
+
 val report : json:bool -> Format.formatter -> t list -> unit
 (** Print a full (already sorted) report: a JSON array, or one human
     line per finding plus a trailing count. *)

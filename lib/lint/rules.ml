@@ -24,7 +24,7 @@ let catalogue =
   [
     ( "determinism",
       "no Random.*/Sys.time/Unix.gettimeofday outside lib/support/rng.ml; \
-       no unordered Hashtbl.iter/fold in protocol or fuzz code" );
+       no unordered Hashtbl.iter/fold/to_seq* in protocol or fuzz code" );
     ( "quorum-arithmetic",
       "no inline n-f / f+1 / 2*f+1 / 3*f+1 in protocol libraries; \
        thresholds come from Lnd_support.Quorum" );
@@ -48,7 +48,36 @@ let catalogue =
     ("parse-error", "the file must parse (driver-level)");
   ]
 
-let rule_names = List.map fst catalogue
+(* The typedtree-level rules enforced by lnd_sem (lib/sem). They live in
+   the same namespace so [@lnd.allow "sem-...: justification"] passes
+   suppression-hygiene here, and so the two drivers present one combined
+   rule catalogue. *)
+let sem_catalogue =
+  [
+    ( "sem-ordering",
+      "journal, sync, only then speak: on every intraprocedural path, a \
+       Wal.append must reach a Wal.sync/snapshot barrier before any \
+       Transport send exposes the journalled state (interprocedural via \
+       per-function effect summaries)" );
+    ( "sem-sign",
+      "sign before send: a locally fabricated signature-carrying claim \
+       (cert, signature record) may not reach a send or register write \
+       unless Sigoracle.sign was called first on that path; \
+       constructing a signature record outside lib/crypto is always a \
+       finding" );
+    ( "sem-verify",
+      "verify before trust: signature-carrying data obtained from a \
+       register read or transport poll may not flow into register state \
+       or a send unless Sigoracle.verify (or a verify-calling helper) \
+       appears on the path before the sink" );
+    ( "sem-pure",
+      "[@lnd.pure] bodies are effect-free: no mutation of non-local \
+       state, no Effect.perform, no scheduler/Transport/Wal/Obs calls, \
+       no ambient randomness or printing; local callees must be \
+       transitively pure" );
+  ]
+
+let rule_names = List.map fst catalogue @ List.map fst sem_catalogue
 
 (* ---------------- Path classification ---------------- *)
 
@@ -112,7 +141,7 @@ let default_ctx ~path =
 
 type span = { sp_rule : string; sp_start : int; sp_end : int }
 
-let attr_string (attr : attribute) : string option option =
+let allow_payload (attr : attribute) : string option option =
   (* [Some (Some s)] = string payload, [Some None] = malformed payload,
      [None] = not an [@lnd.allow] at all. *)
   if attr.attr_name.txt <> "lnd.allow" then None
@@ -129,6 +158,13 @@ let attr_string (attr : attribute) : string option option =
         ] ->
         Some (Some s)
     | _ -> Some None
+
+let parse_allow (s : string) : string * string =
+  match String.index_opt s ':' with
+  | None -> (String.trim s, "")
+  | Some i ->
+      ( String.trim (String.sub s 0 i),
+        String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
 
 (* ---------------- The per-file pass ---------------- *)
 
@@ -152,20 +188,14 @@ let run (ctx : ctx) ~file ~has_mli (str : structure) : Findings.t list =
   (* Record one [@lnd.allow] and police its shape. [span = None] means a
      floating attribute: the whole file. *)
   let note_allow ~(span : Location.t option) (attr : attribute) =
-    match attr_string attr with
+    match allow_payload attr with
     | None -> ()
     | Some None ->
         add ~loc:attr.attr_loc "suppression-hygiene"
           "[@lnd.allow] payload must be a string literal \
            \"rule: justification\""
     | Some (Some s) ->
-        let rule, justification =
-          match String.index_opt s ':' with
-          | None -> (String.trim s, "")
-          | Some i ->
-              ( String.trim (String.sub s 0 i),
-                String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
-        in
+        let rule, justification = parse_allow s in
         if not (List.mem rule rule_names) then
           add ~loc:attr.attr_loc "suppression-hygiene"
             (Printf.sprintf "[@lnd.allow] names unknown rule %S" rule);
@@ -210,6 +240,14 @@ let run (ctx : ctx) ~file ~has_mli (str : structure) : Findings.t list =
               Lnd_support.Tables.%s_sorted or justify with [@lnd.allow]"
              op
              (if op = "iter" then "iter" else "fold"))
+    | Ldot (Lident "Hashtbl", (("to_seq" | "to_seq_keys" | "to_seq_values") as op))
+      when ctx.ordered_iter ->
+        add ~loc "determinism"
+          (Printf.sprintf
+             "Hashtbl.%s enumerates in unspecified (randomizable) bucket \
+              order, exactly like Hashtbl.iter; sort through \
+              Lnd_support.Tables or justify with [@lnd.allow]"
+             op)
     | (Ldot (Lident "Net", _) | Ldot (Ldot (_, "Net"), _)) when ctx.seam ->
         add ~loc "transport-seam"
           "direct Net access in protocol code; send and receive through \

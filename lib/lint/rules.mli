@@ -7,9 +7,10 @@
     {- [determinism] — no ambient randomness ([Random.*]) or wall-clock
        reads ([Sys.time], [Unix.gettimeofday]) outside the sanctioned
        seeded generator ([lib/support/rng.ml]); no unordered
-       [Hashtbl.iter]/[Hashtbl.fold] in protocol or fuzz code (bucket
-       order is unspecified and randomizable via [OCAMLRUNPARAM=R],
-       which would break seed-replayability).}
+       [Hashtbl.iter]/[Hashtbl.fold]/[Hashtbl.to_seq]/[to_seq_keys]/
+       [to_seq_values] in protocol or fuzz code (bucket order is
+       unspecified and randomizable via [OCAMLRUNPARAM=R], which would
+       break seed-replayability).}
     {- [quorum-arithmetic] — no inline Byzantine threshold formulas
        ([n - f], [2*f + 1], [3*f + 1], [f + 1]) in the protocol
        libraries; they must go through [Lnd_support.Quorum] so each
@@ -54,6 +55,28 @@ type ctx = {
 val catalogue : (string * string) list
 (** [(rule name, one-line description)] — the registry, also rendered by
     the driver's [--rules] flag and quoted in DESIGN.md. *)
+
+val sem_catalogue : (string * string) list
+(** The typedtree-level rules enforced by [lnd_sem] ([lib/sem]):
+    [sem-ordering], [sem-sign], [sem-verify], [sem-pure]. Registered
+    here so their [[\@lnd.allow]] suppressions pass suppression-hygiene
+    and the two drivers share one rule namespace. *)
+
+val rule_names : string list
+(** Every known rule name — [catalogue] plus [sem_catalogue] — the set
+    suppression-hygiene accepts. *)
+
+val allow_payload : Parsetree.attribute -> string option option
+(** Decode one attribute: [None] = not an [[\@lnd.allow]] at all,
+    [Some None] = an [[\@lnd.allow]] with a malformed (non-string)
+    payload, [Some (Some s)] = the payload string. Shared with the
+    typedtree pass, which reads the same attributes off the
+    [Typedtree]. *)
+
+val parse_allow : string -> string * string
+(** Split an [[\@lnd.allow]] payload into (rule, justification) at the
+    first colon; both sides trimmed, empty justification when no colon
+    is present. *)
 
 val default_ctx : path:string -> ctx
 (** The path-derived context used by the driver: protocol directories

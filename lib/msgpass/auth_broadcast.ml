@@ -67,7 +67,7 @@ let create (ep : Transport.t) ~n ~f ~accept_cb : t =
     accept_cb;
   }
 
-let accepted (t : t) ~sender ~value ~seq =
+let[@lnd.pure] accepted (t : t) ~sender ~value ~seq =
   KeySet.mem (sender, value, seq) t.st_accepted
 
 (* Broadcast my next message. *)

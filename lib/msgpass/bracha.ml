@@ -77,7 +77,7 @@ let create (ep : Transport.t) ~n ~f ~deliver_cb : proc =
     deliver_cb;
   }
 
-let delivered (p : proc) ~sender ~seq : Value.t option =
+let[@lnd.pure] delivered (p : proc) ~sender ~seq : Value.t option =
   SlotMap.find_opt (sender, seq) p.delivered
 
 let broadcast (p : proc) (value : Value.t) : int =

@@ -65,7 +65,7 @@ type emsg =
          fibers poll emulated registers continuously, and backlogs grow
          without bound. *)
 
-let rec emsg_equal a b =
+let[@lnd.pure] rec emsg_equal a b =
   match (a, b) with
   | Wreq (r1, t1, v1), Wreq (r2, t2, v2)
   | Wecho (r1, t1, v1), Wecho (r2, t2, v2) ->
@@ -105,7 +105,7 @@ let emsg_key : emsg Univ.key =
 
 (* Value fingerprint used for deterministic tie-breaking and echo-count
    bucketing. *)
-let fp (v : Univ.t) : string = Format.asprintf "%a" Univ.pp v
+let[@lnd.pure] fp (v : Univ.t) : string = Format.asprintf "%a" Univ.pp v
 
 type meta = { owner : int; init : Univ.t }
 
@@ -308,7 +308,15 @@ let rep_send_echo t (r : replica) (ep : Transport.t) reg ts f_ v =
       Hashtbl.replace r.rep_echoes (reg, ts, f_) (v, ref PidSet.empty);
     let pid = ep.Transport.pid in
     if journalling t ~pid then jot t ~pid "H %d %d %s" reg ts (enc_v t v);
-    Transport.broadcast ep (Univ.inj emsg_key (Wecho (reg, ts, v)))
+    (Transport.broadcast ep (Univ.inj emsg_key (Wecho (reg, ts, v)))
+     [@lnd.allow
+       "sem-ordering: the echo's own journal record is deliberately not \
+        synced before the broadcast — acceptance (the \"P\" record) is the \
+        promise this replica must not forget, and rep_note_echo syncs it \
+        before any ack leaves; a crash that loses an unsynced \"H\" only \
+        re-derives and re-broadcasts the echo during recovery, which every \
+        consumer treats idempotently. Syncing here would put one fsync on \
+        every echo path"])
   end
 
 let rep_note_echo t (r : replica) (ep : Transport.t) reg ts f_ v ~from =
@@ -484,7 +492,14 @@ let pump t ~pid =
       plan (Faultnet draws one decision per send, in send order), so \
       sorting this iteration would silently invalidate every recorded \
       fuzz/chaos seed; outbox insertion order is itself deterministic \
-      for a fixed schedule"])
+      for a fixed schedule"]
+   [@lnd.allow
+     "sem-ordering: the outbox carries only read and state-transfer \
+      replies, which expose state already made durable by the acceptance \
+      barrier (rep_note_echo syncs before its ack; recovery syncs before \
+      re-answering); the outstanding-request \"R\" record this flush may \
+      leave unsynced is a retransmission aid whose loss costs one client \
+      retry, never a forgotten promise"])
 
 (* The replica daemon each correct process must run. It is also the
    pid's message pump: blocking client operations on the same pid rely
@@ -658,7 +673,7 @@ let messages_sent t = t.sent
 
 (* ---------------- Crash-recovery: restore and catch-up ---------------- *)
 
-let tail_from record pos = String.sub record pos (String.length record - pos)
+let[@lnd.pure] tail_from record pos = String.sub record pos (String.length record - pos)
 
 let restore_record t ~pid (record : string) : bool =
   let r = replica_state t ~pid in
@@ -838,7 +853,13 @@ let recover_and_serve t ~pid : unit =
         if journalling t ~pid && not (Hashtbl.mem r.rep_echoed (reg, ts, f_))
         then jot t ~pid "H %d %d %s" reg ts (enc_v t v);
         Hashtbl.replace r.rep_echoed (reg, ts, f_) ();
-        Transport.broadcast ep (Univ.inj emsg_key (Wecho (reg, ts, v)))
+        (Transport.broadcast ep (Univ.inj emsg_key (Wecho (reg, ts, v)))
+         [@lnd.allow
+           "sem-ordering: recovery's re-announce is the replay path of \
+            rep_send_echo's deferred-sync echo — the psync below makes \
+            every acceptance durable before any ack leaves, and a crash \
+            during re-announce just re-derives these same echoes on the \
+            next recovery"])
       end;
       if
         Quorum.has_byz_quorum t.q count

@@ -1,0 +1,104 @@
+(* Per-structure tables the analyses share: the top-level function
+   table (the unit of interprocedural summaries), local module aliases,
+   and the [@lnd.allow] suppression spans read off the typedtree. *)
+
+open Typedtree
+
+type fn = {
+  fn_id : Ident.t;
+  fn_name : string;
+  fn_expr : expression;  (* the bound expression, fn layers included *)
+  fn_loc : Location.t;
+  fn_pure : bool;  (* carries [@lnd.pure] *)
+}
+
+let has_pure_attr (attrs : Parsetree.attributes) =
+  List.exists (fun (a : Parsetree.attribute) -> a.attr_name.txt = "lnd.pure") attrs
+
+let alias_target (me : module_expr) : Path.t option =
+  match me.mod_desc with
+  | Tmod_ident (p, _) -> Some p
+  | Tmod_constraint ({ mod_desc = Tmod_ident (p, _); _ }, _, _, _) -> Some p
+  | _ -> None
+
+(* Top-level [let]s and [module X = Path] aliases, in order, so later
+   aliases may resolve through earlier ones. *)
+let collect (str : structure) : Names.aliases * fn list =
+  let aliases = ref [] and fns = ref [] in
+  List.iter
+    (fun (si : structure_item) ->
+      match si.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : value_binding) ->
+              match vb.vb_pat.pat_desc with
+              | Tpat_var (id, _) ->
+                  fns :=
+                    {
+                      fn_id = id;
+                      fn_name = Ident.name id;
+                      fn_expr = vb.vb_expr;
+                      fn_loc = vb.vb_loc;
+                      fn_pure = has_pure_attr vb.vb_attributes;
+                    }
+                    :: !fns
+              | _ -> ())
+            vbs
+      | Tstr_module mb -> (
+          match (mb.mb_id, alias_target mb.mb_expr) with
+          | Some id, Some p ->
+              aliases := (id, Names.flatten !aliases p) :: !aliases
+          | _ -> ())
+      | _ -> ())
+    str.str_items;
+  (!aliases, List.rev !fns)
+
+let find (fns : fn list) (id : Ident.t) : fn option =
+  List.find_opt (fun f -> Ident.same f.fn_id id) fns
+
+(* ---------------- Suppressions ---------------- *)
+
+type allows = {
+  spans : (string * int * int) list;  (* rule, start offset, end offset *)
+  file_rules : string list;  (* floating [@@@lnd.allow] *)
+}
+
+let collect_allows (str : structure) : allows =
+  let spans = ref [] and file_rules = ref [] in
+  let note ~(span : Location.t option) (attr : Parsetree.attribute) =
+    match Lnd_lint_core.Rules.allow_payload attr with
+    | None | Some None -> ()
+    | Some (Some s) -> (
+        let rule, _ = Lnd_lint_core.Rules.parse_allow s in
+        match span with
+        | None -> file_rules := rule :: !file_rules
+        | Some l ->
+            spans :=
+              ( rule,
+                l.Location.loc_start.Lexing.pos_cnum,
+                l.Location.loc_end.Lexing.pos_cnum )
+              :: !spans)
+  in
+  let super = Tast_iterator.default_iterator in
+  let expr it (e : expression) =
+    List.iter (note ~span:(Some e.exp_loc)) e.exp_attributes;
+    super.expr it e
+  in
+  let value_binding it (vb : value_binding) =
+    List.iter (note ~span:(Some vb.vb_loc)) vb.vb_attributes;
+    super.value_binding it vb
+  in
+  let structure_item it (si : structure_item) =
+    (match si.str_desc with
+    | Tstr_attribute attr -> note ~span:None attr
+    | _ -> ());
+    super.structure_item it si
+  in
+  let it = { super with expr; value_binding; structure_item } in
+  it.structure it str;
+  { spans = !spans; file_rules = !file_rules }
+
+let suppressed (a : allows) ~rule (loc : Location.t) : bool =
+  let off = loc.Location.loc_start.Lexing.pos_cnum in
+  List.mem rule a.file_rules
+  || List.exists (fun (r, s, e) -> r = rule && s <= off && off <= e) a.spans

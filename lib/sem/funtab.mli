@@ -1,0 +1,35 @@
+(** Per-structure tables shared by the semantic analyses: the top-level
+    function table (the granularity of interprocedural summaries), the
+    local [module X = Y] alias environment, and [[\@lnd.allow]]
+    suppression spans read off the typedtree. *)
+
+type fn = {
+  fn_id : Ident.t;
+  fn_name : string;
+  fn_expr : Typedtree.expression;
+      (** the bound expression, [fun] layers included *)
+  fn_loc : Location.t;
+  fn_pure : bool;  (** carries [[\@lnd.pure]] *)
+}
+
+val collect : Typedtree.structure -> Names.aliases * fn list
+(** Top-level [let] bindings and module aliases, in source order. *)
+
+val find : fn list -> Ident.t -> fn option
+(** Look a callee up by its (stamped) ident. *)
+
+type allows = {
+  spans : (string * int * int) list;
+      (** (rule, start offset, end offset) *)
+  file_rules : string list;  (** floating [\@\@\@lnd.allow] rules *)
+}
+
+val collect_allows : Typedtree.structure -> allows
+(** Every well-formed [[\@lnd.allow "rule: ..."]] in the tree, keyed by
+    the span of the expression or binding it annotates. Hygiene
+    (unknown rules, missing justifications) is [lnd_lint]'s job — the
+    parsetree pass sees the same attributes. *)
+
+val suppressed : allows -> rule:string -> Location.t -> bool
+(** Whether a finding for [rule] at this location falls inside a
+    suppression span (or a file-wide allow). *)

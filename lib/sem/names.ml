@@ -1,0 +1,133 @@
+(* Resolved-name classification. The whole point of analysing the
+   typedtree instead of the parsetree is that identifiers arrive as
+   [Path.t]s the type checker resolved — `Wal.append` after any chain of
+   `open`s, `module W = Wal` aliases or dune's `Lnd_durable__Wal`
+   mangling normalizes to the same dotted name, so the effect
+   classification below cannot be dodged by renaming the module at the
+   use site. *)
+
+(* Split a dune-mangled component: "Lnd_durable__Wal" -> ["Lnd_durable";
+   "Wal"]. *)
+let split_mangled (s : string) : string list =
+  let n = String.length s in
+  let rec go acc start i =
+    if i + 1 >= n then [ String.sub s start (n - start) ] @ acc |> List.rev
+    else if s.[i] = '_' && s.[i + 1] = '_' then
+      go (String.sub s start (i - start) :: acc) (i + 2) (i + 2)
+    else go acc start (i + 1)
+  in
+  go [] 0 0 |> List.filter (fun c -> c <> "")
+
+(* The toplevel walk records [module X = Some.Path] aliases so a path
+   rooted at a local alias normalizes to the aliased module's name. *)
+type aliases = (Ident.t * string list) list
+
+let rec flatten (aliases : aliases) (p : Path.t) : string list =
+  match p with
+  | Path.Pident id -> (
+      match List.find_opt (fun (a, _) -> Ident.same a id) aliases with
+      | Some (_, target) -> target
+      | None -> split_mangled (Ident.name id))
+  | Path.Pdot (p, s) -> flatten aliases p @ split_mangled s
+  | Path.Papply (p, _) -> flatten aliases p
+  | Path.Pextra_ty (p, _) -> flatten aliases p
+
+let name aliases p = String.concat "." (flatten aliases p)
+
+(* The effect vocabulary of the analyses. Classification keys off the
+   LAST meaningful components of the normalized name, so both
+   [Lnd_durable.Wal.append] and a re-exported [Lnd.Wal.append] hit
+   [Wal_append]. *)
+type kind =
+  | Wal_append  (** journals a record (dirty until a sync barrier) *)
+  | Wal_sync  (** durability barrier: [Wal.sync] / [Wal.snapshot] *)
+  | Send  (** speaks: [Transport.send]/[broadcast], [Net.send] *)
+  | Reg_write  (** writes a shared register: [Sched.write]/[Cell.write] *)
+  | Reg_read  (** reads a shared register / polls the transport *)
+  | Sign  (** [Sigoracle.sign] — issues a signature *)
+  | Verify  (** [Sigoracle.verify] — checks a claim *)
+  | Impure of string  (** anything a [\@lnd.pure] body may not touch *)
+  | Plain  (** no effect the analyses track *)
+
+let last2 (l : string list) =
+  match List.rev l with
+  | x :: y :: _ -> (y, x)
+  | [ x ] -> ("", x)
+  | [] -> ("", "")
+
+let classify (aliases : aliases) (p : Path.t) : kind =
+  let comps = flatten aliases p in
+  match last2 comps with
+  | "Wal", "append" -> Wal_append
+  | "Wal", ("sync" | "snapshot") -> Wal_sync
+  | ("Transport" | "Net"), ("send" | "broadcast") -> Send
+  | ("Sched" | "Cell" | "Register"), "write" -> Reg_write
+  | ("Sched" | "Cell" | "Register"), "read" -> Reg_read
+  | "Transport", "poll_all" -> Reg_read
+  | "Sigoracle", "sign" -> Sign
+  | "Sigoracle", "verify" -> Verify
+  | (("Sched" | "Transport" | "Net" | "Faultnet" | "Rlink" | "Wal" | "Disk"
+     | "Random" | "Unix" | "Space" | "Rng" | "Sigoracle") as m), f ->
+      Impure (m ^ "." ^ f)
+  | "Obs", (("emit" | "span_open" | "span_close" | "set_sink") as f) ->
+      Impure ("Obs." ^ f)
+  | "Sys", f -> Impure ("Sys." ^ f)
+  | "Effect", "perform" -> Impure "Effect.perform"
+  | ("Printf" | "Format"), (("printf" | "eprintf" | "fprintf") as f) ->
+      Impure ("printing via " ^ f)
+  | ( "Hashtbl",
+      (( "add" | "replace" | "remove" | "reset" | "clear"
+       | "filter_map_inplace" ) as f) ) ->
+      Impure ("Hashtbl." ^ f)
+  | ("Array" | "Bytes"), (("set" | "unsafe_set" | "fill" | "blit") as f) -> (
+      match comps with
+      | "Stdlib" :: _ | [ _; _ ] -> Impure ("mutation via " ^ f)
+      | _ -> Plain)
+  | ("Queue" | "Stack"), (("push" | "pop" | "add" | "take" | "clear") as f)
+    ->
+      Impure ("mutation via " ^ f)
+  | _, (("print_string" | "print_endline" | "print_newline" | "print_int"
+        | "print_char" | "print_float" | "prerr_string" | "prerr_endline")
+        as f)
+    when List.length comps <= 2 ->
+      Impure ("printing via " ^ f)
+  | _ -> Plain
+
+(* Allocators whose result a pure function may mutate: mutating state
+   you just created and still own is not an ambient effect. *)
+let is_fresh_allocator (aliases : aliases) (p : Path.t) : bool =
+  match last2 (flatten aliases p) with
+  | _, "ref" -> true
+  | ("Hashtbl" | "Queue" | "Stack" | "Buffer"), "create" -> true
+  | ("Array" | "Bytes"), ("make" | "create" | "init" | "copy") -> true
+  | _ -> false
+
+let is_assign (aliases : aliases) (p : Path.t) : bool =
+  match last2 (flatten aliases p) with _, ":=" -> true | _ -> false
+
+(* -------- signature-carrying types -------- *)
+
+(* Does this type mention the signature oracle's output (directly, or
+   inside a tuple / type-constructor application such as [cert list])?
+   Structural only: abbreviations whose *definition* mentions signatures
+   are matched by their conventional name ("cert"), a documented
+   approximation — the fixtures and lib/sigbase both use transparent
+   cert shapes. *)
+let type_carries_signature (ty : Types.type_expr) : bool =
+  let rec go depth seen ty =
+    if depth > 8 || List.memq ty seen then false
+    else
+      let seen = ty :: seen in
+      match Types.get_desc ty with
+      | Types.Tconstr (p, args, _) ->
+          (match last2 (flatten [] p) with
+          | "Sigoracle", "signature" -> true
+          | _, "cert" -> true
+          | _ -> false)
+          || List.exists (go (depth + 1) seen) args
+      | Types.Ttuple l -> List.exists (go (depth + 1) seen) l
+      | Types.Tarrow (_, a, b, _) ->
+          go (depth + 1) seen a || go (depth + 1) seen b
+      | _ -> false
+  in
+  go 0 [] ty

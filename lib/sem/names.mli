@@ -1,0 +1,45 @@
+(** Resolved-name normalization and effect classification over
+    typedtree [Path.t]s — the vocabulary shared by the three semantic
+    analyses. Names are normalized through dune's [Lib__Module] mangling
+    and through local [module X = Y] aliases, so classification is
+    immune to renaming at the use site. *)
+
+type aliases = (Ident.t * string list) list
+(** Local module aliases, collected by {!Funtab.collect}: resolving a
+    path rooted at the bound ident continues through the alias target. *)
+
+val flatten : aliases -> Path.t -> string list
+(** Normalized dotted components, mangling split and aliases applied:
+    [Lnd_durable__Wal.append] → [["Lnd_durable"; "Wal"; "append"]]. *)
+
+val name : aliases -> Path.t -> string
+
+val last2 : string list -> string * string
+(** Last two components, ["" ] -filled: [["A";"B";"c"]] → [("B","c")]. *)
+
+type kind =
+  | Wal_append  (** journals a record (dirty until a sync barrier) *)
+  | Wal_sync  (** durability barrier: [Wal.sync] / [Wal.snapshot] *)
+  | Send  (** speaks: [Transport.send]/[broadcast], [Net.send] *)
+  | Reg_write  (** writes a shared register: [Sched.write]/[Cell.write] *)
+  | Reg_read  (** reads a shared register / polls the transport *)
+  | Sign  (** [Sigoracle.sign] — issues a signature *)
+  | Verify  (** [Sigoracle.verify] — checks a claim *)
+  | Impure of string  (** anything a [\@lnd.pure] body may not touch *)
+  | Plain  (** no effect the analyses track *)
+
+val classify : aliases -> Path.t -> kind
+(** Effect kind of one resolved identifier, by its last two normalized
+    components. *)
+
+val is_fresh_allocator : aliases -> Path.t -> bool
+(** [ref], [Hashtbl.create], [Array.make], … — allocators whose result
+    a pure function may mutate (it owns the fresh state). *)
+
+val is_assign : aliases -> Path.t -> bool
+(** The [( := )] primitive. *)
+
+val type_carries_signature : Types.type_expr -> bool
+(** Whether a type structurally mentions [Sigoracle.signature] (or a
+    [cert] abbreviation), through tuples and type-constructor
+    arguments. *)

@@ -1,0 +1,323 @@
+(* Analysis 1: "journal, sync, only then speak" as a flow-sensitive
+   dominance check. PR 3 established the discipline dynamically (crash
+   sweeps observe it); this pass proves the intraprocedural shape: on
+   every path, a [Wal.append] must be dominated by a [Wal.sync] (or
+   [Wal.snapshot]) barrier before any [Transport] send can expose the
+   journalled state.
+
+   Abstract domain: the MAY-set of journal statuses {Clean, Dirty} at
+   each program point. [append] maps every status to Dirty, [sync] to
+   Clean, and a send while Dirty is the violation. Branches join,
+   loops run to fixpoint (the 2-bit lattice converges immediately).
+
+   Interprocedural: each top-level function gets a summary — exit
+   statuses and violation flags for a Clean and for a Dirty entry —
+   iterated to fixpoint across the file, so [jot]/[psync]-style local
+   wrappers (lib/msgpass/regemu.ml) are seen through, and calling a
+   function that speaks-before-syncing while the caller's journal is
+   dirty is flagged at the call site.
+
+   Soundness caveats (documented in DESIGN.md §4i): closures are
+   treated as MAY-execute at their definition site; cross-module calls
+   are opaque (assumed effect-free); all appends land in one logical
+   journal per path (true here: one WAL per pid). A send under a
+   justified [@lnd.allow "sem-ordering: ..."] is invisible to the
+   analysis — the justification asserts an external barrier covers
+   it. *)
+
+open Typedtree
+
+type st = { clean : bool; dirty : bool }
+
+let bot = { clean = false; dirty = false }
+let all_clean = { clean = true; dirty = false }
+let all_dirty = { clean = false; dirty = true }
+let join a b = { clean = a.clean || b.clean; dirty = a.dirty || b.dirty }
+let st_eq a b = a.clean = b.clean && a.dirty = b.dirty
+
+type summary = {
+  out_clean : st;
+  out_dirty : st;
+  viol_clean : bool;  (* may speak over dirt of its own making *)
+  viol_dirty : bool;  (* may speak before syncing an inherited dirt *)
+}
+
+let sum_bot =
+  { out_clean = bot; out_dirty = bot; viol_clean = false; viol_dirty = false }
+
+let sum_eq a b =
+  st_eq a.out_clean b.out_clean
+  && st_eq a.out_dirty b.out_dirty
+  && a.viol_clean = b.viol_clean
+  && a.viol_dirty = b.viol_dirty
+
+type env = {
+  aliases : Names.aliases;
+  fns : Funtab.fn list;
+  allows : Funtab.allows;
+  summaries : (Ident.t * summary) list ref;
+  mutable viol : bool;  (* any violation during this run *)
+  report : (Location.t -> string -> unit) option;  (* None = summary run *)
+}
+
+let head_kind (aliases : Names.aliases) (e : expression) : Names.kind =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Names.classify aliases p
+  | Texp_field (_, _, lbl) -> (
+      match Types.get_desc lbl.Types.lbl_res with
+      | Types.Tconstr (p, _, _) -> (
+          match Names.last2 (Names.flatten aliases p) with
+          | "Transport", "t" -> (
+              match lbl.Types.lbl_name with
+              | "send" -> Names.Send
+              | "poll_all" -> Names.Reg_read
+              | _ -> Names.Plain)
+          | _ -> Names.Plain)
+      | _ -> Names.Plain)
+  | _ -> Names.Plain
+
+let summary_of (env : env) (id : Ident.t) : summary option =
+  match Funtab.find env.fns id with
+  | None -> None
+  | Some _ -> (
+      match
+        List.find_opt (fun (i, _) -> Ident.same i id) !(env.summaries)
+      with
+      | Some (_, s) -> Some s
+      | None -> Some sum_bot)
+
+let fire env loc msg =
+  env.viol <- true;
+  match env.report with Some r -> r loc msg | None -> ()
+
+(* One pass over an expression, threading the status MAY-set in
+   (approximate) evaluation order. *)
+let rec walk (env : env) (st : st) (e : expression) : st =
+  match e.exp_desc with
+  | Texp_ident _ | Texp_constant _ | Texp_unreachable | Texp_instvar _
+  | Texp_extension_constructor _ ->
+      st
+  | Texp_let (_, vbs, body) ->
+      let st = List.fold_left (fun s vb -> walk env s vb.vb_expr) st vbs in
+      walk env st body
+  | Texp_function { cases; _ } ->
+      (* a closure defined here MAY run now (conservative) or never *)
+      join st (walk_cases env st cases)
+  | Texp_apply (head, args) ->
+      let st = walk env st head in
+      let st =
+        List.fold_left
+          (fun s (_, a) -> match a with Some a -> walk env s a | None -> s)
+          st args
+      in
+      apply_effect env st head e.exp_loc
+  | Texp_match (scrut, cases, _) ->
+      let st = walk env st scrut in
+      walk_cases env st cases
+  | Texp_ifthenelse (c, t, f) -> (
+      let st = walk env st c in
+      match f with
+      | Some f -> join (walk env st t) (walk env st f)
+      | None -> join st (walk env st t))
+  | Texp_sequence (a, b) -> walk env (walk env st a) b
+  | Texp_while (c, body) ->
+      let rec fix s i =
+        let s' = join s (walk env (walk env s c) body) in
+        if st_eq s s' || i > 3 then s' else fix s' (i + 1)
+      in
+      fix st 0
+  | Texp_for (_, _, lo, hi, _, body) ->
+      let st = walk env (walk env st lo) hi in
+      let rec fix s i =
+        let s' = join s (walk env s body) in
+        if st_eq s s' || i > 3 then s' else fix s' (i + 1)
+      in
+      fix st 0
+  | Texp_try (body, handlers) ->
+      let b = walk env st body in
+      let h0 = join st b in
+      join b (walk_cases env h0 handlers)
+  | Texp_tuple es | Texp_array es ->
+      List.fold_left (walk env) st es
+  | Texp_construct (_, _, es) -> List.fold_left (walk env) st es
+  | Texp_variant (_, e) -> (
+      match e with Some e -> walk env st e | None -> st)
+  | Texp_record { fields; extended_expression; _ } ->
+      let st =
+        match extended_expression with Some e -> walk env st e | None -> st
+      in
+      Array.fold_left
+        (fun s (_, def) ->
+          match def with
+          (* a closure installed in a record field is a seam DEFINITION
+             (Transport.t's record-of-functions idiom: the counting
+             [send] wrapper in regemu's [endpoint]); its body runs when
+             the field is invoked, and the Texp_field classification
+             checks it there — walking it here would flag the seam's
+             own definition on every dirty path through its builder *)
+          | Overridden (_, { exp_desc = Texp_function _; _ }) -> s
+          | Overridden (_, e) -> walk env s e
+          | Kept _ -> s)
+        st fields
+  | Texp_field (e, _, _) -> walk env st e
+  | Texp_setfield (a, _, _, b) -> walk env (walk env st a) b
+  | Texp_assert (e, _) -> walk env st e
+  | Texp_lazy e -> join st (walk env st e)
+  | Texp_open (_, body) -> walk env st body
+  | Texp_letmodule (_, _, _, _, body) -> walk env st body
+  | Texp_letexception (_, body) -> walk env st body
+  | Texp_letop { let_; ands; body; _ } ->
+      let st =
+        List.fold_left
+          (fun s (b : binding_op) -> walk env s b.bop_exp)
+          st (let_ :: ands)
+      in
+      walk_cases env st [ body ]
+  | Texp_send (obj, _) -> walk env st obj
+  | Texp_setinstvar (_, _, _, e) -> walk env st e
+  | Texp_new _ | Texp_object _ | Texp_override _ | Texp_pack _ -> st
+
+and walk_cases : 'k. env -> st -> 'k case list -> st =
+ fun env st cases ->
+  match cases with
+  | [] -> st
+  | _ ->
+      List.fold_left
+        (fun acc c ->
+          let s =
+            match c.c_guard with Some g -> walk env st g | None -> st
+          in
+          join acc (walk env s c.c_rhs))
+        bot cases
+
+(* The effect of an application, given the (already walked) head. *)
+and apply_effect (env : env) (st : st) (head : expression)
+    (loc : Location.t) : st =
+  match head_kind env.aliases head with
+  | Names.Wal_append -> if st.clean || st.dirty then all_dirty else st
+  | Names.Wal_sync -> if st.clean || st.dirty then all_clean else st
+  | Names.Send ->
+      if st.dirty && not (Funtab.suppressed env.allows ~rule:"sem-ordering" loc)
+      then
+        fire env loc
+          "speak while journal dirty: this send is reachable with a \
+           Wal.append not yet covered by Wal.sync — sync before speaking \
+           (\"journal, sync, only then speak\"), or justify the external \
+           barrier with [@lnd.allow \"sem-ordering: ...\"]";
+      st
+  | _ -> (
+      match head.exp_desc with
+      | Texp_ident (Path.Pident id, _, _) -> (
+          match summary_of env id with
+          | None -> st
+          | Some s ->
+              if
+                st.dirty && s.viol_dirty && not s.viol_clean
+                && not
+                     (Funtab.suppressed env.allows ~rule:"sem-ordering" loc)
+              then
+                fire env loc
+                  (Printf.sprintf
+                     "call to `%s` may speak before the caller's pending \
+                      journal records are synced; sync first or justify \
+                      with [@lnd.allow \"sem-ordering: ...\"]"
+                     (Ident.name id));
+              (* Barrier rule: a callee that MAY sync on dirty entry and
+                 cannot itself speak dirty is a sync wrapper — its
+                 non-syncing paths are config-correlated with journalling
+                 being off (regemu's [psync] pattern: [match wal with
+                 Some w -> Wal.sync w | None -> ()] — on the [None] path
+                 nothing was ever appended either). Without this, every
+                 [jot; psync; send] sequence is a false positive. The
+                 dual false-negative class (a sync conditional on
+                 something other than the journal's existence) is
+                 documented in DESIGN.md §4i. *)
+              let from_clean = if st.clean then s.out_clean else bot in
+              let from_dirty =
+                if st.dirty then
+                  if s.out_dirty.clean && not s.viol_dirty then all_clean
+                  else s.out_dirty
+                else bot
+              in
+              let out = join from_clean from_dirty in
+              if st_eq out bot then st else out)
+      | _ -> st)
+
+(* Analyze one top-level function: peel its [fun] layers (they ARE the
+   body here, not a maybe-closure) and walk with the given entry. *)
+let run_fn (env : env) (fn : Funtab.fn) ~(entry : st) : st =
+  let rec peel st (e : expression) =
+    match e.exp_desc with
+    | Texp_function { cases; _ } ->
+        List.fold_left
+          (fun acc c ->
+            let s =
+              match c.c_guard with Some g -> walk env st g | None -> st
+            in
+            join acc (peel s c.c_rhs))
+          bot cases
+    | _ -> walk env st e
+  in
+  peel entry fn.fn_expr
+
+let summarize ~aliases ~fns ~allows : (Ident.t * summary) list ref =
+  let summaries = ref (List.map (fun (f : Funtab.fn) -> (f.fn_id, sum_bot)) fns) in
+  let changed = ref true and rounds = ref 0 in
+  while !changed && !rounds < 10 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (fn : Funtab.fn) ->
+        let env = { aliases; fns; allows; summaries; viol = false; report = None } in
+        let out_clean = run_fn env fn ~entry:all_clean in
+        let viol_clean = env.viol in
+        env.viol <- false;
+        let out_dirty = run_fn env fn ~entry:all_dirty in
+        let viol_dirty = env.viol in
+        let s = { out_clean; out_dirty; viol_clean; viol_dirty } in
+        let old =
+          match
+            List.find_opt (fun (i, _) -> Ident.same i fn.fn_id) !summaries
+          with
+          | Some (_, o) -> o
+          | None -> sum_bot
+        in
+        if not (sum_eq s old) then begin
+          changed := true;
+          summaries :=
+            (fn.fn_id, s)
+            :: List.filter
+                 (fun (i, _) -> not (Ident.same i fn.fn_id))
+                 !summaries
+        end)
+      fns
+  done;
+  summaries
+
+(* Entry point: findings for one file's structure. *)
+let check ~(file : string) (str : structure) : Lnd_lint_core.Findings.t list =
+  let aliases, fns = Funtab.collect str in
+  let allows = Funtab.collect_allows str in
+  let summaries = summarize ~aliases ~fns ~allows in
+  let found = ref [] in
+  List.iter
+    (fun (fn : Funtab.fn) ->
+      let report (loc : Location.t) msg =
+        let p = loc.Location.loc_start in
+        let f =
+          {
+            Lnd_lint_core.Findings.rule = "sem-ordering";
+            file;
+            line = p.Lexing.pos_lnum;
+            col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+            msg = Printf.sprintf "%s (in `%s`)" msg fn.fn_name;
+          }
+        in
+        if not (List.mem f !found) then found := f :: !found
+      in
+      let env =
+        { aliases; fns; allows; summaries; viol = false; report = Some report }
+      in
+      ignore (run_fn env fn ~entry:all_clean))
+    fns;
+  !found

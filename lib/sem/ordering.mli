@@ -1,0 +1,13 @@
+(** Analysis 1 — [sem-ordering]: "journal, sync, only then speak" as a
+    flow-sensitive dominance check over the typedtree. On every
+    intraprocedural path, a [Wal.append] must reach a
+    [Wal.sync]/[Wal.snapshot] barrier before any [Transport] send can
+    expose the journalled state. Interprocedural through per-function
+    effect summaries (Clean/Dirty entry × exit states × violation
+    flags), iterated to fixpoint across the file, so local
+    [jot]/[psync]-style wrappers are seen through and a call that
+    speaks over the caller's dirty journal is flagged at the call
+    site. A send under [[\@lnd.allow "sem-ordering: ..."]] is invisible
+    to the analysis (the justification asserts an external barrier). *)
+
+val check : file:string -> Typedtree.structure -> Lnd_lint_core.Findings.t list

@@ -1,0 +1,101 @@
+(* Cmt discovery + per-file analysis dispatch. Kept CLI-free so the
+   test suite can drive the identical pipeline in-process (mirroring
+   lib/lint/driver.ml).
+
+   The input is the compiler's view: dune's `@check` alias leaves a
+   [.cmt] per implementation under
+   [_build/default/<dir>/.<lib>.objs/byte/], with [cmt_sourcefile]
+   recorded workspace-relative ("lib/msgpass/regemu.ml"). We walk the
+   build root for cmts, keep those whose source falls under a requested
+   path, and run each analysis the file's context enables. *)
+
+type ctx = { ordering : bool; signing : bool; purity : bool }
+
+let all_ctx = { ordering = true; signing = true; purity = true }
+
+let under (source : string) (dir : string) : bool =
+  source = dir
+  || String.length source > String.length dir
+     && String.sub source 0 (String.length dir) = dir
+     && source.[String.length dir] = '/'
+
+(* Which analyses apply where (DESIGN.md §4i):
+   - ordering where the journal and the wire meet: the message-passing
+     emulation and the durability layer themselves;
+   - signing in the signature-based register layers and the emulation
+     that carries their claims. lib/crypto is exempt (it IS the
+     oracle); lib/byz is exempt (adversaries are modelled lying —
+     that is the point of the experiments);
+   - purity everywhere: it only fires on [@lnd.pure] annotations. *)
+let default_ctx ~(source : string) : ctx =
+  {
+    ordering = under source "lib/msgpass" || under source "lib/durable";
+    signing = under source "lib/sigbase" || under source "lib/msgpass";
+    purity = true;
+  }
+
+let analyze_structure (ctx : ctx) ~(file : string)
+    (str : Typedtree.structure) : Lnd_lint_core.Findings.t list =
+  (if ctx.ordering then Ordering.check ~file str else [])
+  @ (if ctx.signing then Signing.check ~file str else [])
+  @ (if ctx.purity then Purity.check ~file str else [])
+  |> List.sort_uniq Lnd_lint_core.Findings.compare
+
+(* ---------------- cmt loading ---------------- *)
+
+let load_cmt (path : string) : (string * Typedtree.structure) option =
+  match Cmt_format.read_cmt path with
+  | {
+   Cmt_format.cmt_annots = Cmt_format.Implementation str;
+   cmt_sourcefile = Some source;
+   _;
+  } ->
+      Some (source, str)
+  | _ -> None
+  | exception _ ->
+      (* unreadable / wrong-magic cmts (stale compiler version, cmti
+         passed by mistake) are skipped, not fatal: the build that
+         produced them is the real gate *)
+      None
+
+let skip_dirs = [ "_build"; ".git"; "fixtures" ]
+
+let rec walk_cmts acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left (fun acc entry -> walk_cmts acc (Filename.concat path entry)) acc
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+let in_skip_dir (source : string) : bool =
+  String.split_on_char '/' source
+  |> List.exists (fun seg -> List.mem seg skip_dirs)
+
+(* Analyze every cmt under [build] whose recorded source lives under one
+   of [paths] (workspace-relative, e.g. ["lib"] or ["lib/msgpass"]).
+   Duplicate cmts for one source (a module built into several stanzas)
+   are analyzed once. *)
+let analyze_paths ~(build : string) (paths : string list) :
+    (Lnd_lint_core.Findings.t list, string) result =
+  if not (Sys.file_exists build && Sys.is_directory build) then
+    Error
+      (Printf.sprintf
+         "no build tree at %s — run `dune build @check` first" build)
+  else
+    let cmts = walk_cmts [] build |> List.sort String.compare in
+    let seen = Hashtbl.create 64 in
+    let findings = ref [] in
+    List.iter
+      (fun cmt ->
+        match load_cmt cmt with
+        | Some (source, str)
+          when List.exists (under source) paths
+               && (not (in_skip_dir source))
+               && not (Hashtbl.mem seen source) ->
+            Hashtbl.add seen source ();
+            findings :=
+              analyze_structure (default_ctx ~source) ~file:source str
+              @ !findings
+        | _ -> ())
+      cmts;
+    Ok (List.sort_uniq Lnd_lint_core.Findings.compare !findings)

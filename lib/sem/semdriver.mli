@@ -1,0 +1,30 @@
+(** Cmt discovery and analysis dispatch — the CLI-free pipeline behind
+    [bin/lnd_sem.ml], driven identically by the test suite. *)
+
+type ctx = { ordering : bool; signing : bool; purity : bool }
+(** Which of the three analyses run on a file. *)
+
+val all_ctx : ctx
+
+val default_ctx : source:string -> ctx
+(** Context from a workspace-relative source path: ordering where the
+    journal meets the wire (lib/msgpass, lib/durable), signature
+    discipline in the signature-carrying layers (lib/sigbase,
+    lib/msgpass — lib/crypto is the oracle, lib/byz models liars),
+    purity everywhere (it only fires on [[\@lnd.pure]]). *)
+
+val analyze_structure :
+  ctx -> file:string -> Typedtree.structure -> Lnd_lint_core.Findings.t list
+(** Run the enabled analyses over one typedtree; sorted, deduplicated. *)
+
+val load_cmt : string -> (string * Typedtree.structure) option
+(** Read one [.cmt]; [Some (source, structure)] for an implementation
+    cmt with a recorded source file, [None] otherwise (including
+    unreadable or wrong-magic files — the build is the real gate). *)
+
+val analyze_paths :
+  build:string -> string list -> (Lnd_lint_core.Findings.t list, string) result
+(** Walk [build] (a dune build root such as [_build/default]) for cmts
+    whose recorded source lives under one of the given
+    workspace-relative paths, and analyze each source once under its
+    {!default_ctx}. [Error] only when [build] does not exist. *)

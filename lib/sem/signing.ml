@@ -1,0 +1,328 @@
+(* Analysis 2: signature discipline as a source→sink taint check.
+
+   The paper's baseline ("you can lie but, with signatures, not deny
+   either") rests on two code disciplines in the signature-based
+   layers: a claim a process emits must have been signed
+   ([Sigoracle.sign]) before it goes on the wire or into a shared
+   register, and a claim received from elsewhere must pass
+   [Sigoracle.verify] before it may influence register state.
+
+   Sources: register reads / transport polls whose result type carries a
+   signature ([Sigoracle.signature] or a [cert] shape). Locally
+   fabricated signature-carrying values (record/constructor/tuple
+   builds, [Sigoracle.forge]) are the other source class.
+   Sinks: [Transport.send]/[broadcast] and register writes
+   ([Sched.write]/[Cell.write]).
+   Sanitizers: an occurrence of [Sigoracle.sign] (blesses fabricated
+   claims) or [Sigoracle.verify] (blesses received claims) on the path
+   before the sink — occurrences seen through local helpers
+   interprocedurally (a call to a helper that may call [verify], e.g.
+   [valid_cert] passed to [List.find_opt], counts).
+
+   Approximations (DESIGN.md §4i): blessing is path-insensitive within
+   a function (an oracle occurrence anywhere earlier in evaluation
+   order blesses later sinks); taint is tracked through [let]-bound
+   variables, not through data structures or across functions;
+   pattern-bound variables are neutral. Direct construction of a
+   [Sigoracle.signature] record outside lib/crypto is always flagged —
+   only the oracle issues signatures. *)
+
+open Typedtree
+
+type origin = Read | Constructed
+
+type env = {
+  aliases : Names.aliases;
+  fns : Funtab.fn list;
+  allows : Funtab.allows;
+  (* may_* summaries per top-level function, fixpointed *)
+  sums : (Ident.t * (bool * bool * bool)) list ref;
+      (* (may_sign, may_verify, may_read) *)
+  mutable seen_sign : bool;
+  mutable seen_oracle : bool;  (* sign OR verify *)
+  mutable taint : (Ident.t * origin) list;
+  mutable found : Lnd_lint_core.Findings.t list;
+  file : string;
+  fn_name : string;
+  collect : bool;  (* false during summary runs: no findings *)
+}
+
+let sum_of env id =
+  match List.find_opt (fun (i, _) -> Ident.same i id) !(env.sums) with
+  | Some (_, s) -> s
+  | None -> (false, false, false)
+
+let is_local_fn env id = Funtab.find env.fns id <> None
+
+(* Occurrence classification of one identifier (applied or not). *)
+let note_occurrence env (p : Path.t) =
+  (match Names.classify env.aliases p with
+  | Names.Sign ->
+      env.seen_sign <- true;
+      env.seen_oracle <- true
+  | Names.Verify -> env.seen_oracle <- true
+  | _ -> ());
+  match p with
+  | Path.Pident id when is_local_fn env id ->
+      let s, v, _ = sum_of env id in
+      if s then begin
+        env.seen_sign <- true;
+        env.seen_oracle <- true
+      end;
+      if v then env.seen_oracle <- true
+  | _ -> ()
+
+let is_forge env (p : Path.t) =
+  match Names.last2 (Names.flatten env.aliases p) with
+  | "Sigoracle", "forge" -> true
+  | _ -> false
+
+(* Does this subtree mention a read source (register read / poll /
+   may_read local helper)? *)
+let contains_read env (e : expression) : bool =
+  let hit = ref false in
+  let super = Tast_iterator.default_iterator in
+  let expr it (e : expression) =
+    (match e.exp_desc with
+    | Texp_ident (p, _, _) -> (
+        (match Names.classify env.aliases p with
+        | Names.Reg_read -> hit := true
+        | _ -> ());
+        match p with
+        | Path.Pident id when is_local_fn env id ->
+            let _, _, r = sum_of env id in
+            if r then hit := true
+        | _ -> ())
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.expr it e;
+  !hit
+
+let contains_sign env (e : expression) : bool =
+  let hit = ref false in
+  let super = Tast_iterator.default_iterator in
+  let expr it (e : expression) =
+    (match e.exp_desc with
+    | Texp_ident (p, _, _) -> (
+        (match Names.classify env.aliases p with
+        | Names.Sign -> hit := true
+        | _ -> ());
+        match p with
+        | Path.Pident id when is_local_fn env id ->
+            let s, _, _ = sum_of env id in
+            if s then hit := true
+        | _ -> ())
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.expr it e;
+  !hit
+
+let sig_typed (e : expression) = Names.type_carries_signature e.exp_type
+
+(* Is this expression a local fabrication of signature-carrying data?
+   (record/constructor/tuple build, or a [Sigoracle.forge] call) *)
+let rec fabricated env (e : expression) : bool =
+  sig_typed e
+  &&
+  match e.exp_desc with
+  | Texp_record _ | Texp_tuple _ -> true
+  | Texp_construct (_, _, args) ->
+      (* a `::`/Some/... build is a fabrication iff a fabricated piece
+         sits inside (a nullary constructor carries no signature data) *)
+      List.exists (fabricated env) args
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) ->
+      is_forge env p
+  | _ -> false
+
+let add_finding env ~rule (loc : Location.t) msg =
+  if env.collect && not (Funtab.suppressed env.allows ~rule loc) then begin
+    let p = loc.Location.loc_start in
+    let f =
+      {
+        Lnd_lint_core.Findings.rule;
+        file = env.file;
+        line = p.Lexing.pos_lnum;
+        col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+        msg = Printf.sprintf "%s (in `%s`)" msg env.fn_name;
+      }
+    in
+    if not (List.mem f env.found) then env.found <- f :: env.found
+  end
+
+(* Check one sink payload under the current blessing state. *)
+let check_payload env (sink : string) (loc : Location.t) (payload : expression)
+    =
+  let tainted_constructed = ref false and tainted_read = ref false in
+  let super = Tast_iterator.default_iterator in
+  let expr it (e : expression) =
+    (match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) -> (
+        match List.find_opt (fun (i, _) -> Ident.same i id) env.taint with
+        | Some (_, Read) -> tainted_read := true
+        | Some (_, Constructed) -> tainted_constructed := true
+        | None -> ())
+    | Texp_record _ | Texp_tuple _ | Texp_construct _ ->
+        if fabricated env e then tainted_constructed := true
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _)
+      when sig_typed e -> (
+        if is_forge env p then tainted_constructed := true
+        else
+          match Names.classify env.aliases p with
+          | Names.Reg_read -> tainted_read := true
+          | _ -> ())
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.expr it payload;
+  if !tainted_constructed && not env.seen_sign then
+    add_finding env ~rule:"sem-sign" loc
+      (Printf.sprintf
+         "unsigned outbound claim: a locally fabricated signature-carrying \
+          value reaches this %s with no Sigoracle.sign on the path; sign \
+          the claim first or justify with [@lnd.allow \"sem-sign: ...\"]"
+         sink);
+  if !tainted_read && not env.seen_oracle then
+    add_finding env ~rule:"sem-verify" loc
+      (Printf.sprintf
+         "unverified inbound claim: signature-carrying data obtained from \
+          a read reaches this %s with no Sigoracle.verify on the path; \
+          verify before trusting, or justify with [@lnd.allow \
+          \"sem-verify: ...\"]"
+         sink)
+
+(* The in-order walk: thread blessing flags and the taint environment
+   through one function body. *)
+let walk_fn env (body : expression) =
+  let super = Tast_iterator.default_iterator in
+  let value_binding (it : Tast_iterator.iterator) (vb : value_binding) =
+    it.expr it vb.vb_expr;
+    match vb.vb_pat.pat_desc with
+    | Tpat_var (id, _) when Names.type_carries_signature vb.vb_pat.pat_type
+      ->
+        if contains_read env vb.vb_expr && not (contains_sign env vb.vb_expr)
+        then env.taint <- (id, Read) :: env.taint
+        else if
+          fabricated env vb.vb_expr && not (contains_sign env vb.vb_expr)
+        then env.taint <- (id, Constructed) :: env.taint
+    | _ -> ()
+  in
+  let expr it (e : expression) =
+    match e.exp_desc with
+    | Texp_ident (p, _, _) -> note_occurrence env p
+    | Texp_record _ when sig_typed e && env.collect -> (
+        (* direct fabrication of the signature type itself *)
+        match Types.get_desc e.exp_type with
+        | Types.Tconstr (p, _, _)
+          when Names.last2 (Names.flatten env.aliases p)
+               = ("Sigoracle", "signature") ->
+            add_finding env ~rule:"sem-sign" e.exp_loc
+              "fabricating a Sigoracle.signature record; only the oracle \
+               issues signatures (Sigoracle.sign) — a hand-built record \
+               is a forgery by construction";
+            super.expr it e
+        | _ -> super.expr it e)
+    | Texp_apply (head, args) ->
+        (* evaluate head + args (occurrences first), then the sink *)
+        it.expr it head;
+        List.iter (fun (_, a) -> Option.iter (it.expr it) a) args;
+        let kind =
+          match head.exp_desc with
+          | Texp_ident (p, _, _) -> Names.classify env.aliases p
+          | Texp_field (_, _, lbl) -> (
+              match Types.get_desc lbl.Types.lbl_res with
+              | Types.Tconstr (p, _, _) -> (
+                  match Names.last2 (Names.flatten env.aliases p) with
+                  | "Transport", "t" when lbl.Types.lbl_name = "send" ->
+                      Names.Send
+                  | _ -> Names.Plain)
+              | _ -> Names.Plain)
+          | _ -> Names.Plain
+        in
+        (match kind with
+        | Names.Send ->
+            List.iter
+              (fun (_, a) ->
+                Option.iter (check_payload env "send" e.exp_loc) a)
+              args
+        | Names.Reg_write ->
+            List.iter
+              (fun (_, a) ->
+                Option.iter (check_payload env "register write" e.exp_loc) a)
+              args
+        | _ -> ())
+    | _ -> super.expr it e
+  in
+  let it = { super with expr; value_binding } in
+  it.expr it body
+
+(* may_sign/may_verify/may_read summaries, to fixpoint. *)
+let summarize env_proto fns =
+  let sums = env_proto.sums in
+  let changed = ref true and rounds = ref 0 in
+  while !changed && !rounds < 10 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (fn : Funtab.fn) ->
+        let env =
+          { env_proto with seen_sign = false; seen_oracle = false }
+        in
+        env.taint <- [];
+        walk_fn env fn.fn_expr;
+        let may_read = contains_read env fn.fn_expr in
+        let s = (env.seen_sign, env.seen_oracle, may_read) in
+        let old = sum_of env fn.fn_id in
+        if s <> old then begin
+          changed := true;
+          sums :=
+            (fn.fn_id, s)
+            :: List.filter
+                 (fun (i, _) -> not (Ident.same i fn.fn_id))
+                 !sums
+        end)
+      fns
+  done
+
+let check ~(file : string) (str : structure) : Lnd_lint_core.Findings.t list
+    =
+  let aliases, fns = Funtab.collect str in
+  let allows = Funtab.collect_allows str in
+  let proto =
+    {
+      aliases;
+      fns;
+      allows;
+      sums = ref [];
+      seen_sign = false;
+      seen_oracle = false;
+      taint = [];
+      found = [];
+      file;
+      fn_name = "";
+      collect = false;
+    }
+  in
+  summarize proto fns;
+  let found = ref [] in
+  List.iter
+    (fun (fn : Funtab.fn) ->
+      let env =
+        {
+          proto with
+          seen_sign = false;
+          seen_oracle = false;
+          taint = [];
+          found = [];
+          fn_name = fn.fn_name;
+          collect = true;
+        }
+      in
+      walk_fn env fn.fn_expr;
+      found := env.found @ !found)
+    fns;
+  !found

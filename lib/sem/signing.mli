@@ -1,0 +1,12 @@
+(** Analysis 2 — [sem-sign] / [sem-verify]: signature discipline as a
+    taint-style source→sink check. A locally fabricated
+    signature-carrying claim (record/tuple/constructor build,
+    [Sigoracle.forge]) may not reach a send or register write without
+    [Sigoracle.sign] on the path ([sem-sign]); signature-carrying data
+    obtained from a register read or transport poll may not flow into a
+    sink without [Sigoracle.verify] — seen interprocedurally through
+    verify-calling helpers — on the path ([sem-verify]). Hand-building
+    a [Sigoracle.signature] record is flagged unconditionally: only the
+    oracle issues signatures. *)
+
+val check : file:string -> Typedtree.structure -> Lnd_lint_core.Findings.t list

@@ -18,7 +18,7 @@ module Obs = Lnd_obs.Obs
 
 type config = { n : int; f : int }
 
-let check_config { n; f } =
+let[@lnd.pure] check_config { n; f } =
   if f < 0 || n < 2 then invalid_arg "Sticky: need n >= 2, f >= 0"
 
 type regs = {
@@ -81,14 +81,14 @@ let read_stamped reg =
 let read_counter reg = Univ.prj_default Codecs.counter ~default:0 (Cell.read reg)
 
 (* Count, over an array of optional values, how many equal [v]. *)
-let count_eq (arr : Value.t option array) (v : Value.t) : int =
+let[@lnd.pure] count_eq (arr : Value.t option array) (v : Value.t) : int =
   Array.fold_left
     (fun acc u -> match u with Some x when Value.equal x v -> acc + 1 | _ -> acc)
     0 arr
 
 (* The (unique, per Lemma 98-style counting) value reaching [threshold]
    copies in [arr], if any. *)
-let value_with_quorum (arr : Value.t option array) ~threshold : Value.t option =
+let[@lnd.pure] value_with_quorum (arr : Value.t option array) ~threshold : Value.t option =
   let found = ref None in
   Array.iter
     (fun u ->

@@ -20,7 +20,7 @@ module Obs = Lnd_obs.Obs
 
 type config = { n : int; f : int }
 
-let check_config { n; f } =
+let[@lnd.pure] check_config { n; f } =
   if f < 0 || n < 2 then invalid_arg "Verifiable: need n >= 2, f >= 0"
 
 (* [alloc] does not insist on n > 3f: the optimality experiments of

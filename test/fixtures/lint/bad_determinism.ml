@@ -5,3 +5,6 @@ let roll () = Random.int 6
 
 let drain tbl acc =
   Hashtbl.iter (fun k v -> acc := (k, v) :: !acc) tbl
+
+(* to_seq is iteration in disguise: same unspecified bucket order. *)
+let spill tbl = List.of_seq (Hashtbl.to_seq tbl)

@@ -1,0 +1,41 @@
+(* Sem fixture: seeded sync-before-speak violations. Compiled for its
+   cmt, never run. *)
+
+module Wal = Lnd_durable.Wal
+module Transport = Lnd_msgpass.Transport
+
+(* VIOLATION: journal then speak, no sync barrier. *)
+let leak_unsynced w (ep : Transport.t) u =
+  Wal.append w "promise";
+  ep.Transport.send ~dst:0 u
+
+(* ok: journal, sync, only then speak. *)
+let disciplined w ep u =
+  Wal.append w "promise";
+  Wal.sync w;
+  Transport.broadcast ep u
+
+(* Speaking on a clean journal is fine in itself... *)
+let speak ep u = Transport.broadcast ep u
+
+(* VIOLATION (interprocedural, flagged at the call site): the helper
+   speaks over this caller's dirty journal. *)
+let leak_via_helper w ep u =
+  Wal.append w "promise";
+  speak ep u
+
+(* VIOLATION (path-sensitive): only one branch syncs, the send is still
+   reachable with the journal dirty. *)
+let leak_one_branch w (ep : Transport.t) u ~hurry =
+  Wal.append w "promise";
+  if not hurry then Wal.sync w;
+  ep.Transport.send ~dst:1 u
+
+(* suppressed: the deliberate deferred-barrier pattern round-trips
+   through [@lnd.allow "sem-ordering: ..."]. *)
+let deferred_barrier w (ep : Transport.t) u =
+  Wal.append w "echo";
+  (ep.Transport.send ~dst:2 u
+  [@lnd.allow
+    "sem-ordering: fixture replica of the deferred-ack barrier pattern \
+     — recovery re-derives and re-sends this message"])

@@ -1,0 +1,38 @@
+(* Sem fixture: seeded [@lnd.pure] violations. Compiled for its cmt,
+   never run. *)
+
+module Wal = Lnd_durable.Wal
+module Transport = Lnd_msgpass.Transport
+module Sched = Lnd_runtime.Sched
+
+(* Non-local state: mutating it from a pure core is the violation. *)
+let hits : (string, int) Hashtbl.t = Hashtbl.create 8
+
+(* VIOLATION: mutates a table the function did not allocate. *)
+let[@lnd.pure] tally k = Hashtbl.replace hits k 1
+
+(* VIOLATION: a pure core may not touch the transport. *)
+let[@lnd.pure] leak_send ep u = Transport.broadcast ep u
+
+(* VIOLATION: calling the scheduler is the driver's job. *)
+let[@lnd.pure] impatient () = Sched.yield ()
+
+(* An effectful helper a pure core must not launder through. *)
+let log_effect w = Wal.append w "x"
+
+(* VIOLATION (transitive): the effect hides one call deep. *)
+let[@lnd.pure] launder w = log_effect w
+
+(* ok: mutating state the function allocated itself is effect-free. *)
+let[@lnd.pure] sum_fresh l =
+  let acc = ref 0 in
+  List.iter (fun x -> acc := !acc + x) l;
+  !acc
+
+(* suppressed: a justified exception round-trips. *)
+let[@lnd.pure] memoized cache n =
+  (Hashtbl.replace cache n n
+  [@lnd.allow
+    "sem-pure: fixture replica of a justified memo-table write — the \
+     cache is observationally pure"]);
+  n

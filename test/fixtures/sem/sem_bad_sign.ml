@@ -1,0 +1,29 @@
+(* Sem fixture: seeded sign-before-send violations. Compiled for its
+   cmt, never run. *)
+
+module Sigoracle = Lnd_crypto.Sigoracle
+module Transport = Lnd_msgpass.Transport
+open Lnd_support
+
+type cert = { value : string; who : int; proof : Sigoracle.signature }
+
+let cert_key : cert Univ.key =
+  Univ.key ~name:"sem_bad_sign.cert"
+    ~pp:(fun fmt c -> Format.fprintf fmt "cert(%s,p%d)" c.value c.who)
+    ~equal:(fun a b -> a.value = b.value && a.who = b.who)
+
+(* VIOLATION: a locally fabricated claim goes on the wire unsigned. *)
+let brag (ep : Transport.t) =
+  let c = { value = "lie"; who = 9; proof = Sigoracle.forge ~signer:9 ~msg:"lie" } in
+  Transport.broadcast ep (Univ.inj cert_key c)
+
+(* VIOLATION: hand-building the oracle's signature record is a forgery
+   by construction, sink or no sink. *)
+let conjure () : Sigoracle.signature =
+  { Sigoracle.token = 0; sig_signer = 1; sig_msg = "m" }
+
+(* ok: the claim is signed before it leaves. *)
+let honest (oracle : Sigoracle.t) (ep : Transport.t) ~pid msg =
+  let proof = Sigoracle.sign oracle ~by:pid msg in
+  let c = { value = msg; who = pid; proof } in
+  Transport.broadcast ep (Univ.inj cert_key c)

@@ -1,0 +1,37 @@
+(* Sem fixture: seeded verify-before-trust violations. Compiled for its
+   cmt, never run. *)
+
+module Sigoracle = Lnd_crypto.Sigoracle
+module Cell = Lnd_runtime.Cell
+open Lnd_support
+
+type cert = { value : string; who : int; proof : Sigoracle.signature }
+
+let cert_key : cert Univ.key =
+  Univ.key ~name:"sem_bad_verify.cert"
+    ~pp:(fun fmt c -> Format.fprintf fmt "cert(%s,p%d)" c.value c.who)
+    ~equal:(fun a b -> a.value = b.value && a.who = b.who)
+
+let nocert =
+  { value = ""; who = -1; proof = Sigoracle.forge ~signer:(-1) ~msg:"" }
+
+(* VIOLATION: a claim read from a shared register influences register
+   state with no verification on the path. *)
+let parrot (reg : Cell.t) (out : Cell.t) =
+  let c = Univ.prj_default cert_key ~default:nocert (Cell.read reg) in
+  Cell.write out (Univ.inj cert_key c)
+
+(* ok: verified before trusted. *)
+let skeptic (oracle : Sigoracle.t) (reg : Cell.t) (out : Cell.t) =
+  let c = Univ.prj_default cert_key ~default:nocert (Cell.read reg) in
+  if Sigoracle.verify oracle ~signer:c.who ~msg:c.value c.proof then
+    Cell.write out (Univ.inj cert_key c)
+
+(* ok (interprocedural): the verify happens inside a local helper, seen
+   through its may-verify summary. *)
+let valid (oracle : Sigoracle.t) (c : cert) =
+  Sigoracle.verify oracle ~signer:c.who ~msg:c.value c.proof
+
+let careful (oracle : Sigoracle.t) (reg : Cell.t) (out : Cell.t) =
+  let c = Univ.prj_default cert_key ~default:nocert (Cell.read reg) in
+  if valid oracle c then Cell.write out (Univ.inj cert_key c)

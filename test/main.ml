@@ -32,5 +32,6 @@ let () =
       ("composition", Test_composition.tests);
       ("policies", Test_policies.tests);
       ("lint", Test_lint.tests);
+      ("sem", Test_sem.tests);
       ("properties", Test_properties.tests);
     ]

@@ -33,7 +33,7 @@ let check name expected got =
 
 let test_determinism () =
   check "randomness + unordered iteration flagged"
-    [ ("determinism", 4); ("determinism", 7) ]
+    [ ("determinism", 4); ("determinism", 7); ("determinism", 10) ]
     (lint "bad_determinism.ml")
 
 let test_quorum () =
