@@ -1015,6 +1015,89 @@ let table_t14 () =
   close_out oc;
   pf "(machine-readable copy written to BENCH_T14.json)\n"
 
+let table_t15 () =
+  header
+    "T15 Model checking (lib/runtime Explore + lib/fuzz Mcheck): DPOR with\n\
+    \    sleep sets and park-on-yield vs the naive DFS baseline, on the\n\
+    \    paper's smallest configurations (n = 4, f = 1, one scripted\n\
+    \    colluder). DPOR exhausts the bounded space (preemption bound 0);\n\
+    \    the naive DFS blows the same schedule budget without finishing,\n\
+    \    so its reduction factor is a lower bound";
+  let module M = Lnd_fuzz.Mcheck in
+  let module E = Lnd_runtime.Explore in
+  let max_steps = 600 in
+  (* Explore one config, accumulating register accesses across runs via
+     the Space observer (instance.last_accesses is per-run). *)
+  let measure cfg ~mode ~max_runs =
+    let i = M.instance cfg in
+    let total = ref 0 in
+    let make p =
+      total := !total + i.M.last_accesses ();
+      i.M.make p
+    in
+    let r =
+      Fun.protect ~finally:i.M.teardown (fun () ->
+          match mode with
+          | `Dpor ->
+              E.dpor ~make ~check:i.M.check ~max_steps ~max_runs
+                ~max_preempts:0 ~note:(M.note cfg) ()
+          | `Naive ->
+              E.exhaustive ~make ~check:i.M.check ~max_steps ~max_runs
+                ~note:(M.note cfg) ())
+    in
+    total := !total + i.M.last_accesses ();
+    (r, !total)
+  in
+  let configs =
+    [
+      ("sticky n=4 f=1", M.default, 10_000);
+      ( "verifiable n=4 f=1",
+        { M.default with M.model = M.Verifiable; reads = 2 },
+        30_000 );
+      ("test-or-set n=4 f=1", { M.default with M.model = M.Testorset }, 10_000);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, cfg, naive_budget) ->
+        let nv, nv_acc = measure cfg ~mode:`Naive ~max_runs:naive_budget in
+        let dp, dp_acc = measure cfg ~mode:`Dpor ~max_runs:naive_budget in
+        let nv_scheds = nv.E.runs + nv.E.pruned in
+        let dp_scheds = dp.E.runs + dp.E.pruned + dp.E.blocked in
+        (label, nv, nv_scheds, nv_acc, dp, dp_scheds, dp_acc))
+      configs
+  in
+  pf "%-20s | %9s %5s | %9s %5s %7s | %7s\n" "config" "dfs runs" "exh"
+    "dpor run" "exh" "races" "reduct";
+  List.iter
+    (fun (label, nv, nv_scheds, _, dp, dp_scheds, _) ->
+      pf "%-20s | %9d %5b | %9d %5b %7d | >=%4.0fx\n" label nv_scheds
+        nv.E.exhausted dp_scheds dp.E.exhausted dp.E.races
+        (float_of_int nv_scheds /. float_of_int dp_scheds))
+    rows;
+  let oc = open_out "BENCH_T15.json" in
+  let j = Printf.fprintf in
+  j oc "{\n  \"table\": \"T15\",\n  \"max_steps\": %d,\n  \"configs\": [\n"
+    max_steps;
+  List.iteri
+    (fun i (label, nv, nv_scheds, nv_acc, dp, dp_scheds, dp_acc) ->
+      j oc
+        "    {\"config\": %S,\n\
+        \     \"naive\": {\"schedules\": %d, \"runs\": %d, \"exhausted\": %b, \
+         \"accesses\": %d},\n\
+        \     \"dpor\": {\"schedules\": %d, \"runs\": %d, \"blocked\": %d, \
+         \"races\": %d, \"exhausted\": %b, \"accesses\": %d, \
+         \"max_depth\": %d},\n\
+        \     \"reduction_at_least\": %.1f}%s\n"
+        label nv_scheds nv.E.runs nv.E.exhausted nv_acc dp_scheds dp.E.runs
+        dp.E.blocked dp.E.races dp.E.exhausted dp_acc dp.E.max_depth
+        (float_of_int nv_scheds /. float_of_int dp_scheds)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  j oc "  ]\n}\n";
+  close_out oc;
+  pf "(machine-readable copy written to BENCH_T15.json)\n"
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks                                *)
 (* ------------------------------------------------------------------ *)
@@ -1133,6 +1216,10 @@ let () =
     table_t14 ();
     exit 0
   end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "t15" then begin
+    table_t15 ();
+    exit 0
+  end;
   pf
     "lie_not_deny benchmark harness — experiment tables for the PODC'25 \
      paper\n\
@@ -1153,5 +1240,6 @@ let () =
   table_t12 ();
   table_t13 ();
   table_t14 ();
+  table_t15 ();
   bench_wallclock ();
   pf "\nAll tables regenerated.\n"

@@ -559,6 +559,190 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Print operation-cost rows across system sizes")
     Term.(const sweep_cmd_run $ register)
 
+(* ---------------- explore / synth / scenario ---------------- *)
+
+let model_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("sticky", Mcheck.Sticky);
+             ("verifiable", Mcheck.Verifiable);
+             ("testorset", Mcheck.Testorset);
+           ])
+        Mcheck.Sticky
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:"Register model: sticky, verifiable or testorset.")
+
+let save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~docv:"FILE"
+        ~doc:"Serialise a found violation as an lnd-scenario file.")
+
+let save_scenario cfg cx = function
+  | None -> ()
+  | Some path ->
+      let name = Filename.remove_extension (Filename.basename path) in
+      Scenario.save path (Scenario.of_violation ~name cfg cx);
+      pr "scenario saved to %s\n" path
+
+let explore_cmd_run model weakened mode max_steps max_runs preempts strict save
+    =
+  let cfg =
+    if weakened then Mcheck.weakened
+    else { Mcheck.default with Mcheck.model }
+  in
+  pr "exploring %s (mode=%s preempts=%d max-steps=%d)\n" (Mcheck.note cfg)
+    (match mode with `Dpor -> "dpor" | `Naive -> "naive")
+    preempts max_steps;
+  match
+    Mcheck.explore ~mode ~max_steps ~max_runs ~max_preempts:preempts cfg
+  with
+  | r ->
+      pr "runs=%d pruned=%d blocked=%d races=%d exhausted=%b max-depth=%d\n"
+        r.Explore.runs r.Explore.pruned r.Explore.blocked r.Explore.races
+        r.Explore.exhausted r.Explore.max_depth;
+      if strict && not r.Explore.exhausted then exit 2
+  | exception Explore.Violation cx ->
+      pr "%s\n" (Format.asprintf "%a" Explore.pp_counterexample cx);
+      save_scenario cfg cx save;
+      exit 3
+
+let explore_cmd =
+  let weakened =
+    Arg.(
+      value & flag
+      & info [ "weakened" ]
+          ~doc:
+            "Explore the deliberately weakened configuration (two actual \
+             colluders against f=1 quorums) instead of the clean default.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("dpor", `Dpor); ("naive", `Naive) ]) `Dpor
+      & info [ "mode" ] ~docv:"MODE" ~doc:"dpor or naive (baseline DFS).")
+  in
+  let max_steps =
+    Arg.(
+      value & opt int 600
+      & info [ "max-steps" ] ~docv:"STEPS" ~doc:"Per-run step budget.")
+  in
+  let max_runs =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-runs" ] ~docv:"RUNS" ~doc:"Total schedule budget.")
+  in
+  let preempts =
+    Arg.(
+      value & opt int 0
+      & info [ "preempts" ] ~docv:"P"
+          ~doc:"CHESS-style preemption bound (involuntary switches per run).")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit non-zero unless the bounded space was exhausted.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Model-check a paper configuration: DPOR over every schedule of \
+          at most STEPS steps and P preemptions, checking monitors, \
+          stickiness, Byzantine linearizability and blame soundness at \
+          quiescence")
+    Term.(
+      const explore_cmd_run $ model_arg $ weakened $ mode $ max_steps
+      $ max_runs $ preempts $ strict $ save_arg)
+
+let synth_cmd_run seed rounds batch scname from_honest save =
+  let base =
+    if from_honest then
+      { Mcheck.weakened with Mcheck.scripts = [ (2, [ 2; 2 ]); (3, [ 2; 2 ]) ] }
+    else Mcheck.weakened
+  in
+  pr "synthesising against %s\n" (Mcheck.note base);
+  let o = Synth.hillclimb ~rounds ~batch ~seed ~name:scname base in
+  pr "evals=%d rounds=%d best-fitness=%d\n" o.Synth.evals o.Synth.rounds_used
+    o.Synth.best_fitness;
+  match o.Synth.found with
+  | None ->
+      pr "no violating adversary found\n";
+      exit 1
+  | Some sc ->
+      pr "violating scenario:\n%s" (Scenario.to_string sc);
+      (match save with
+      | None -> ()
+      | Some path ->
+          Scenario.save path sc;
+          pr "scenario saved to %s\n" path)
+
+let synth_cmd =
+  let rounds =
+    Arg.(
+      value & opt int 50
+      & info [ "rounds" ] ~docv:"R" ~doc:"Hill-climbing rounds.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 6
+      & info [ "batch" ] ~docv:"B" ~doc:"Schedule seeds per candidate.")
+  in
+  let scname =
+    Arg.(
+      value & opt string "synthesised"
+      & info [ "name" ] ~docv:"NAME" ~doc:"Name of the emitted scenario.")
+  in
+  let from_honest =
+    Arg.(
+      value & flag
+      & info [ "from-honest" ]
+          ~doc:
+            "Start from all-honest scripts, so the search must mutate the \
+             adversary itself (not just the schedule) to violate.")
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "Search the joint schedule × Byzantine-script space of the \
+          weakened configuration for a property violation, and serialise \
+          it as a replayable scenario")
+    Term.(
+      const synth_cmd_run $ seed_arg $ rounds $ batch $ scname $ from_honest
+      $ save_arg)
+
+let scenario_cmd_run files =
+  let failed = ref 0 in
+  List.iter
+    (fun file ->
+      match Scenario.load file with
+      | Error e ->
+          incr failed;
+          pr "%-40s PARSE ERROR %s\n" file e
+      | Ok sc -> (
+          match Scenario.run sc with
+          | Ok () -> pr "%-40s OK (%s)\n" file sc.Scenario.sc_name
+          | Error e ->
+              incr failed;
+              pr "%-40s FAIL %s\n" file e))
+    files;
+  if !failed > 0 then exit 1
+
+let scenario_cmd =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:
+         "Re-execute serialised lnd-scenario files and check each still \
+          meets its recorded expectation (violation or pass)")
+    Term.(const scenario_cmd_run $ files)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -570,5 +754,6 @@ let () =
                 with Byzantine processes (Hu & Toueg, PODC 2025)")
           [
             verify_cmd; sticky_cmd; impossibility_cmd; sweep_cmd; fuzz_cmd;
-            chaos_cmd; trace_cmd; audit_cmd;
+            chaos_cmd; trace_cmd; audit_cmd; explore_cmd; synth_cmd;
+            scenario_cmd;
           ]))

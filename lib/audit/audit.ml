@@ -529,7 +529,8 @@ let observe t (e : Obs.event) =
     | Obs.Link_deliver _ | Obs.Link_dedup _ | Obs.Link_stale _
     | Obs.Link_epoch _ | Obs.Reg_round _ | Obs.Reg_reply _ | Obs.Reg_quorum _
     | Obs.Wal_append _ | Obs.Wal_sync _ | Obs.Wal_snapshot _
-    | Obs.Wal_recover _ | Obs.Disk_crash _ ->
+    | Obs.Wal_recover _ | Obs.Disk_crash _ | Obs.Explore_run _
+    | Obs.Explore_stats _ ->
         ()
   end
 

@@ -62,3 +62,9 @@ module Trace_replay = Lnd_history.Trace_replay
 
 (* Accountability: forensic Byzantine blame attribution *)
 module Audit = Lnd_audit.Audit
+
+(* Model checking & adversary synthesis *)
+module Byz_script = Lnd_byz.Byz_script
+module Mcheck = Lnd_fuzz.Mcheck
+module Scenario = Lnd_fuzz.Scenario
+module Synth = Lnd_fuzz.Synth

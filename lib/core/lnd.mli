@@ -82,3 +82,10 @@ module Trace_replay = Lnd_history.Trace_replay
 (** {1 Accountability: forensic Byzantine blame attribution} *)
 
 module Audit = Lnd_audit.Audit
+
+(** {1 Model checking & adversary synthesis} *)
+
+module Byz_script = Lnd_byz.Byz_script
+module Mcheck = Lnd_fuzz.Mcheck
+module Scenario = Lnd_fuzz.Scenario
+module Synth = Lnd_fuzz.Synth

@@ -24,7 +24,9 @@ let catalogue =
   [
     ( "determinism",
       "no Random.*/Sys.time/Unix.gettimeofday outside lib/support/rng.ml; \
-       no unordered Hashtbl.iter/fold/to_seq* in protocol or fuzz code" );
+       no unordered Hashtbl.iter/fold/to_seq* in protocol, fuzz or \
+       runtime code (the scheduler and the Explore model checker replay \
+       schedules step-for-step; bucket order would diverge them)" );
     ( "quorum-arithmetic",
       "no inline n-f / f+1 / 2*f+1 / 3*f+1 in protocol libraries; \
        thresholds come from Lnd_support.Quorum" );
@@ -103,6 +105,13 @@ let protocol_dirs =
     "lib/audit";
   ]
 
+(* The determinism rule's unordered-iteration arm additionally covers
+   the runtime: Sched replays recorded fiber trails and Explore proves
+   schedule-space exhaustion by replaying prefixes step-for-step, so an
+   unspecified (and randomizable) Hashtbl bucket order anywhere in that
+   machinery silently breaks counterexample replay. *)
+let ordered_iter_dirs = "lib/runtime" :: protocol_dirs
+
 let quorum_dirs =
   [ "lib/sticky"; "lib/verifiable"; "lib/msgpass"; "lib/audit" ]
 
@@ -127,7 +136,7 @@ let default_ctx ~path =
   in
   {
     rng_free = not (String.ends_with ~suffix:"lib/support/rng.ml" p);
-    ordered_iter = protocol;
+    ordered_iter = List.exists (fun d -> in_dir d p) ordered_iter_dirs;
     quorum = List.exists (fun d -> in_dir d p) quorum_dirs;
     seam = protocol && not transport_layer;
     swallow = true;

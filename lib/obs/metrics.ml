@@ -160,6 +160,15 @@ let of_events evs =
       | Reg_write_ann _ -> incr m "reg.write_anns"
       | Reg_alloc _ -> incr m "reg.allocs"
       | Link_incarnation _ -> incr m "rlink.incarnations"
-      | Watchdog_stall _ -> incr m "watchdog.stalls")
+      | Watchdog_stall _ -> incr m "watchdog.stalls"
+      | Explore_run { depth; reason; _ } -> (
+          observe m "explore.depth" depth;
+          match reason with
+          | "pruned" -> incr m "explore.pruned"
+          | "blocked" -> incr m "explore.blocked"
+          | _ -> incr m "explore.runs")
+      | Explore_stats { races; exhausted; _ } ->
+          incr ~by:races m "explore.races";
+          set_gauge m "explore.exhausted" (if exhausted then 1 else 0))
     evs;
   m

@@ -39,6 +39,15 @@ type kind =
   | Reg_alloc of { reg : int; owner : int; fp : string }
   | Link_incarnation of { epoch : int }
   | Watchdog_stall of { fid : int; fname : string; op : string; deadline : int }
+  | Explore_run of { mode : string; idx : int; depth : int; reason : string }
+  | Explore_stats of {
+      mode : string;
+      runs : int;
+      pruned : int;
+      blocked : int;
+      races : int;
+      exhausted : bool;
+    }
 
 type event = { at : int; pid : int; span : int; kind : kind }
 type sink = { emit : event -> unit }

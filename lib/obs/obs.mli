@@ -85,6 +85,18 @@ type kind =
   | Watchdog_stall of { fid : int; fname : string; op : string; deadline : int }
       (** liveness diagnosis: [fid]/[fname] missed [op]'s [deadline] —
           evidence of slowness, never of lying *)
+  | Explore_run of { mode : string; idx : int; depth : int; reason : string }
+      (** one explored schedule: [mode] is ["dfs"]/["dpor"]/["swarm"],
+          [reason] is ["quiescent"]/["pruned"]/["blocked"] *)
+  | Explore_stats of {
+      mode : string;
+      runs : int;
+      pruned : int;
+      blocked : int;
+      races : int;
+      exhausted : bool;
+    }
+      (** end-of-exploration summary (see {!Lnd_runtime.Explore.result}) *)
 
 type event = { at : int; pid : int; span : int; kind : kind }
 (** [at] is the logical clock (see {!set_clock}); [pid] the emitting

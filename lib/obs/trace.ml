@@ -209,6 +209,18 @@ let add_kind b (k : Obs.kind) =
       fld_str b "fname" fname;
       fld_str b "op" op;
       fld_int b "deadline" deadline
+  | Explore_run { mode; idx; depth; reason } ->
+      fld_str b "mode" mode;
+      fld_int b "idx" idx;
+      fld_int b "depth" depth;
+      fld_str b "reason" reason
+  | Explore_stats { mode; runs; pruned; blocked; races; exhausted } ->
+      fld_str b "mode" mode;
+      fld_int b "runs" runs;
+      fld_int b "pruned" pruned;
+      fld_int b "blocked" blocked;
+      fld_int b "races" races;
+      fld_bool b "exhausted" exhausted
 
 let kind_name (k : Obs.kind) =
   match k with
@@ -238,6 +250,8 @@ let kind_name (k : Obs.kind) =
   | Reg_alloc _ -> "reg_alloc"
   | Link_incarnation _ -> "link_incarnation"
   | Watchdog_stall _ -> "watchdog_stall"
+  | Explore_run _ -> "explore_run"
+  | Explore_stats _ -> "explore_stats"
 
 let add_event_json b (e : Obs.event) =
   Buffer.add_string b "{\"at\":";

@@ -1,44 +1,125 @@
 (* Bounded systematic schedule exploration.
 
-   Enumerates scheduling decision sequences depth-first: each run is driven
-   by a scripted policy; the trail of (choice, branching-degree) pairs it
-   records tells the explorer which sibling schedule to try next. The
-   caller's [check] runs at quiescence of every explored schedule and
-   should raise on a safety violation.
+   Three modes, one result shape:
 
-   This is a bounded safety checker: runs that exceed [max_steps] are
+   - [exhaustive]: the naive baseline. Enumerates scheduling decision
+     sequences depth-first, branching on EVERY step over EVERY ready
+     fiber; each run is driven by a scripted policy and the trail of
+     (choice, branching-degree) pairs it records tells the explorer
+     which sibling schedule to try next. Kept as the reference point the
+     T15 benchmark measures the reduction against.
+
+   - [dpor]: a stateless model checker with dynamic partial-order
+     reduction (Flanagan–Godefroid) plus sleep sets. The scheduler knows
+     each ready fiber's next register access before executing it
+     ([Sched.footprint]); two steps are dependent iff they belong to the
+     same fiber or touch the same register with at least one write.
+     Happens-before is tracked with vector clocks; when an executed step
+     races with an earlier non-ordered step, the earlier step's
+     pre-state gains a backtrack point. Sleep sets prune schedules whose
+     difference from an explored sibling is a commutation of independent
+     steps. The net effect: one representative per Mazurkiewicz trace,
+     not one run per interleaving.
+
+   - [swarm]: many independent seeded-random schedules; sparse sampling
+     for programs too large to enumerate.
+
+   All modes are bounded safety checkers: runs exceeding [max_steps] are
    pruned as inconclusive (an adversarial schedule can starve the Help
    daemons indefinitely, so unbounded termination cannot be decided by
-   exploration). Use it on small configurations. *)
+   exploration). "Exhausted" therefore means: every schedule of at most
+   [max_steps] steps was covered up to commutation of independent steps.
+   See DESIGN.md §4i for the soundness argument and its caveats. *)
 
-exception Violation of { script : int list; exn : exn }
+open Lnd_shm
+module Obs = Lnd_obs.Obs
+module IntSet = Set.Make (Int)
+module IntMap = Map.Make (Int)
+
+(* ---------------- Counterexamples ---------------- *)
+
+type schedule =
+  | Indices of int list (* Policy.scripted choices, the naive DFS trail *)
+  | Fids of int list (* one fiber id per step, the DPOR trail *)
+  | Seed of int (* Policy.random seed, the swarm trail *)
+
+type counterexample = {
+  cx_schedule : schedule;
+  cx_note : string; (* caller-supplied description of the configuration *)
+  cx_steps : int; (* length of the violating run *)
+  cx_exn : exn; (* what the caller's check raised *)
+}
+
+exception Violation of counterexample
+
+exception Replay_diverged of { at : int; reason : string }
+
+let pp_ints fmt l =
+  Format.fprintf fmt "[%s]" (String.concat ";" (List.map string_of_int l))
+
+let pp_schedule fmt = function
+  | Indices l -> Format.fprintf fmt "indices %a" pp_ints l
+  | Fids l -> Format.fprintf fmt "fids %a" pp_ints l
+  | Seed s -> Format.fprintf fmt "seed %d" s
+
+let pp_counterexample fmt cx =
+  Format.fprintf fmt "@[<v>violation%s after %d steps@,schedule: %a@,check raised: %s@]"
+    (if cx.cx_note = "" then "" else " in " ^ cx.cx_note)
+    cx.cx_steps pp_schedule cx.cx_schedule
+    (Printexc.to_string cx.cx_exn)
 
 type result = {
   runs : int; (* schedules fully explored to quiescence *)
   pruned : int; (* schedules cut off by the step budget *)
   exhausted : bool; (* true iff the whole bounded space was covered *)
+  blocked : int; (* sleep-set-blocked (redundant) schedules, DPOR only *)
+  races : int; (* backtrack points seeded by race detection, DPOR only *)
+  max_depth : int; (* deepest schedule explored *)
 }
 
+let emit_run ~mode ~idx ~depth ~reason =
+  if Obs.enabled () then
+    Obs.emit (Obs.Explore_run { mode; idx; depth; reason })
+
+let emit_stats ~mode (r : result) =
+  if Obs.enabled () then
+    Obs.emit
+      (Obs.Explore_stats
+         { mode; runs = r.runs; pruned = r.pruned; blocked = r.blocked;
+           races = r.races; exhausted = r.exhausted })
+
+(* ---------------- Naive DFS (the baseline) ---------------- *)
+
 let exhaustive ~(make : Policy.t -> Sched.t) ~(check : Sched.t -> unit)
-    ?(max_steps = 400) ?(max_runs = 20_000) () : result =
+    ?(max_steps = 400) ?(max_runs = 20_000) ?(note = "") () : result =
   let runs = ref 0 in
   let pruned = ref 0 in
   let exhausted = ref false in
+  let max_depth = ref 0 in
   let script = ref [] in
   let continue_ = ref true in
   while !continue_ do
     let trail = ref [] in
     let policy = Policy.scripted ~script:!script ~trail in
     let sched = make policy in
+    Sched.set_park_on_yield sched true;
     let reason = Sched.run ~max_steps sched in
+    let depth = List.length !trail in
+    if depth > !max_depth then max_depth := depth;
     (match reason with
-    | Sched.Quiescent -> begin
+    | Sched.Quiescent | Sched.Condition_met -> begin
         incr runs;
+        emit_run ~mode:"dfs" ~idx:(!runs + !pruned) ~depth ~reason:"quiescent";
         try check sched
-        with e -> raise (Violation { script = List.rev_map fst !trail; exn = e })
+        with e ->
+          raise
+            (Violation
+               { cx_schedule = Indices (List.rev_map fst !trail);
+                 cx_note = note; cx_steps = Sched.steps sched; cx_exn = e })
       end
-    | Sched.Budget_exhausted -> incr pruned
-    | Sched.Condition_met -> incr runs);
+    | Sched.Budget_exhausted ->
+        incr pruned;
+        emit_run ~mode:"dfs" ~idx:(!runs + !pruned) ~depth ~reason:"pruned");
     (* Compute the next schedule: backtrack to the deepest choice point
        with an unexplored sibling. The trail was built most-recent-first. *)
     let tr = List.rev !trail in
@@ -60,26 +141,427 @@ let exhaustive ~(make : Policy.t -> Sched.t) ~(check : Sched.t -> unit)
         script := fresh);
     if !runs + !pruned >= max_runs then continue_ := false
   done;
-  { runs = !runs; pruned = !pruned; exhausted = !exhausted }
+  let r =
+    { runs = !runs; pruned = !pruned; exhausted = !exhausted; blocked = 0;
+      races = 0; max_depth = !max_depth }
+  in
+  emit_stats ~mode:"dfs" r;
+  r
 
-(* Swarm exploration: many independent seeded-random schedules of the
-   same program, checking each at quiescence. Complements [exhaustive]:
-   where DFS covers a bounded prefix tree densely, a swarm samples the
-   whole schedule space sparsely — the right tool for programs too large
-   to enumerate. *)
+(* ---------------- DPOR ---------------- *)
+
+(* Two footprints conflict iff they touch the same register and at least
+   one of them writes it. Yields and spawn prefixes ([A_none]) conflict
+   with nothing; steps of the same fiber are always dependent through
+   program order (handled separately). *)
+let is_read = function Sched.A_read _ -> true | _ -> false
+
+let reg_of = function
+  | Sched.A_none -> None
+  | Sched.A_read r | Sched.A_write r | Sched.A_update r -> Some r
+
+let conflict (a : Sched.footprint) (b : Sched.footprint) : bool =
+  match (reg_of a, reg_of b) with
+  | None, _ | _, None -> false
+  | Some ra, Some rb ->
+      ra.Register.id = rb.Register.id && not (is_read a && is_read b)
+
+(* Raised by the DPOR policy when every enabled fiber is in the sleep
+   set: the continuation of this schedule only commutes with already
+   explored ones, so the run is abandoned as redundant. *)
+exception Sleep_blocked
+
+(* Raised under a preemption bound when every non-sleeping enabled fiber
+   would need a preemption the budget no longer allows: the continuation
+   lies outside the bounded space, so the run counts as pruned. *)
+exception Preempt_blocked
+
+(* One node per step of the current execution prefix. [nd_backtrack] is
+   the set of fiber ids scheduled for exploration from this state (seeded
+   with the first choice, grown by race detection); [nd_done] the ones
+   whose subtrees are complete; [nd_sleep] the sleep set on entry for the
+   current run. [nd_enabled] is recorded for the "else add all enabled"
+   arm of the backtrack rule. *)
+type node = {
+  mutable nd_chosen : int;
+  mutable nd_backtrack : IntSet.t;
+  mutable nd_done : IntSet.t;
+  mutable nd_sleep : IntSet.t;
+  mutable nd_enabled : int list;
+  mutable nd_alpha : Sched.footprint; (* footprint the chosen step executed *)
+  mutable nd_preempts : int; (* preemptions consumed up to and incl. this step *)
+}
+
+let dpor ~(make : Policy.t -> Sched.t) ~(check : Sched.t -> unit)
+    ?(max_steps = 2_000) ?(max_runs = 200_000) ?max_preempts ?(note = "") () :
+    result =
+  let dummy =
+    { nd_chosen = -1; nd_backtrack = IntSet.empty; nd_done = IntSet.empty;
+      nd_sleep = IntSet.empty; nd_enabled = []; nd_alpha = Sched.A_none;
+      nd_preempts = 0 }
+  in
+  let stack = ref (Array.make 256 dummy) in
+  let len = ref 0 in
+  let push nd =
+    if !len = Array.length !stack then begin
+      let bigger = Array.make (2 * !len) dummy in
+      Array.blit !stack 0 bigger 0 !len;
+      stack := bigger
+    end;
+    !stack.(!len) <- nd;
+    incr len
+  in
+  let plan_len = ref 0 in
+  (* forced prefix: nodes [0, plan_len) replay their recorded choice *)
+  (* Preemption accounting (CHESS-style context bounding): scheduling
+     [c] at node [d] is a preemption iff the previous step's fiber is
+     still enabled, was not at a voluntary switch point (its executed
+     footprint was a real access, not a yield/spawn [A_none]), and
+     [c] is a different fiber. Voluntary switch points branch freely. *)
+  let cost d c enabled =
+    if d = 0 then 0
+    else begin
+      let pv = !stack.(d - 1) in
+      let involuntary =
+        match pv.nd_alpha with Sched.A_none -> false | _ -> true
+      in
+      if c <> pv.nd_chosen && involuntary && List.mem pv.nd_chosen enabled
+      then pv.nd_preempts + 1
+      else pv.nd_preempts
+    end
+  in
+  let afford d c enabled =
+    match max_preempts with None -> true | Some p -> cost d c enabled <= p
+  in
+  let runs = ref 0 and pruned = ref 0 and blocked = ref 0 in
+  let races = ref 0 in
+  let max_depth = ref 0 in
+  let exhausted = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    (* Per-run dependency state. Vector clocks map fiber id -> the
+       latest step index of that fiber that happens-before the holder;
+       each register carries its last write and the reads since (any two
+       conflicting accesses to one register are totally ordered by
+       happens-before, so these are exactly the race candidates). *)
+    let depth = ref 0 in
+    let cur_sleep = ref IntSet.empty in
+    let clocks : (int, int IntMap.t) Hashtbl.t = Hashtbl.create 16 in
+    let reg_lw : (int, int * int * int IntMap.t) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let reg_rd : (int, (int * int * int IntMap.t) list) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let last_rot = ref (-1) in
+    let choose (_sched : Sched.t) (ready : Sched.fiber array) : int =
+      let d = !depth in
+      let m = Array.length ready in
+      let fid_of i = ready.(i).Sched.fid in
+      let fiber_of_fid q =
+        let rec go i =
+          if i >= m then None
+          else if fid_of i = q then Some ready.(i)
+          else go (i + 1)
+        in
+        go 0
+      in
+      let enabled = List.sort compare (List.init m fid_of) in
+      (* sleep members that got disabled are dropped (conservative:
+         re-exploring them elsewhere is sound, just redundant) *)
+      let sleep_in =
+        IntSet.filter (fun q -> fiber_of_fid q <> None) !cur_sleep
+      in
+      let nd =
+        if d < !plan_len then begin
+          let nd = !stack.(d) in
+          (* replaying a committed prefix: refresh the volatile fields
+             (deterministic replay recomputes the same values, except
+             that done/backtrack sets have grown since) *)
+          nd.nd_sleep <- sleep_in;
+          nd.nd_enabled <- enabled;
+          nd
+        end
+        else begin
+          let free =
+            List.filter (fun q -> not (IntSet.mem q sleep_in)) enabled
+          in
+          if free = [] then raise Sleep_blocked;
+          let c =
+            match max_preempts with
+            | None -> (
+                (* default choice: rotate over the non-sleeping enabled
+                   fibers so base runs are fair and reach quiescence *)
+                match List.find_opt (fun q -> q > !last_rot) free with
+                | Some q -> q
+                | None -> List.hd free)
+            | Some _ -> (
+                let affordable =
+                  List.filter (fun q -> afford d q enabled) free
+                in
+                if affordable = [] then raise Preempt_blocked;
+                (* prefer running the previous fiber on (preemptions
+                   cost budget); rotate freely at voluntary points *)
+                let continuation =
+                  if d = 0 then None
+                  else
+                    let pv = !stack.(d - 1) in
+                    match pv.nd_alpha with
+                    | Sched.A_none -> None
+                    | _ ->
+                        if List.mem pv.nd_chosen affordable then
+                          Some pv.nd_chosen
+                        else None
+                in
+                match continuation with
+                | Some q -> q
+                | None -> (
+                    match
+                      List.find_opt (fun q -> q > !last_rot) affordable
+                    with
+                    | Some q -> q
+                    | None -> List.hd affordable))
+          in
+          let nd =
+            { nd_chosen = c; nd_backtrack = IntSet.singleton c;
+              nd_done = IntSet.empty; nd_sleep = sleep_in;
+              nd_enabled = enabled; nd_alpha = Sched.A_none;
+              nd_preempts = 0 }
+          in
+          push nd;
+          nd
+        end
+      in
+      let c = nd.nd_chosen in
+      last_rot := c;
+      let fb =
+        match fiber_of_fid c with
+        | Some f -> f
+        | None ->
+            raise (Replay_diverged { at = d; reason = "planned fiber not ready" })
+      in
+      let alpha = fb.Sched.next_access in
+      nd.nd_alpha <- alpha;
+      nd.nd_preempts <- cost d c nd.nd_enabled;
+      let cp =
+        match Hashtbl.find_opt clocks c with
+        | Some v -> v
+        | None -> IntMap.empty
+      in
+      (* Race detection: an earlier conflicting access (i, q, _) not
+         ordered before this step is a reversible race — the pre-state
+         of step i must also try running [c] (or, if [c] was not enabled
+         there, every enabled fiber). *)
+      let hb_before (i, q, _vc) =
+        q = c
+        || (match IntMap.find_opt q cp with Some s -> s >= i | None -> false)
+      in
+      let add_backtrack i =
+        let ni = !stack.(i) in
+        let grow q =
+          if not (IntSet.mem q ni.nd_backtrack) then begin
+            ni.nd_backtrack <- IntSet.add q ni.nd_backtrack;
+            incr races
+          end
+        in
+        if List.mem c ni.nd_enabled then grow c
+        else List.iter grow ni.nd_enabled
+      in
+      let race ((i, _, _) as cand) =
+        if not (hb_before cand) then add_backtrack i
+      in
+      let lw r =
+        Hashtbl.find_opt reg_lw r.Register.id
+      in
+      let rds r =
+        match Hashtbl.find_opt reg_rd r.Register.id with
+        | Some l -> l
+        | None -> []
+      in
+      (match alpha with
+      | Sched.A_none -> ()
+      | Sched.A_read r -> Option.iter race (lw r)
+      | Sched.A_write r | Sched.A_update r ->
+          Option.iter race (lw r);
+          List.iter race (rds r));
+      (* Advance [c]'s clock past everything this step depends on, then
+         record the access for future race checks. *)
+      let join = IntMap.union (fun _ x y -> Some (max x y)) in
+      let base =
+        match alpha with
+        | Sched.A_none -> cp
+        | Sched.A_read r -> (
+            match lw r with Some (_, _, vc) -> join cp vc | None -> cp)
+        | Sched.A_write r | Sched.A_update r ->
+            let b =
+              match lw r with Some (_, _, vc) -> join cp vc | None -> cp
+            in
+            List.fold_left (fun acc (_, _, vc) -> join acc vc) b (rds r)
+      in
+      let nvc = IntMap.add c d base in
+      Hashtbl.replace clocks c nvc;
+      (match alpha with
+      | Sched.A_none -> ()
+      | Sched.A_read r ->
+          Hashtbl.replace reg_rd r.Register.id ((d, c, nvc) :: rds r)
+      | Sched.A_write r | Sched.A_update r ->
+          Hashtbl.replace reg_lw r.Register.id (d, c, nvc);
+          Hashtbl.replace reg_rd r.Register.id []);
+      (* Sleep-set propagation: siblings already explored from this node
+         join the sleep set; fibers whose pending step depends on the
+         executed one wake up. *)
+      let out = IntSet.union sleep_in nd.nd_done in
+      cur_sleep :=
+        IntSet.filter
+          (fun q ->
+            match fiber_of_fid q with
+            | None -> false
+            | Some fq -> not (conflict alpha fq.Sched.next_access))
+          out;
+      depth := d + 1;
+      let rec idx i = if fid_of i = c then i else idx (i + 1) in
+      idx 0
+    in
+    let sched = make choose in
+    Sched.set_park_on_yield sched true;
+    (match Sched.run ~max_steps sched with
+    | exception Sleep_blocked ->
+        incr blocked;
+        emit_run ~mode:"dpor" ~idx:(!runs + !pruned + !blocked) ~depth:!depth
+          ~reason:"blocked"
+    | exception Preempt_blocked ->
+        incr pruned;
+        emit_run ~mode:"dpor" ~idx:(!runs + !pruned + !blocked) ~depth:!depth
+          ~reason:"pruned"
+    | Sched.Quiescent | Sched.Condition_met -> begin
+        incr runs;
+        emit_run ~mode:"dpor" ~idx:(!runs + !pruned + !blocked) ~depth:!depth
+          ~reason:"quiescent";
+        try check sched
+        with e ->
+          let fids = List.init !len (fun i -> (!stack.(i)).nd_chosen) in
+          raise
+            (Violation
+               { cx_schedule = Fids fids; cx_note = note;
+                 cx_steps = Sched.steps sched; cx_exn = e })
+      end
+    | Sched.Budget_exhausted ->
+        incr pruned;
+        emit_run ~mode:"dpor" ~idx:(!runs + !pruned + !blocked) ~depth:!depth
+          ~reason:"pruned");
+    if !depth > !max_depth then max_depth := !depth;
+    (* Backtrack: deepest node with an unexplored, non-sleeping
+       backtrack candidate; everything below it is discarded. *)
+    let rec back d =
+      if d < 0 then begin
+        exhausted := true;
+        continue_ := false
+      end
+      else begin
+        let ndd = !stack.(d) in
+        ndd.nd_done <- IntSet.add ndd.nd_chosen ndd.nd_done;
+        let cands =
+          IntSet.filter
+            (fun c -> afford d c ndd.nd_enabled)
+            (IntSet.diff (IntSet.diff ndd.nd_backtrack ndd.nd_done)
+               ndd.nd_sleep)
+        in
+        match IntSet.min_elt_opt cands with
+        | Some c ->
+            ndd.nd_chosen <- c;
+            len := d + 1;
+            plan_len := d + 1
+        | None ->
+            len := d;
+            back (d - 1)
+      end
+    in
+    back (!len - 1);
+    if !continue_ && !runs + !pruned + !blocked >= max_runs then
+      continue_ := false
+  done;
+  let r =
+    { runs = !runs; pruned = !pruned; exhausted = !exhausted;
+      blocked = !blocked; races = !races; max_depth = !max_depth }
+  in
+  emit_stats ~mode:"dpor" r;
+  r
+
+(* ---------------- Swarm ---------------- *)
+
 let swarm ~(make : Policy.t -> Sched.t) ~(check : Sched.t -> unit)
-    ?(max_steps = 2_000_000) ~seeds () : result =
+    ?(max_steps = 2_000_000) ?(note = "") ~seeds () : result =
   let runs = ref 0 in
   let pruned = ref 0 in
+  let max_depth = ref 0 in
   List.iter
     (fun seed ->
       let sched = make (Policy.random ~seed) in
-      match Sched.run ~max_steps sched with
+      Sched.set_park_on_yield sched true;
+      let reason = Sched.run ~max_steps sched in
+      let depth = Sched.steps sched in
+      if depth > !max_depth then max_depth := depth;
+      match reason with
       | Sched.Quiescent | Sched.Condition_met -> begin
           incr runs;
+          emit_run ~mode:"swarm" ~idx:(!runs + !pruned) ~depth
+            ~reason:"quiescent";
           try check sched
-          with e -> raise (Violation { script = [ seed ]; exn = e })
+          with e ->
+            raise
+              (Violation
+                 { cx_schedule = Seed seed; cx_note = note;
+                   cx_steps = depth; cx_exn = e })
         end
-      | Sched.Budget_exhausted -> incr pruned)
+      | Sched.Budget_exhausted ->
+          incr pruned;
+          emit_run ~mode:"swarm" ~idx:(!runs + !pruned) ~depth ~reason:"pruned")
     seeds;
-  { runs = !runs; pruned = !pruned; exhausted = false }
+  let r =
+    { runs = !runs; pruned = !pruned; exhausted = false; blocked = 0;
+      races = 0; max_depth = !max_depth }
+  in
+  emit_stats ~mode:"swarm" r;
+  r
+
+(* ---------------- Replay ---------------- *)
+
+(* Re-execute one schedule against a fresh system and re-run the check:
+   the one-call reproduction path for a serialised counterexample.
+   [Ok ()] means the check passed; [Error e] reproduces the violation. *)
+let replay ~(make : Policy.t -> Sched.t) ~(check : Sched.t -> unit)
+    ?(max_steps = 1_000_000) (s : schedule) : (unit, exn) Stdlib.result =
+  let sched =
+    match s with
+    | Seed seed -> make (Policy.random ~seed)
+    | Indices script ->
+        let trail = ref [] in
+        make (Policy.scripted ~script ~trail)
+    | Fids fids ->
+        let remaining = ref fids in
+        let at = ref 0 in
+        make (fun _sched ready ->
+            match !remaining with
+            | [] ->
+                raise
+                  (Replay_diverged
+                     { at = !at; reason = "trail exhausted before quiescence" })
+            | q :: rest ->
+                remaining := rest;
+                let m = Array.length ready in
+                let rec idx i =
+                  if i >= m then
+                    raise
+                      (Replay_diverged
+                         { at = !at;
+                           reason = Printf.sprintf "fiber %d not ready" q })
+                  else if ready.(i).Sched.fid = q then i
+                  else idx (i + 1)
+                in
+                let i = idx 0 in
+                incr at;
+                i)
+  in
+  Sched.set_park_on_yield sched true;
+  ignore (Sched.run ~max_steps sched);
+  match check sched with () -> Ok () | exception e -> Error e

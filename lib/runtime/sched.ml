@@ -32,12 +32,34 @@ exception Killed
 
 type outcome = Completed | Failed of exn
 
+(* The register access a fiber's NEXT step will perform. Because every
+   access effect suspends the fiber and the installed continuation does
+   the access at resumption, the footprint of a step is known BEFORE the
+   step executes — this is what lets the DPOR explorer (see Explore)
+   decide whether two pending steps conflict without running them.
+   [A_none] covers yields and the spawn-to-first-effect prefix (which
+   touches no shared register: fibers run between scheduling points on
+   private state only). [A_update] is a read-modify-write: it conflicts
+   like a write. *)
+type footprint =
+  | A_none
+  | A_read of Register.t
+  | A_write of Register.t
+  | A_update of Register.t
+
 type fiber = {
   fid : int;
   pid : int;
   fname : string;
   daemon : bool; (* daemons (Help loops) never block quiescence *)
   mutable state : state;
+  mutable next_access : footprint;
+      (* footprint of the next step; maintained by the effect handlers *)
+  mutable parked_at : int;
+      (* park-on-yield mode: the scheduler's write count when this fiber
+         yielded, or -1 when runnable. A parked fiber re-enables only
+         after some fiber writes — re-running a read-only poll pass
+         against unchanged shared state is pure stutter. *)
   mutable ospan : int;
       (* ambient Obs span, saved/restored at fiber switches so spans
          follow fibers rather than the host call stack *)
@@ -50,6 +72,11 @@ type t = {
   mutable fibers : fiber list; (* in spawn order, oldest first *)
   mutable next_fid : int;
   mutable steps : int;
+  mutable writes : int; (* register writes executed; drives park-on-yield *)
+  mutable park_on_yield : bool;
+      (* fair-scheduling reduction for the explorers: a yield parks the
+         fiber until the next write by anyone. Off by default — normal
+         runs keep the paper's fully asynchronous semantics. *)
   mutable clock : int; (* logical time: advanced by steps and by E_clock *)
   mutable enabled : fiber -> bool; (* scheduling mask, used by targeted scenarios *)
   mutable choose : t -> fiber array -> int; (* policy: pick among ready fibers *)
@@ -67,6 +94,8 @@ let create ~space ~choose =
       fibers = [];
       next_fid = 0;
       steps = 0;
+      writes = 0;
+      park_on_yield = false;
       clock = 0;
       enabled = (fun _ -> true);
       choose;
@@ -80,6 +109,7 @@ let create ~space ~choose =
   t
 
 let set_on_failure t h = t.on_failure <- h
+let set_park_on_yield t b = t.park_on_yield <- b
 
 let space t = t.space
 let steps t = t.steps
@@ -101,7 +131,7 @@ let spawn t ~pid ~name ?(daemon = false) (body : unit -> unit) : fiber =
   if pid < 0 || pid >= Space.n t.space then invalid_arg "Sched.spawn: bad pid";
   let fiber =
     { fid = t.next_fid; pid; fname = name; daemon; state = Finished Completed;
-      ospan = 0 }
+      next_access = A_none; parked_at = -1; ospan = 0 }
   in
   t.next_fid <- t.next_fid + 1;
   if Obs.enabled () then
@@ -132,6 +162,7 @@ let spawn t ~pid ~name ?(daemon = false) (body : unit -> unit) : fiber =
             | E_read r ->
                 Some
                   (fun (k : (a, unit) continuation) ->
+                    fiber.next_access <- A_read r;
                     fiber.state <-
                       Ready
                         (fun () ->
@@ -141,6 +172,7 @@ let spawn t ~pid ~name ?(daemon = false) (body : unit -> unit) : fiber =
             | E_write (r, v) ->
                 Some
                   (fun (k : (a, unit) continuation) ->
+                    fiber.next_access <- A_write r;
                     fiber.state <-
                       Ready
                         (fun () ->
@@ -150,6 +182,8 @@ let spawn t ~pid ~name ?(daemon = false) (body : unit -> unit) : fiber =
             | E_yield ->
                 Some
                   (fun (k : (a, unit) continuation) ->
+                    fiber.next_access <- A_none;
+                    if t.park_on_yield then fiber.parked_at <- t.writes;
                     fiber.state <- Ready (fun () -> continue k ()))
             | E_clock ->
                 Some
@@ -165,6 +199,7 @@ let spawn t ~pid ~name ?(daemon = false) (body : unit -> unit) : fiber =
             | E_rmw (r, f) ->
                 Some
                   (fun (k : (a, unit) continuation) ->
+                    fiber.next_access <- A_update r;
                     fiber.state <-
                       Ready
                         (fun () ->
@@ -188,9 +223,14 @@ let kill (f : fiber) : unit =
   | Ready _ -> f.state <- Finished (Failed Killed)
   | Finished _ -> ()
 
+(* Runnable = Ready + passing the scenario mask; parked fibers (see
+   [park_on_yield]) additionally wait for the next write by anyone. *)
+let runnable t f =
+  (match f.state with Ready _ -> true | _ -> false) && t.enabled f
+
 let ready_fibers t =
   List.filter
-    (fun f -> (match f.state with Ready _ -> true | _ -> false) && t.enabled f)
+    (fun f -> runnable t f && (f.parked_at < 0 || t.writes > f.parked_at))
     t.fibers
 
 (* Run one step of one chosen fiber. Raises nothing: fiber exceptions are
@@ -201,6 +241,10 @@ let step_fiber t (f : fiber) : unit =
   | Ready go ->
       (* Mark running; [go] re-installs Ready on the next effect. *)
       f.state <- Finished Completed;
+      f.parked_at <- -1;
+      (match f.next_access with
+      | A_write _ | A_update _ -> t.writes <- t.writes + 1
+      | A_none | A_read _ -> ());
       t.steps <- t.steps + 1;
       t.clock <- t.clock + 1;
       if Obs.enabled () then begin
@@ -229,9 +273,13 @@ let run ?(max_steps = 1_000_000) ?(until = fun (_ : t) -> false) (t : t) :
     else
       let ready = ready_fibers t in
       let clients_pending =
-        List.exists (fun (f : fiber) -> not f.daemon) ready
+        List.exists (fun (f : fiber) -> (not f.daemon) && runnable t f) t.fibers
       in
       if not clients_pending then Quiescent
+      else if ready = [] then
+        (* park-on-yield livelock: every runnable fiber waits for a write
+           that can never come. Inconclusive, like a blown step budget. *)
+        Budget_exhausted
       else if t.steps >= max_steps then Budget_exhausted
       else begin
         let arr = Array.of_list ready in
@@ -255,3 +303,10 @@ let failures t =
 let pp_fiber fmt (f : fiber) =
   Format.fprintf fmt "fiber#%d p%d %s%s" f.fid f.pid f.fname
     (if f.daemon then " (daemon)" else "")
+
+let pp_footprint fmt (a : footprint) =
+  match a with
+  | A_none -> Format.pp_print_string fmt "·"
+  | A_read r -> Format.fprintf fmt "R(%s)" r.Register.name
+  | A_write r -> Format.fprintf fmt "W(%s)" r.Register.name
+  | A_update r -> Format.fprintf fmt "U(%s)" r.Register.name

@@ -19,12 +19,30 @@ exception Killed
 
 type outcome = Completed | Failed of exn
 
+(** The register access a fiber's {e next} step will perform. Access
+    effects suspend the fiber and the installed continuation performs the
+    access at resumption, so each step's footprint is known {e before}
+    the step runs — the DPOR explorer ({!Explore.dpor}) uses this to
+    decide whether two pending steps conflict without executing them.
+    [A_none] covers yields and the spawn-to-first-effect prefix;
+    [A_update] (read-modify-write) conflicts like a write. *)
+type footprint =
+  | A_none
+  | A_read of Lnd_shm.Register.t
+  | A_write of Lnd_shm.Register.t
+  | A_update of Lnd_shm.Register.t
+
 type fiber = {
   fid : int;
   pid : int; (** the simulated process this fiber belongs to *)
   fname : string;
   daemon : bool; (** daemons (Help loops) never block quiescence *)
   mutable state : state;
+  mutable next_access : footprint;
+      (** footprint of the next step, maintained by the effect handlers *)
+  mutable parked_at : int;
+      (** park-on-yield mode: the scheduler's write count when this fiber
+          yielded, or [-1] when runnable (see {!set_park_on_yield}) *)
   mutable ospan : int;
       (** ambient {!Lnd_obs.Obs} span, saved/restored at fiber switches *)
 }
@@ -36,6 +54,9 @@ type t = {
   mutable fibers : fiber list; (** in spawn order, oldest first *)
   mutable next_fid : int;
   mutable steps : int; (** scheduler steps taken so far *)
+  mutable writes : int;
+      (** register writes executed so far; drives park-on-yield *)
+  mutable park_on_yield : bool;  (** see {!set_park_on_yield} *)
   mutable clock : int; (** logical time: steps plus {!tick} stamps *)
   mutable enabled : fiber -> bool;
       (** scheduling mask, used by targeted phase scenarios *)
@@ -59,6 +80,18 @@ val set_on_failure : t -> (fiber -> exn -> unit) option -> unit
     instead of discovering them in a post-run {!failures} sweep (or
     silently missing them). The hook runs inside the dying fiber's last
     scheduler step and must not perform scheduler effects. *)
+
+val set_park_on_yield : t -> bool -> unit
+(** Fair-scheduling reduction used by the {!Explore} engines: when on, a
+    {!yield} parks the fiber until the next register write by any fiber.
+    Sound for the spin-polling protocols — a fiber only yields after an
+    unsuccessful read-only poll pass, and re-running that pass against
+    unchanged shared state re-enters the yield with identical local
+    state (pure stutter) — and it makes the bounded schedule space
+    finite where raw yields make it astronomical (DESIGN.md §4i). If
+    every runnable fiber ends up parked the run is a livelock and {!run}
+    returns [Budget_exhausted] (inconclusive). Off by default: normal
+    runs keep the paper's fully asynchronous semantics. *)
 
 val space : t -> Lnd_shm.Space.t
 val steps : t -> int
@@ -117,3 +150,6 @@ val failures : t -> (fiber * exn) list
 (** Fibers that terminated with an exception (other than {!kill}). *)
 
 val pp_fiber : Format.formatter -> fiber -> unit
+
+val pp_footprint : Format.formatter -> footprint -> unit
+(** ["·"] for {!A_none}, ["R(name)"]/["W(name)"]/["U(name)"] otherwise. *)

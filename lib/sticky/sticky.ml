@@ -114,11 +114,13 @@ let write (w : writer) (v : Value.t) : unit =
   if read_vopt rg.e.(0) = None then begin
     (* line 2 *)
     Cell.write rg.e.(0) (Univ.inj Codecs.value_opt (Some v));
-    (* lines 3-5: wait until n-f processes witness v *)
+    (* lines 3-5: wait until n-f processes witness v; yield between
+       poll passes — the wait is a voluntary scheduling point *)
     let witnessed = ref false in
     while not !witnessed do
       let rs = Array.init n (fun i -> read_vopt rg.r.(i)) in
       if Quorum.has_availability rg.q (count_eq rs v) then witnessed := true
+      else Sched.yield ()
     done
   end;
   if Obs.enabled () then Obs.span_close ~result:"done" ~name:"WRITE" sp
@@ -159,9 +161,11 @@ let read (rd : reader) : Value.t option =
           if cj >= rd.ck then reply := Some (j, uj)
         end
       done;
-      (* Unreachable when n > 3f (Lemma 105); keeps the fiber live on
-         deliberately broken configurations. *)
-      if not !polled_any then Sched.yield ()
+      ignore !polled_any;
+      (* an unsuccessful poll pass is a voluntary scheduling point (and
+         keeps the fiber live on deliberately broken configurations
+         where S empties — unreachable when n > 3f, Lemma 105) *)
+      if !reply = None then Sched.yield ()
     done;
     (match !reply with
     | None -> assert false

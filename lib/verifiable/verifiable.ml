@@ -168,9 +168,12 @@ let verify (rd : reader) (v : Value.t) : bool =
           if cj >= rd.ck then reply := Some (j, rj)
         end
       done;
-      (* Unreachable when n > 3f (Lemma 35); keeps the fiber live on
-         deliberately broken configurations. *)
-      if not !polled_any then Sched.yield ()
+      ignore !polled_any;
+      (* an unsuccessful poll pass is a voluntary scheduling point (and
+         keeps the fiber live on deliberately broken configurations
+         where the poll set empties — unreachable when n > 3f,
+         Lemma 35) *)
+      if !reply = None then Sched.yield ()
     done;
     (match !reply with
     | None -> assert false

@@ -1,0 +1,12 @@
+(* Lint fixture: determinism violations in model-checker-shaped code —
+   exactly the bugs that would silently diverge a replayed schedule.
+   Parsed by the lint tests, never built. *)
+
+let pick_branch backtrack = List.nth backtrack (Random.int (List.length backtrack))
+
+let drain_sleep_sets sleeping acc =
+  Hashtbl.iter (fun step fids -> acc := (step, fids) :: !acc) sleeping
+
+let budget_left deadline = Sys.time () < deadline
+
+let clocks_of vclocks = List.of_seq (Hashtbl.to_seq vclocks)

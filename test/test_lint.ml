@@ -71,6 +71,20 @@ let test_swallow () =
     [ ("exception-swallowing", 4) ]
     (lint "bad_swallow.ml")
 
+(* The determinism contract the model checker is held to: schedule
+   choices, sleep-set iteration, budgets and vector clocks must all be
+   replay-stable — no ambient randomness, no wall clock, no bucket
+   order. *)
+let test_explore_fixture () =
+  check "model-checker determinism violations flagged"
+    [
+      ("determinism", 5);
+      ("determinism", 8);
+      ("determinism", 10);
+      ("determinism", 12);
+    ]
+    (lint "bad_explore.ml")
+
 (* The rules the auditor is held to, all tripped in one fixture:
    hash-ordered ledger iteration, an inline witness threshold, and an
    accusation printed past the Obs sink. *)
@@ -118,6 +132,12 @@ let test_default_ctx () =
     a.Rules.ordered_iter;
   Alcotest.(check bool) "audit: quorum rule on" true a.Rules.quorum;
   Alcotest.(check bool) "audit: obs rule on" true a.Rules.obs;
+  let e = Rules.default_ctx ~path:"lib/runtime/explore.ml" in
+  Alcotest.(check bool) "explore: ordered-iteration rule on" true
+    e.Rules.ordered_iter;
+  Alcotest.(check bool) "explore: randomness still banned" true e.Rules.rng_free;
+  Alcotest.(check bool) "explore: no seam rule (below the transport)" false
+    e.Rules.seam;
   let b = Rules.default_ctx ~path:"bin/lnd_cli.ml" in
   Alcotest.(check bool) "bin: no .mli demanded" false b.Rules.need_mli;
   Alcotest.(check bool) "bin: no seam rule" false b.Rules.seam;
@@ -149,6 +169,8 @@ let tests =
     Alcotest.test_case "durable-seam fixture" `Quick test_durable;
     Alcotest.test_case "obs-seam fixture" `Quick test_obs;
     Alcotest.test_case "exception-swallowing fixture" `Quick test_swallow;
+    Alcotest.test_case "model-checker determinism fixture" `Quick
+      test_explore_fixture;
     Alcotest.test_case "auditor-contract fixture" `Quick test_audit_fixture;
     Alcotest.test_case "justified suppression lints clean" `Quick
       test_suppressed_ok;
