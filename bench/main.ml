@@ -1098,6 +1098,132 @@ let table_t15 () =
   close_out oc;
   pf "(machine-readable copy written to BENCH_T15.json)\n"
 
+let table_t16 () =
+  header
+    "T16 Parallel backend (lib/runtime Domains + lib/parallel): the pure\n\
+    \    protocol cores driven on OCaml 5 domains — one domain per process,\n\
+    \    mutex-protected registers, real preemption — measured end to end\n\
+    \    in operations per wall-clock second. Every run's history is\n\
+    \    re-checked by the spec-level acceptance used by the differential\n\
+    \    conformance suite; a rejected run fails the bench. All workloads\n\
+    \    are n = 4 (4 domains), so CI numbers are comparable across hosts";
+  let module Diff = Lnd_parallel.Diff in
+  let module Parallel = Lnd_parallel.Parallel in
+  (* Fixed 4-domain workloads (the seed only names the row: every field
+     the backends read is pinned explicitly). *)
+  let base proto =
+    {
+      Diff.seed = 0;
+      proto;
+      n = 4;
+      f = 1;
+      tos_verifiable = false;
+      scripts = [];
+      script_value = "a";
+      writes = 2;
+      programs = [];
+    }
+  in
+  let r2 = [ (1, [ Diff.I_read; Diff.I_read ]); (2, [ Diff.I_read ]) ] in
+  let t2 = [ (1, [ Diff.I_test; Diff.I_test ]); (2, [ Diff.I_test ]) ] in
+  let configs =
+    [
+      ( "sticky n=4 honest",
+        { (base Diff.Sticky) with Diff.programs = r2 @ [ (3, [ Diff.I_read ]) ] }
+      );
+      ( "sticky n=4 byz",
+        {
+          (base Diff.Sticky) with
+          Diff.scripts = [ (3, [ 1; 2; 0; 4 ]) ];
+          programs = r2;
+        } );
+      ( "verifiable n=4 honest",
+        {
+          (base Diff.Verifiable) with
+          Diff.programs =
+            [
+              (1, [ Diff.I_read; Diff.I_verify "a" ]);
+              (2, [ Diff.I_verify "b" ]);
+              (3, [ Diff.I_verify "a" ]);
+            ];
+        } );
+      ( "test-or-set n=4 sticky",
+        { (base Diff.Testorset) with Diff.programs = t2 @ [ (3, [ Diff.I_test ]) ] }
+      );
+      ( "test-or-set n=4 verif",
+        {
+          (base Diff.Testorset) with
+          Diff.tos_verifiable = true;
+          programs = t2 @ [ (3, [ Diff.I_test ]) ];
+        } );
+    ]
+  in
+  let iters = 25 in
+  let measure w =
+    (* one warm-up run, then [iters] timed runs *)
+    let warm = Parallel.run w in
+    (match warm.Diff.verdict with
+    | Ok () -> ()
+    | Error m -> failwith ("T16: domains run rejected: " ^ m));
+    let ops = ref 0 and steps = ref 0 in
+    let t0 =
+      (Unix.gettimeofday ()
+      [@lnd.allow
+        "determinism: T16 measures the domains backend's real wall-clock \
+         throughput; nothing deterministic depends on this value"])
+    in
+    for _ = 1 to iters do
+      let r = Parallel.run w in
+      (match r.Diff.verdict with
+      | Ok () -> ()
+      | Error m -> failwith ("T16: domains run rejected: " ^ m));
+      ops := !ops + r.Diff.ops;
+      steps := !steps + r.Diff.steps
+    done;
+    let dt =
+      (Unix.gettimeofday ()
+      [@lnd.allow
+        "determinism: T16 measures the domains backend's real wall-clock \
+         throughput; nothing deterministic depends on this value"])
+      -. t0
+    in
+    (!ops, !steps, dt)
+  in
+  let rows =
+    List.map
+      (fun (label, w) ->
+        let ops, steps, dt = measure w in
+        (label, ops, steps, dt, float_of_int ops /. dt))
+      configs
+  in
+  pf "%-25s | %6s %10s | %9s | %12s\n" "workload (x25 runs)" "ops" "steps"
+    "seconds" "ops/sec";
+  List.iter
+    (fun (label, ops, steps, dt, rate) ->
+      pf "%-25s | %6d %10d | %9.3f | %12.0f\n" label ops steps dt rate)
+    rows;
+  let oc = open_out "BENCH_T16.json" in
+  let j = Printf.fprintf in
+  j oc
+    "{\n\
+    \  \"table\": \"T16\",\n\
+    \  \"backend\": \"domains\",\n\
+    \  \"domains_per_run\": 4,\n\
+    \  \"iterations\": %d,\n\
+    \  \"configs\": [\n"
+    iters;
+  List.iteri
+    (fun i (label, ops, steps, dt, rate) ->
+      j oc
+        "    {\"config\": %S, \"ops\": %d, \"machine_steps\": %d, \
+         \"seconds\": %.4f, \"ops_per_sec\": %.1f}%s\n"
+        label ops steps dt rate
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  j oc "  ]\n}\n";
+  close_out oc;
+  pf "(machine-readable copy written to BENCH_T16.json)\n"
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks                                *)
 (* ------------------------------------------------------------------ *)
@@ -1220,6 +1346,10 @@ let () =
     table_t15 ();
     exit 0
   end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "t16" then begin
+    table_t16 ();
+    exit 0
+  end;
   pf
     "lie_not_deny benchmark harness — experiment tables for the PODC'25 \
      paper\n\
@@ -1241,5 +1371,6 @@ let () =
   table_t13 ();
   table_t14 ();
   table_t15 ();
+  table_t16 ();
   bench_wallclock ();
   pf "\nAll tables regenerated.\n"

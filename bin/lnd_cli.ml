@@ -743,6 +743,118 @@ let scenario_cmd =
           meets its recorded expectation (violation or pass)")
     Term.(const scenario_cmd_run $ files)
 
+let diff_cmd_run write_golden check_golden seeds from proto_s backend_s =
+  let protos =
+    match proto_s with
+    | None -> Diff.all_protos
+    | Some s -> (
+        match Diff.proto_of_name s with
+        | Some p -> [ p ]
+        | None ->
+            pr "unknown protocol %S (sticky|verifiable|testorset)\n" s;
+            exit 2)
+  in
+  match (write_golden, check_golden) with
+  | Some path, _ ->
+      Diff.write_golden path;
+      pr "wrote %d golden sim lines to %s\n"
+        (Diff.golden_seed_count * List.length Diff.all_protos)
+        path
+  | None, Some path -> (
+      match Diff.check_golden path with
+      | [] ->
+          pr "golden sim baselines OK (%d lines byte-identical)\n"
+            (Diff.golden_seed_count * List.length Diff.all_protos)
+      | mismatches ->
+          List.iter
+            (fun (i, e, g) ->
+              pr "line %d MISMATCH\n  expected: %s\n  got:      %s\n" i e g)
+            mismatches;
+          exit 1)
+  | None, None ->
+      let backends =
+        match backend_s with
+        | "sim" -> [ ("sim", Diff.sim) ]
+        | "domains" -> [ ("domains", fun w -> Parallel.run w) ]
+        | "both" ->
+            [ ("sim", Diff.sim); ("domains", fun w -> Parallel.run w) ]
+        | s ->
+            pr "unknown backend %S (sim|domains|both)\n" s;
+            exit 2
+      in
+      let failed = ref 0 in
+      for seed = from to from + seeds - 1 do
+        List.iter
+          (fun proto ->
+            let w = Diff.generate ~proto seed in
+            List.iter
+              (fun (bname, exec) ->
+                let r = exec w in
+                match r.Diff.verdict with
+                | Ok () ->
+                    pr "ok   [%s] %s ops=%d steps=%d\n" bname (Diff.describe w)
+                      r.Diff.ops r.Diff.steps
+                | Error m ->
+                    incr failed;
+                    pr "FAIL [%s] %s: %s\n" bname (Diff.describe w) m)
+              backends)
+          protos
+      done;
+      if !failed > 0 then exit 1
+
+let diff_cmd =
+  let write_golden =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-golden" ] ~docv:"FILE"
+          ~doc:
+            "Regenerate the committed sim-driver golden baselines (one \
+             canonical history line per (seed, protocol)) and exit.")
+  in
+  let check_golden =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "check-golden" ] ~docv:"FILE"
+          ~doc:
+            "Re-run the golden workloads on the sim driver and fail unless \
+             every line is byte-identical to $(docv).")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 10
+      & info [ "seeds" ] ~docv:"N" ~doc:"How many seeds to sweep.")
+  in
+  let from =
+    Arg.(
+      value & opt int 1 & info [ "from" ] ~docv:"SEED" ~doc:"First seed.")
+  in
+  let proto =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "proto" ] ~docv:"PROTO"
+          ~doc:"Restrict to one protocol (sticky|verifiable|testorset).")
+  in
+  let backend =
+    Arg.(
+      value & opt string "sim"
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Which driver(s) to sweep: the deterministic simulator ($(b,sim)), \
+             the OCaml 5 domains backend ($(b,domains)), or $(b,both).")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Differential conformance: run seed-derived workloads on the \
+          deterministic simulator and/or the OCaml 5 domains backend (and \
+          check the sim against the committed golden baselines)")
+    Term.(
+      const diff_cmd_run $ write_golden $ check_golden $ seeds $ from $ proto
+      $ backend)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -755,5 +867,5 @@ let () =
           [
             verify_cmd; sticky_cmd; impossibility_cmd; sweep_cmd; fuzz_cmd;
             chaos_cmd; trace_cmd; audit_cmd; explore_cmd; synth_cmd;
-            scenario_cmd;
+            scenario_cmd; diff_cmd;
           ]))

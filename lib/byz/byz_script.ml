@@ -29,12 +29,6 @@ let describe (sc : t) : string =
   Printf.sprintf "p%d:%s[%s]" sc.pid sc.value
     (String.concat "," (List.map string_of_int (genome sc)))
 
-(* Total decoding: gene [i] of the (cycling) genome, reduced mod 3.
-   0 = silent/deny, 1 = claim [value], 2 = honest. *)
-let gene (sc : t) i : int =
-  let len = Array.length sc.genome in
-  if len = 0 then 0 else abs sc.genome.(i mod len) mod 3
-
 let mutate rng (sc : t) : t =
   let len = Array.length sc.genome in
   if len = 0 then { sc with genome = [| Rng.int rng 6 |] }
@@ -51,132 +45,26 @@ let mutate rng (sc : t) : t =
 (* ---------------- Sticky register (Algorithm 2) ---------------- *)
 
 let spawn_sticky sched (regs : Lnd_sticky.Sticky.regs) (sc : t) : Sched.fiber =
-  let open Lnd_sticky.Sticky in
-  let vopt v = Univ.inj Codecs.value_opt v in
-  let stamped u c = Univ.inj Codecs.vopt_stamped (u, c) in
-  let read_vopt reg =
-    Univ.prj_default Codecs.value_opt ~default:None (Cell.read reg)
-  in
-  let n = regs.cfg.n in
+  let n = regs.Lnd_sticky.Sticky.cfg.Lnd_sticky.Sticky.n in
   Sched.spawn sched ~pid:sc.pid
     ~name:(Printf.sprintf "byz-script%d" sc.pid)
     ~daemon:true
     (fun () ->
-      let prev = Array.make n 0 in
-      let replies = ref 0 in
-      let echoed = ref false and witnessed = ref false in
-      while true do
-        (* gene 0: posture on the echo register E_pid (once) *)
-        (if not !echoed then
-           match gene sc 0 with
-           | 1 ->
-               Cell.write regs.e.(sc.pid) (vopt (Some sc.value));
-               echoed := true
-           | 2 -> (
-               (* honest: copy the writer's echo once it appears *)
-               match read_vopt regs.e.(0) with
-               | Some _ as u ->
-                   Cell.write regs.e.(sc.pid) (vopt u);
-                   echoed := true
-               | None -> ())
-           | _ -> echoed := true (* stay silent for good *));
-        (* gene 1: posture on the witness register R_pid (once) *)
-        (if not !witnessed then
-           match gene sc 1 with
-           | 1 ->
-               Cell.write regs.r.(sc.pid) (vopt (Some sc.value));
-               witnessed := true
-           | 2 -> (
-               match read_vopt regs.e.(0) with
-               | Some _ as u ->
-                   Cell.write regs.r.(sc.pid) (vopt u);
-                   witnessed := true
-               | None -> ())
-           | _ -> witnessed := true);
-        (* answer askers; one reply gene per reply sent *)
-        let answered = ref false in
-        for k = 1 to n - 1 do
-          if k <> sc.pid then begin
-            let ck =
-              Univ.prj_default Codecs.counter ~default:0 (Cell.read regs.c.(k))
-            in
-            if ck > prev.(k) then begin
-              let payload =
-                match gene sc (2 + !replies) with
-                | 1 -> Some sc.value
-                | 2 -> read_vopt regs.r.(sc.pid)
-                | _ -> None
-              in
-              incr replies;
-              Cell.write regs.rjk.(sc.pid).(k) (stamped payload ck);
-              prev.(k) <- ck;
-              answered := true
-            end
-          end
-        done;
-        if not !answered then Sched.yield ()
-      done)
+      Drive.run
+        ~cell:(Lnd_sticky.Sticky.cell_of regs)
+        (Byz_script_core.sticky_prog ~n ~pid:sc.pid ~genome:sc.genome
+           ~value:sc.value))
 
 (* ---------------- Verifiable register (Algorithm 1) ---------------- *)
 
 let spawn_verifiable sched (regs : Lnd_verifiable.Verifiable.regs) (sc : t) :
     Sched.fiber =
-  let open Lnd_verifiable.Verifiable in
-  let vset_of s = Univ.inj Codecs.vset s in
-  let stamped s c = Univ.inj Codecs.vset_stamped (s, c) in
-  let read_vset reg =
-    Univ.prj_default Codecs.vset ~default:Value.Set.empty (Cell.read reg)
-  in
-  let n = regs.cfg.n in
+  let n = regs.Lnd_verifiable.Verifiable.cfg.Lnd_verifiable.Verifiable.n in
   Sched.spawn sched ~pid:sc.pid
     ~name:(Printf.sprintf "byz-script%d" sc.pid)
     ~daemon:true
     (fun () ->
-      let prev = Array.make n 0 in
-      let replies = ref 0 in
-      let announced = ref false and witnessed = ref false in
-      while true do
-        (* gene 0: posture on R* — only its owner (the writer) can act *)
-        (if not !announced then
-           if sc.pid <> 0 then announced := true
-           else
-             match gene sc 0 with
-             | 1 ->
-                 Cell.write regs.rstar (Univ.inj Codecs.value sc.value);
-                 announced := true
-             | _ -> announced := true);
-        (* gene 1: posture on the witness register R_pid (once) *)
-        (if not !witnessed then
-           match gene sc 1 with
-           | 1 ->
-               Cell.write regs.r.(sc.pid) (vset_of (Value.Set.singleton sc.value));
-               witnessed := true
-           | 2 ->
-               let s = read_vset regs.r.(0) in
-               if not (Value.Set.is_empty s) then begin
-                 Cell.write regs.r.(sc.pid) (vset_of s);
-                 witnessed := true
-               end
-           | _ -> witnessed := true);
-        let answered = ref false in
-        for k = 1 to n - 1 do
-          if k <> sc.pid then begin
-            let ck =
-              Univ.prj_default Codecs.counter ~default:0 (Cell.read regs.c.(k))
-            in
-            if ck > prev.(k) then begin
-              let payload =
-                match gene sc (2 + !replies) with
-                | 1 -> Value.Set.singleton sc.value
-                | 2 -> read_vset regs.r.(sc.pid)
-                | _ -> Value.Set.empty
-              in
-              incr replies;
-              Cell.write regs.rjk.(sc.pid).(k) (stamped payload ck);
-              prev.(k) <- ck;
-              answered := true
-            end
-          end
-        done;
-        if not !answered then Sched.yield ()
-      done)
+      Drive.run
+        ~cell:(Lnd_verifiable.Verifiable.cell_of regs)
+        (Byz_script_core.verifiable_prog ~n ~pid:sc.pid ~genome:sc.genome
+           ~value:sc.value))

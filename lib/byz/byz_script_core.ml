@@ -1,0 +1,156 @@
+(* Genome-scripted Byzantine adversaries as pure state machines.
+
+   The interpreter for a genome (see Byz_script for the gene layout) is
+   itself a protocol core: a resumable Machine program over the sticky or
+   verifiable register names, with the adversary's bookkeeping (which
+   askers were already answered, how many replies were sent, whether the
+   posture registers were settled) threaded functionally. Byz_script
+   spawns these programs on the simulator; the domains backend
+   (Lnd_parallel) runs the same genomes with real preemption, so a
+   scripted adversary misbehaves identically — access for access — on
+   both backends. *)
+
+open Lnd_support
+open Machine
+
+(* Total decoding: gene [i] of the (cycling) genome, reduced mod 3.
+   0 = silent/deny, 1 = claim the scripted value, 2 = honest. *)
+let[@lnd.pure] gene (genome : int array) i : int =
+  let len = Array.length genome in
+  if len = 0 then 0 else abs genome.(i mod len) mod 3
+
+module PidMap = Map.Make (Int)
+
+(* ---------------- Sticky register (Algorithm 2) ---------------- *)
+
+let[@lnd.pure] sticky_prog ~n ~pid ~(genome : int array) ~(value : Value.t) :
+    (Lnd_sticky.Sticky_core.reg, unit) prog =
+  let open Lnd_sticky.Sticky_core in
+  let rec round prev replies echoed witnessed =
+    let prev_of k = match PidMap.find_opt k prev with Some c -> c | None -> 0 in
+    (* gene 0: posture on the echo register E_pid (once) *)
+    let* echoed =
+      if echoed then ret true
+      else
+        match gene genome 0 with
+        | 1 ->
+            let* () = write (E pid) (enc_vopt (Some value)) in
+            ret true
+        | 2 -> (
+            (* honest: copy the writer's echo once it appears *)
+            let* u = read (E 0) in
+            match dec_vopt u with
+            | Some _ as e1 ->
+                let* () = write (E pid) (enc_vopt e1) in
+                ret true
+            | None -> ret false)
+        | _ -> ret true (* stay silent for good *)
+    in
+    (* gene 1: posture on the witness register R_pid (once) *)
+    let* witnessed =
+      if witnessed then ret true
+      else
+        match gene genome 1 with
+        | 1 ->
+            let* () = write (R pid) (enc_vopt (Some value)) in
+            ret true
+        | 2 -> (
+            let* u = read (E 0) in
+            match dec_vopt u with
+            | Some _ as e1 ->
+                let* () = write (R pid) (enc_vopt e1) in
+                ret true
+            | None -> ret false)
+        | _ -> ret true
+    in
+    (* answer askers; one reply gene per reply sent *)
+    let rec answer k prev replies answered =
+      if k >= n then ret (prev, replies, answered)
+      else if k = pid then answer (k + 1) prev replies answered
+      else
+        let* cku = read (C k) in
+        let ck = dec_counter cku in
+        if ck > prev_of k then
+          let* payload =
+            match gene genome (2 + replies) with
+            | 1 -> ret (Some value)
+            | 2 ->
+                let* u = read (R pid) in
+                ret (dec_vopt u)
+            | _ -> ret None
+          in
+          let replies = replies + 1 in
+          let* () = write (Rjk (pid, k)) (enc_stamped payload ck) in
+          answer (k + 1) (PidMap.add k ck prev) replies true
+        else answer (k + 1) prev replies answered
+    in
+    let* prev, replies, answered = answer 1 prev replies false in
+    if answered then round prev replies echoed witnessed
+    else
+      let* () = yield in
+      round prev replies echoed witnessed
+  in
+  round PidMap.empty 0 false false
+
+(* ---------------- Verifiable register (Algorithm 1) ---------------- *)
+
+let[@lnd.pure] verifiable_prog ~n ~pid ~(genome : int array) ~(value : Value.t)
+    : (Lnd_verifiable.Verifiable_core.reg, unit) prog =
+  let open Lnd_verifiable.Verifiable_core in
+  let rec round prev replies announced witnessed =
+    let prev_of k = match PidMap.find_opt k prev with Some c -> c | None -> 0 in
+    (* gene 0: posture on R* — only its owner (the writer) can act *)
+    let* announced =
+      if announced then ret true
+      else if pid <> 0 then ret true
+      else
+        match gene genome 0 with
+        | 1 ->
+            let* () = write Rstar (enc_value value) in
+            ret true
+        | _ -> ret true
+    in
+    (* gene 1: posture on the witness register R_pid (once) *)
+    let* witnessed =
+      if witnessed then ret true
+      else
+        match gene genome 1 with
+        | 1 ->
+            let* () = write (R pid) (enc_vset (Value.Set.singleton value)) in
+            ret true
+        | 2 ->
+            let* u = read (R 0) in
+            let s = dec_vset u in
+            if not (Value.Set.is_empty s) then
+              let* () = write (R pid) (enc_vset s) in
+              ret true
+            else ret false
+        | _ -> ret true
+    in
+    let rec answer k prev replies answered =
+      if k >= n then ret (prev, replies, answered)
+      else if k = pid then answer (k + 1) prev replies answered
+      else
+        let* cku = read (C k) in
+        let ck = dec_counter cku in
+        if ck > prev_of k then
+          let* payload =
+            match gene genome (2 + replies) with
+            | 1 -> ret (Value.Set.singleton value)
+            | 2 ->
+                let* u = read (R pid) in
+                ret (dec_vset u)
+            | _ -> ret Value.Set.empty
+          in
+          let replies = replies + 1 in
+          let* () = write (Rjk (pid, k)) (enc_stamped payload ck) in
+          answer (k + 1) (PidMap.add k ck prev) replies true
+        else answer (k + 1) prev replies answered
+    in
+    let* prev, replies, answered = answer 1 prev replies false in
+    if answered then round prev replies announced witnessed
+    else
+      let* () = yield in
+      round prev replies announced witnessed
+  in
+  round PidMap.empty 0 false false

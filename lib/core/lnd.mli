@@ -89,3 +89,9 @@ module Byz_script = Lnd_byz.Byz_script
 module Mcheck = Lnd_fuzz.Mcheck
 module Scenario = Lnd_fuzz.Scenario
 module Synth = Lnd_fuzz.Synth
+
+(** {1 Parallel backend & differential conformance} *)
+
+module Diff = Lnd_parallel.Diff
+module Parallel = Lnd_parallel.Parallel
+module Domains = Lnd_runtime.Domains

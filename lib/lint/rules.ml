@@ -109,8 +109,10 @@ let protocol_dirs =
    the runtime: Sched replays recorded fiber trails and Explore proves
    schedule-space exhaustion by replaying prefixes step-for-step, so an
    unspecified (and randomizable) Hashtbl bucket order anywhere in that
-   machinery silently breaks counterexample replay. *)
-let ordered_iter_dirs = "lib/runtime" :: protocol_dirs
+   machinery silently breaks counterexample replay. lib/parallel rides
+   along: its sim driver renders the byte-identical golden baselines,
+   so its iteration order is equally load-bearing. *)
+let ordered_iter_dirs = "lib/runtime" :: "lib/parallel" :: protocol_dirs
 
 let quorum_dirs =
   [ "lib/sticky"; "lib/verifiable"; "lib/msgpass"; "lib/audit" ]

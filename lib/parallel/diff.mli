@@ -1,0 +1,122 @@
+(** Differential conformance suite between the two protocol drivers.
+
+    A [work] value — derived deterministically from a (protocol, seed)
+    pair — fully describes one workload: system size, which pids run
+    scripted Byzantine adversaries (and their {!Lnd_byz.Byz_script}
+    genomes), how many values the writer writes, and each correct
+    reader's explicit operation program. The same [work] is executed by
+    the deterministic effects-based simulator (driver #1, here) and by
+    the OCaml 5 domains backend (driver #2, {!Parallel}); each run folds
+    into a {!Lnd_history.History.t} and is judged by the same monitors +
+    Byzantine-linearizability checkers.
+
+    The sim driver additionally renders each history to a canonical
+    one-line string and compares it byte-for-byte against the committed
+    pre-refactor golden baselines
+    ([test/fixtures/diff/golden_sim.txt]). *)
+
+open Lnd_support
+
+type proto = Sticky | Verifiable | Testorset
+
+val proto_name : proto -> string
+val proto_of_name : string -> proto option
+val all_protos : proto list
+
+type item = I_read | I_verify of Value.t | I_test
+
+type work = {
+  seed : int;
+  proto : proto;
+  n : int;
+  f : int;
+  tos_verifiable : bool;
+      (** test-or-set backend: which Observation 25 construction *)
+  scripts : (int * int list) list;
+      (** Byz_script genome per actually-faulty pid *)
+  script_value : Value.t;  (** the value scripted adversaries claim *)
+  writes : int;  (** writer values (testorset: SETs) *)
+  programs : (int * item list) list;  (** per correct reader pid *)
+}
+
+val value_pool : Value.t array
+(** The values the (correct) writer writes, in order, cycling. *)
+
+val generate : proto:proto -> int -> work
+(** Deterministic in (proto, seed). Always n >= 3f + 1 with at most f
+    actually-faulty pids and a correct writer (pid 0), so every correct
+    operation terminates on both backends. *)
+
+val byzantine_pids : work -> int list
+val describe : work -> string
+
+(** {2 Spec-level acceptance (shared by both backends)} *)
+
+val byzlin_op_cap : int
+(** Histories above this many completed operations are judged by the
+    monitors only (the exhaustive search is exponential). *)
+
+val check_sticky_history :
+  correct:(int -> bool) ->
+  (Lnd_history.Spec.Sticky_spec.op, Lnd_history.Spec.Sticky_spec.res)
+  Lnd_history.History.t ->
+  (unit, string) result
+
+val check_verifiable_history :
+  correct:(int -> bool) ->
+  (Lnd_history.Spec.Verifiable_spec.op, Lnd_history.Spec.Verifiable_spec.res)
+  Lnd_history.History.t ->
+  (unit, string) result
+
+val check_testorset_history :
+  correct:(int -> bool) ->
+  (Lnd_history.Spec.Testorset_spec.op, Lnd_history.Spec.Testorset_spec.res)
+  Lnd_history.History.t ->
+  (unit, string) result
+
+(** {2 Canonical history rendering} *)
+
+val render_sticky :
+  (Lnd_history.Spec.Sticky_spec.op, Lnd_history.Spec.Sticky_spec.res)
+  Lnd_history.History.t ->
+  string
+
+val render_verifiable :
+  (Lnd_history.Spec.Verifiable_spec.op, Lnd_history.Spec.Verifiable_spec.res)
+  Lnd_history.History.t ->
+  string
+
+val render_testorset :
+  (Lnd_history.Spec.Testorset_spec.op, Lnd_history.Spec.Testorset_spec.res)
+  Lnd_history.History.t ->
+  string
+
+(** {2 Driver #1: the deterministic simulator} *)
+
+type run = {
+  ops : int;  (** completed operations in the history *)
+  steps : int;  (** scheduler steps (sim) or machine turns (domains) *)
+  verdict : (unit, string) result;
+  rendered : string;  (** canonical history *)
+}
+
+val sim : work -> run
+(** Execute the workload on the effects-based simulator, to quiescence,
+    under [Policy.random] seeded from the work. *)
+
+val sim_line : work -> string
+(** [describe] + verdict + canonical history: one golden-baseline line. *)
+
+(** {2 Golden baselines (sim driver)} *)
+
+val golden_seed_from : int
+val golden_seed_count : int
+
+val golden_lines : from:int -> count:int -> string list
+(** [sim_line] over seeds [from .. from+count-1] times {!all_protos}. *)
+
+val write_golden : string -> unit
+
+val check_golden : string -> (int * string * string) list
+(** Mismatching (line number, expected, got) triples against the
+    committed fixture; [[]] means byte-identical. *)

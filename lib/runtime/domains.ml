@@ -1,0 +1,240 @@
+(* Driver #2: OCaml 5 domains.
+
+   The same pure Machine programs the simulator drives (Drive.run) are
+   executed here with real preemption: one domain per process, shared
+   registers as mutex-protected cells, and a global atomic logical clock
+   stamping operation invocations/responses for the history.
+
+   Within a domain, the process's machines — the current client
+   operation plus its background daemons (help, scripted adversaries) —
+   are interleaved cooperatively at their Yield points, mirroring the
+   per-process fiber structure of the simulator. Across domains there is
+   no schedule at all: interleavings are whatever the hardware and the
+   OS produce, which is exactly what the differential conformance suite
+   wants to confront the cores with.
+
+   Termination discipline: client operations ("jobs") run to completion
+   in program order; daemons are abandoned once every job in the whole
+   run has completed (they are just values — nothing to clean up). A
+   per-domain step budget turns a deadlocked or diverging run into an
+   [Error] instead of a hang. *)
+
+open Lnd_support
+
+(* ---------------- Shared registers ---------------- *)
+
+module Dcell = struct
+  type t = { name : string; m : Mutex.t; mutable v : Univ.t }
+
+  let make ~name ~init : t = { name; m = Mutex.create (); v = init }
+  let name (c : t) = c.name
+
+  let read (c : t) : Univ.t =
+    Mutex.lock c.m;
+    let v = c.v in
+    Mutex.unlock c.m;
+    v
+
+  let write (c : t) (u : Univ.t) : unit =
+    Mutex.lock c.m;
+    c.v <- u;
+    Mutex.unlock c.m
+end
+
+(* ---------------- Logical clock ---------------- *)
+
+type clock = int Atomic.t
+
+let tick (c : clock) : int = Atomic.fetch_and_add c 1
+
+(* ---------------- Machines ---------------- *)
+
+(* A job is one client operation: built lazily (its program may depend
+   on state left by earlier jobs, e.g. a reader's round counter), and
+   stamped with invocation/response times from the global clock. *)
+type job =
+  | Job : {
+      prog : unit -> ('reg, 'a) Machine.prog;
+      cell : 'reg -> Dcell.t;
+      finish : inv:int -> ret:int -> 'a -> unit;
+    }
+      -> job
+
+let job ~cell ~finish prog = Job { prog; cell; finish }
+
+(* A daemon never returns a result; [critical = false] marks machines
+   (scripted adversaries) whose failure must not fail the run, matching
+   the simulator's treatment of Byzantine fibers. *)
+type daemon =
+  | Daemon : {
+      label : string;
+      critical : bool;
+      prog : ('reg, unit) Machine.prog;
+      cell : 'reg -> Dcell.t;
+    }
+      -> daemon
+
+let daemon ~label ?(critical = true) ~cell prog =
+  Daemon { label; critical; prog; cell }
+
+(* A machine in flight. *)
+type runnable =
+  | Run : {
+      label : string;
+      critical : bool;
+      mutable st : ('reg, 'a) Machine.prog;
+      mutable ev : Machine.event;
+      cell : 'reg -> Dcell.t;
+      fin : 'a -> unit;
+      mutable dead : bool;
+    }
+      -> runnable
+
+type proc = { pid : int; jobs : job list; daemons : daemon list }
+
+type t = {
+  clock : clock;
+  step_budget : int;
+  mutable procs : proc list; (* newest first; sorted at [run] *)
+}
+
+let default_step_budget = 50_000_000
+
+let create ?(step_budget = default_step_budget) () : t =
+  { clock = Atomic.make 1; step_budget; procs = [] }
+
+let now (t : t) : int = Atomic.get t.clock
+
+let add_process (t : t) ~pid ?(daemons = []) (jobs : job list) : unit =
+  if List.exists (fun p -> p.pid = pid) t.procs then
+    invalid_arg "Domains.add_process: duplicate pid";
+  t.procs <- { pid; jobs; daemons } :: t.procs
+
+exception Abort of string
+
+(* ---------------- The per-domain loop ---------------- *)
+
+(* Advance one machine to its next Yield (one "turn"), answering reads
+   inline: on the domains backend a register read never blocks, so the
+   only preemption points *within* a domain are the cores' explicit
+   yields — between domains, every shared access races for real. *)
+let turn ~steps ~budget ~pid (Run m) : [ `Yielded | `Done | `Dead ] =
+  if m.dead then `Dead
+  else
+    try
+      let rec go () =
+        incr steps;
+        if !steps > budget then
+          raise
+            (Abort (Printf.sprintf "p%d: domain step budget exhausted" pid));
+        let st, acts = Machine.step m.st m.ev in
+        m.st <- st;
+        let out = ref `Continue in
+        List.iter
+          (fun a ->
+            match a with
+            | Machine.A_write (r, u) -> Dcell.write (m.cell r) u
+            | Machine.A_note _ -> ()
+            | Machine.A_read r -> m.ev <- Machine.Got (Dcell.read (m.cell r))
+            | Machine.A_yield ->
+                m.ev <- Machine.Ack;
+                out := `Yielded
+            | Machine.A_done ->
+                m.fin (Option.get (Machine.result m.st));
+                out := `Done)
+          acts;
+        match !out with `Continue -> go () | (`Yielded | `Done) as r -> r
+      in
+      go ()
+    with
+    | Abort _ as e -> raise e
+    | e ->
+        m.dead <- true;
+        if m.critical then
+          raise
+            (Abort
+               (Printf.sprintf "correct machine %s failed: %s" m.label
+                  (Printexc.to_string e)))
+        else `Dead
+
+let run (t : t) : (int, string) result =
+  let procs = List.sort (fun a b -> compare a.pid b.pid) t.procs in
+  let total_jobs =
+    List.fold_left (fun acc p -> acc + List.length p.jobs) 0 procs
+  in
+  let remaining = Atomic.make total_jobs in
+  let aborted : string option Atomic.t = Atomic.make None in
+  let steps_total = Atomic.make 0 in
+  let body (p : proc) () =
+    let steps = ref 0 in
+    let daemons =
+      List.map
+        (fun (Daemon d) ->
+          Run
+            {
+              label = d.label;
+              critical = d.critical;
+              st = d.prog;
+              ev = Machine.Start;
+              cell = d.cell;
+              fin = (fun () -> ());
+              dead = false;
+            })
+        p.daemons
+    in
+    let jobs = ref p.jobs in
+    let current : runnable option ref = ref None in
+    let has_current () = match !current with Some _ -> true | None -> false in
+    let has_jobs () = match !jobs with [] -> false | _ :: _ -> true in
+    let has_daemons = match daemons with [] -> false | _ :: _ -> true in
+    (try
+       let continue () =
+         (match Atomic.get aborted with Some _ -> false | None -> true)
+         && (has_current () || has_jobs ()
+            || (has_daemons && Atomic.get remaining > 0))
+       in
+       while continue () do
+         (match (!current, !jobs) with
+         | None, Job j :: rest ->
+             jobs := rest;
+             let inv = tick t.clock in
+             current :=
+               Some
+                 (Run
+                    {
+                      label = Printf.sprintf "p%d-op" p.pid;
+                      critical = true;
+                      st = j.prog ();
+                      ev = Machine.Start;
+                      cell = j.cell;
+                      fin =
+                        (fun a ->
+                          let ret = tick t.clock in
+                          j.finish ~inv ~ret a;
+                          Atomic.decr remaining);
+                      dead = false;
+                    })
+         | _ -> ());
+         (match !current with
+         | Some r -> (
+             match turn ~steps ~budget:t.step_budget ~pid:p.pid r with
+             | `Done | `Dead -> current := None
+             | `Yielded -> ())
+         | None -> ());
+         List.iter
+           (fun d ->
+             ignore (turn ~steps ~budget:t.step_budget ~pid:p.pid d))
+           daemons;
+         if (not (has_current ())) && not (has_jobs ()) then Domain.cpu_relax ()
+       done
+     with Abort m -> ignore (Atomic.compare_and_set aborted None (Some m)));
+    ignore (Atomic.fetch_and_add steps_total !steps)
+  in
+  let spawned = List.map (fun p -> Domain.spawn (body p)) procs in
+  List.iter Domain.join spawned;
+  match Atomic.get aborted with
+  | Some m -> Error m
+  | None ->
+      if Atomic.get remaining > 0 then
+        Error "domains run ended with incomplete operations"
+      else Ok (Atomic.get steps_total)

@@ -1,0 +1,66 @@
+(** Driver #2: OCaml 5 domains.
+
+    Runs the same pure {!Lnd_support.Machine} programs the simulator
+    drives, but with real preemption: one domain per process, shared
+    registers as mutex-protected cells ({!Dcell}), and a global atomic
+    logical clock stamping operation intervals for the history. Within a
+    domain the process's machines (current operation + background
+    daemons) interleave cooperatively at Yield points; across domains
+    the interleaving is whatever the hardware produces. See DESIGN.md,
+    "Pure cores and drivers". *)
+
+open Lnd_support
+
+(** Mutex-protected shared register. *)
+module Dcell : sig
+  type t
+
+  val make : name:string -> init:Univ.t -> t
+  val name : t -> string
+  val read : t -> Univ.t
+  val write : t -> Univ.t -> unit
+end
+
+type clock = int Atomic.t
+
+val tick : clock -> int
+(** Next logical timestamp (atomic fetch-and-add). *)
+
+type job
+(** One client operation: a lazily-built machine program plus a [finish]
+    callback receiving the invocation/response timestamps and the
+    result. Jobs of one process run sequentially, in order. *)
+
+val job :
+  cell:('reg -> Dcell.t) ->
+  finish:(inv:int -> ret:int -> 'a -> unit) ->
+  (unit -> ('reg, 'a) Machine.prog) ->
+  job
+
+type daemon
+(** A background machine (help loop, scripted adversary). Daemons are
+    abandoned once every job of the whole run has completed.
+    [critical:false] marks machines whose failure must not fail the run
+    (Byzantine processes, mirroring the simulator's treatment). *)
+
+val daemon :
+  label:string ->
+  ?critical:bool ->
+  cell:('reg -> Dcell.t) ->
+  ('reg, unit) Machine.prog ->
+  daemon
+
+type t
+
+val create : ?step_budget:int -> unit -> t
+(** [step_budget] bounds Machine steps per domain, turning deadlock or
+    divergence into [Error] instead of a hang. *)
+
+val now : t -> int
+val add_process : t -> pid:int -> ?daemons:daemon list -> job list -> unit
+
+val run : t -> (int, string) result
+(** Spawns one domain per registered process, joins them all. [Ok steps]
+    (total machine steps across domains) once every job completed;
+    [Error _] if a correct machine raised, a budget was exhausted, or
+    jobs were left incomplete. *)

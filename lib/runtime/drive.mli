@@ -1,0 +1,18 @@
+(** Driver #1: run a pure protocol core ({!Lnd_support.Machine}) on the
+    deterministic effects-based simulator.
+
+    One [A_read]/[A_write] action is one {!Cell.read}/{!Cell.write} (one
+    scheduler step each, in program order); one [A_yield] is one
+    {!Sched.yield}. A core driven here performs exactly the effect
+    sequence of the inlined implementation it was extracted from. *)
+
+open Lnd_support
+
+val run :
+  ?on_note:(Machine.note -> unit) ->
+  cell:('reg -> Cell.t) ->
+  ('reg, 'a) Machine.prog ->
+  'a
+(** Must be invoked from within a fiber. [on_note] receives protocol
+    annotations in program order (default: ignore); protocol drivers map
+    them to Obs spans. *)

@@ -10,7 +10,12 @@
 
    Once any correct process reads v ≠ ⊥, every later read returns v, even
    if the writer is Byzantine (Observation 18). Correct processes must run
-   [help] in the background. *)
+   [help] in the background.
+
+   The protocol itself lives in Sticky_core as pure state-machine
+   programs; this module owns the register layout and drives those
+   programs on the deterministic simulator (Lnd_runtime.Drive), emitting
+   the Obs spans around them. *)
 
 open Lnd_support
 open Lnd_runtime
@@ -72,31 +77,16 @@ let alloc_with (mk : Cell.allocator) (cfg : config) : regs =
 
 let alloc space (cfg : config) : regs = alloc_with (Cell.shm_allocator space) cfg
 
-(* Defensive decoders: ill-typed content reads as the initial value. *)
-let read_vopt reg = Univ.prj_default Codecs.value_opt ~default:None (Cell.read reg)
+let value_with_quorum = Sticky_core.value_with_quorum
 
-let read_stamped reg =
-  Univ.prj_default Codecs.vopt_stamped ~default:(None, 0) (Cell.read reg)
-
-let read_counter reg = Univ.prj_default Codecs.counter ~default:0 (Cell.read reg)
-
-(* Count, over an array of optional values, how many equal [v]. *)
-let[@lnd.pure] count_eq (arr : Value.t option array) (v : Value.t) : int =
-  Array.fold_left
-    (fun acc u -> match u with Some x when Value.equal x v -> acc + 1 | _ -> acc)
-    0 arr
-
-(* The (unique, per Lemma 98-style counting) value reaching [threshold]
-   copies in [arr], if any. *)
-let[@lnd.pure] value_with_quorum (arr : Value.t option array) ~threshold : Value.t option =
-  let found = ref None in
-  Array.iter
-    (fun u ->
-      match (u, !found) with
-      | Some v, None -> if count_eq arr v >= threshold then found := Some v
-      | _ -> ())
-    arr;
-  !found
+(* Map the core's abstract register names onto this layout (shared by
+   every sim-side driver of Sticky_core programs, including the scripted
+   adversaries in Lnd_byz). *)
+let cell_of (rg : regs) : Sticky_core.reg -> Cell.t = function
+  | Sticky_core.E i -> rg.e.(i)
+  | Sticky_core.R i -> rg.r.(i)
+  | Sticky_core.Rjk (j, k) -> rg.rjk.(j).(k)
+  | Sticky_core.C k -> rg.c.(k)
 
 (* ---------------- Writer (p0): WRITE(v), lines 1-6 ---------------- *)
 
@@ -106,23 +96,10 @@ let writer (rg : regs) : writer = { w_regs = rg }
 
 let write (w : writer) (v : Value.t) : unit =
   let rg = w.w_regs in
-  let n = rg.cfg.n in
   let sp =
     if Obs.enabled () then Obs.span_open ~name:"WRITE" ~arg:v () else 0
   in
-  (* line 1: a second write is a no-op returning done *)
-  if read_vopt rg.e.(0) = None then begin
-    (* line 2 *)
-    Cell.write rg.e.(0) (Univ.inj Codecs.value_opt (Some v));
-    (* lines 3-5: wait until n-f processes witness v; yield between
-       poll passes — the wait is a voluntary scheduling point *)
-    let witnessed = ref false in
-    while not !witnessed do
-      let rs = Array.init n (fun i -> read_vopt rg.r.(i)) in
-      if Quorum.has_availability rg.q (count_eq rs v) then witnessed := true
-      else Sched.yield ()
-    done
-  end;
+  Drive.run ~cell:(cell_of rg) (Sticky_core.write_prog ~n:rg.cfg.n ~q:rg.q v);
   if Obs.enabled () then Obs.span_close ~result:"done" ~name:"WRITE" sp
 
 (* ---------------- Readers: READ(), lines 7-22 ---------------- *)
@@ -133,135 +110,36 @@ let reader (rg : regs) ~pid : reader =
   if pid <= 0 || pid >= rg.cfg.n then invalid_arg "Sticky.reader: bad pid";
   { rd_regs = rg; rd_pid = pid; ck = 0 }
 
-module PidSet = Set.Make (Int)
-module PidMap = Map.Make (Int)
-
 let read (rd : reader) : Value.t option =
-  let n = rd.rd_regs.cfg.n in
-  let q = rd.rd_regs.q in
+  let rg = rd.rd_regs in
   let sp = if Obs.enabled () then Obs.span_open ~name:"READ" () else 0 in
-  let set_bot = ref PidSet.empty in
-  let set_val = ref PidMap.empty (* pid -> witnessed value *) in
-  let result = ref None in
-  let finished = ref false in
-  while not !finished do
-    (* line 9 *)
-    rd.ck <- rd.ck + 1;
-    Cell.write rd.rd_regs.c.(rd.rd_pid) (Univ.inj Codecs.counter rd.ck);
-    (* line 10: S = processes not yet classified *)
-    let in_s j = (not (PidSet.mem j !set_bot)) && not (PidMap.mem j !set_val) in
-    (* lines 11-14: poll S until someone answered this round *)
-    let reply = ref None in
-    while !reply = None do
-      let polled_any = ref false in
-      for j = 0 to n - 1 do
-        if !reply = None && in_s j then begin
-          polled_any := true;
-          let uj, cj = read_stamped rd.rd_regs.rjk.(j).(rd.rd_pid) in
-          if cj >= rd.ck then reply := Some (j, uj)
-        end
-      done;
-      ignore !polled_any;
-      (* an unsuccessful poll pass is a voluntary scheduling point (and
-         keeps the fiber live on deliberately broken configurations
-         where S empties — unreachable when n > 3f, Lemma 105) *)
-      if !reply = None then Sched.yield ()
-    done;
-    (match !reply with
-    | None -> assert false
-    | Some (j, uj) -> (
-        match uj with
-        | Some v ->
-            (* lines 15-17 *)
-            set_val := PidMap.add j v !set_val;
-            set_bot := PidSet.empty
-        | None ->
-            (* lines 18-19 *)
-            set_bot := PidSet.add j !set_bot));
-    (* line 20: some value witnessed by >= n-f processes in set_val? *)
-    let counts =
-      PidMap.fold
-        (fun _ v acc ->
-          let cur = try List.assoc v acc with Not_found -> 0 in
-          (v, cur + 1) :: List.remove_assoc v acc)
-        !set_val []
-    in
-    (match
-       List.find_opt (fun (_, cnt) -> Quorum.has_availability q cnt) counts
-     with
-    | Some (v, _) ->
-        result := Some v;
-        finished := true
-    | None ->
-        (* line 22 *)
-        if Quorum.exceeds_faults q (PidSet.cardinal !set_bot) then begin
-          result := None;
-          finished := true
-        end)
-  done;
+  let result, ck =
+    Drive.run ~cell:(cell_of rg)
+      (Sticky_core.read_prog ~n:rg.cfg.n ~q:rg.q ~pid:rd.rd_pid ~ck:rd.ck)
+  in
+  rd.ck <- ck;
   if Obs.enabled () then
     Obs.span_close
-      ~result:(match !result with None -> "⊥" | Some v -> "v:" ^ v)
+      ~result:(match result with None -> "⊥" | Some v -> "v:" ^ v)
       ~name:"READ" sp;
-  !result
+  result
 
 (* ---------------- Help() — lines 23-40 ---------------- *)
 
 let help (rg : regs) ~pid : unit =
-  let n = rg.cfg.n in
-  let prev_c = Array.make n 0 in
-  while true do
-    (* lines 25-27: echo the writer's value, once *)
-    if read_vopt rg.e.(pid) = None then begin
-      let e1 = read_vopt rg.e.(0) in
-      match e1 with
-      | Some _ -> Cell.write rg.e.(pid) (Univ.inj Codecs.value_opt e1)
-      | None -> ()
-    end;
-    (* lines 28-30: become a witness of a value echoed by n-f processes *)
-    if read_vopt rg.r.(pid) = None then begin
-      let es = Array.init n (fun i -> read_vopt rg.e.(i)) in
-      match value_with_quorum es ~threshold:(Quorum.availability rg.q) with
-      | Some v -> Cell.write rg.r.(pid) (Univ.inj Codecs.value_opt (Some v))
-      | None -> ()
-    end;
-    (* lines 31-32 *)
-    let cks = Array.make n 0 in
-    for k = 1 to n - 1 do
-      cks.(k) <- read_counter rg.c.(k)
-    done;
-    let askers = ref [] in
-    for k = n - 1 downto 1 do
-      if cks.(k) > prev_c.(k) then askers := k :: !askers
-    done;
-    if !askers <> [] then begin
-      (* one HELP span per round actually serving askers, so the trace
-         shows helping work without one span per idle poll *)
-      let sp =
+  (* one HELP span per round actually serving askers, so the trace shows
+     helping work without one span per idle poll; the core marks those
+     rounds with Serving/Served notes *)
+  let sp = ref 0 in
+  let on_note : Machine.note -> unit = function
+    | Machine.Serving askers ->
         if Obs.enabled () then
-          Obs.span_open ~name:"HELP"
-            ~arg:
-              (String.concat "," (List.map string_of_int !askers))
-            ()
-        else 0
-      in
-      (* lines 34-36: become a witness of a value with f+1 witnesses *)
-      if read_vopt rg.r.(pid) = None then begin
-        let rs = Array.init n (fun i -> read_vopt rg.r.(i)) in
-        match value_with_quorum rs ~threshold:(Quorum.one_correct rg.q) with
-        | Some v -> Cell.write rg.r.(pid) (Univ.inj Codecs.value_opt (Some v))
-        | None -> ()
-      end;
-      (* line 37 *)
-      let rj = read_vopt rg.r.(pid) in
-      (* lines 38-40 *)
-      List.iter
-        (fun k ->
-          Cell.write rg.rjk.(pid).(k)
-            (Univ.inj Codecs.vopt_stamped (rj, cks.(k)));
-          prev_c.(k) <- cks.(k))
-        !askers;
-      if Obs.enabled () then Obs.span_close ~result:"done" ~name:"HELP" sp
-    end
-    else Sched.yield ()
-  done
+          sp :=
+            Obs.span_open ~name:"HELP"
+              ~arg:(String.concat "," (List.map string_of_int askers))
+              ()
+    | Machine.Served ->
+        if Obs.enabled () then Obs.span_close ~result:"done" ~name:"HELP" !sp
+  in
+  Drive.run ~on_note ~cell:(cell_of rg)
+    (Sticky_core.help_prog ~n:rg.cfg.n ~q:rg.q ~pid)

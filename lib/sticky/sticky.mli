@@ -39,6 +39,11 @@ val value_with_quorum : Value.t option array -> threshold:int -> Value.t option
 (** The (unique, by quorum-intersection counting) value reaching
     [threshold] copies, if any. Exposed for the ablation variants. *)
 
+val cell_of : regs -> Sticky_core.reg -> Cell.t
+(** Map the pure core's abstract register names onto this layout (used
+    by every driver that runs {!Sticky_core} programs over these
+    cells). *)
+
 (** {2 Writer (p0)} *)
 
 type writer = { w_regs : regs }

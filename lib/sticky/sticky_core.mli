@@ -1,0 +1,46 @@
+(** Algorithm 2 as a pure state machine.
+
+    Programs over abstract register names ({!reg}); no scheduler, Obs or
+    transport calls. {!Sticky} drives them on the simulator,
+    [Lnd_parallel] on OCaml 5 domains. The register-access order is
+    load-bearing (golden baselines + DPOR counts pin it). *)
+
+open Lnd_support
+
+type reg =
+  | E of int  (** echo register E_i, owner p_i *)
+  | R of int  (** witness register R_i, owner p_i *)
+  | Rjk of int * int  (** R_{j,k}: owner p_j, single reader p_k (k >= 1) *)
+  | C of int  (** round counter C_k, owner p_k (k >= 1) *)
+
+(** {2 Pure helpers (shared with ablation experiments)} *)
+
+val count_eq : Value.t option array -> Value.t -> int
+
+val value_with_quorum :
+  Value.t option array -> threshold:int -> Value.t option
+
+(** {2 Decoders/encoders (defensive: ill-typed content reads as the
+    initial value)} *)
+
+val dec_vopt : Univ.t -> Value.t option
+val dec_stamped : Univ.t -> Value.t option * int
+val dec_counter : Univ.t -> int
+val enc_vopt : Value.t option -> Univ.t
+val enc_stamped : Value.t option -> int -> Univ.t
+val enc_counter : int -> Univ.t
+
+(** {2 The protocol programs} *)
+
+val write_prog : n:int -> q:Quorum.t -> Value.t -> (reg, unit) Machine.prog
+(** WRITE(v), lines 1-6 (a second write is a no-op). *)
+
+val read_prog :
+  n:int -> q:Quorum.t -> pid:int -> ck:int ->
+  (reg, Value.t option * int) Machine.prog
+(** READ(), lines 7-22. Returns (result, new round counter); the driver
+    owns the reader's persistent [ck]. *)
+
+val help_prog : n:int -> q:Quorum.t -> pid:int -> (reg, unit) Machine.prog
+(** Help(), lines 23-40; never returns. Emits [Serving askers]/[Served]
+    notes around each round that answers askers. *)

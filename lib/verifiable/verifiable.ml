@@ -12,7 +12,12 @@
    Every correct process must run [help] as a background fiber; operations
    are called from the owner process's operation fiber. All register reads
    decode defensively: ill-typed contents written by a Byzantine owner are
-   treated as the register's initial value. *)
+   treated as the register's initial value.
+
+   The protocol itself lives in Verifiable_core as pure state-machine
+   programs; this module owns the register layout and drives those
+   programs on the deterministic simulator (Lnd_runtime.Drive), emitting
+   the Obs spans around them. *)
 
 open Lnd_support
 open Lnd_runtime
@@ -79,14 +84,12 @@ let alloc_with (mk : Cell.allocator) (cfg : config) : regs =
 
 let alloc space (cfg : config) : regs = alloc_with (Cell.shm_allocator space) cfg
 
-(* Defensive decoders. *)
-let read_value reg = Univ.prj_default Codecs.value ~default:Value.v0 (Cell.read reg)
-let read_vset reg = Univ.prj_default Codecs.vset ~default:VSet.empty (Cell.read reg)
-
-let read_stamped reg =
-  Univ.prj_default Codecs.vset_stamped ~default:(VSet.empty, 0) (Cell.read reg)
-
-let read_counter reg = Univ.prj_default Codecs.counter ~default:0 (Cell.read reg)
+(* Map the core's abstract register names onto this layout. *)
+let cell_of (rg : regs) : Verifiable_core.reg -> Cell.t = function
+  | Verifiable_core.Rstar -> rg.rstar
+  | Verifiable_core.R i -> rg.r.(i)
+  | Verifiable_core.Rjk (j, k) -> rg.rjk.(j).(k)
+  | Verifiable_core.C k -> rg.c.(k)
 
 (* ---------------- Writer (p0) ---------------- *)
 
@@ -99,7 +102,7 @@ let write (w : writer) (v : Value.t) : unit =
   let sp =
     if Obs.enabled () then Obs.span_open ~name:"WRITE" ~arg:v () else 0
   in
-  Cell.write w.w_regs.rstar (Univ.inj Codecs.value v);
+  Drive.run ~cell:(cell_of w.w_regs) (Verifiable_core.write_prog v);
   w.written <- VSet.add v w.written;
   if Obs.enabled () then Obs.span_close ~result:"done" ~name:"WRITE" sp
 
@@ -109,12 +112,8 @@ let sign (w : writer) (v : Value.t) : bool =
     if Obs.enabled () then Obs.span_open ~name:"SIGN" ~arg:v () else 0
   in
   let res =
-    if VSet.mem v w.written then begin
-      let r1 = read_vset w.w_regs.r.(0) in
-      Cell.write w.w_regs.r.(0) (Univ.inj Codecs.vset (VSet.add v r1));
-      true
-    end
-    else false
+    Drive.run ~cell:(cell_of w.w_regs)
+      (Verifiable_core.sign_prog ~written:w.written v)
   in
   if Obs.enabled () then
     Obs.span_close ~result:(string_of_bool res) ~name:"SIGN" sp;
@@ -131,68 +130,24 @@ let reader (rg : regs) ~pid : reader =
 (* READ(): lines 9-10. *)
 let read (rd : reader) : Value.t =
   let sp = if Obs.enabled () then Obs.span_open ~name:"READ" () else 0 in
-  let v = read_value rd.rd_regs.rstar in
+  let v = Drive.run ~cell:(cell_of rd.rd_regs) Verifiable_core.read_prog in
   if Obs.enabled () then Obs.span_close ~result:("v:" ^ v) ~name:"READ" sp;
   v
-
-module PidSet = Set.Make (Int)
 
 (* VERIFY(v): lines 11-24. Terminates for any correct reader when n > 3f
    (Theorem 40); outside that bound it may loop, so callers running
    deliberately-broken configurations should bound scheduler steps. *)
 let verify (rd : reader) (v : Value.t) : bool =
-  let n = rd.rd_regs.cfg.n in
-  let q = rd.rd_regs.q in
+  let rg = rd.rd_regs in
   let sp =
     if Obs.enabled () then Obs.span_open ~name:"VERIFY" ~arg:v () else 0
   in
-  let set0 = ref PidSet.empty and set1 = ref PidSet.empty in
-  let result = ref None in
-  while !result = None do
-    (* line 13: announce a new round *)
-    rd.ck <- rd.ck + 1;
-    Cell.write rd.rd_regs.c.(rd.rd_pid) (Univ.inj Codecs.counter rd.ck);
-    (* lines 14-17: poll processes outside set0 ∪ set1 until one has
-       replied for this round (c_j >= C_k) *)
-    let reply = ref None in
-    while !reply = None do
-      let polled_any = ref false in
-      for j = 0 to n - 1 do
-        if
-          !reply = None
-          && (not (PidSet.mem j !set0))
-          && not (PidSet.mem j !set1)
-        then begin
-          polled_any := true;
-          let rj, cj = read_stamped rd.rd_regs.rjk.(j).(rd.rd_pid) in
-          if cj >= rd.ck then reply := Some (j, rj)
-        end
-      done;
-      ignore !polled_any;
-      (* an unsuccessful poll pass is a voluntary scheduling point (and
-         keeps the fiber live on deliberately broken configurations
-         where the poll set empties — unreachable when n > 3f,
-         Lemma 35) *)
-      if !reply = None then Sched.yield ()
-    done;
-    (match !reply with
-    | None -> assert false
-    | Some (j, rj) ->
-        if VSet.mem v rj then begin
-          (* lines 18-20 *)
-          set1 := PidSet.add j !set1;
-          set0 := PidSet.empty
-        end
-        else
-          (* lines 21-22 *)
-          set0 := PidSet.add j !set0);
-    (* lines 23-24 *)
-    if Quorum.has_availability q (PidSet.cardinal !set1) then
-      result := Some true
-    else if Quorum.exceeds_faults q (PidSet.cardinal !set0) then
-      result := Some false
-  done;
-  let res = Option.get !result in
+  let res, ck =
+    Drive.run ~cell:(cell_of rg)
+      (Verifiable_core.verify_prog ~n:rg.cfg.n ~q:rg.q ~pid:rd.rd_pid
+         ~ck:rd.ck v)
+  in
+  rd.ck <- ck;
   if Obs.enabled () then
     Obs.span_close ~result:(string_of_bool res) ~name:"VERIFY" sp;
   res
@@ -203,61 +158,18 @@ let verify (rd : reader) (v : Value.t) : bool =
    VERIFY operations by maintaining the witness set R_pid and answering
    askers through R_{pid,k}. *)
 let help (rg : regs) ~pid : unit =
-  let n = rg.cfg.n in
-  let prev_c = Array.make n 0 in
-  while true do
-    (* line 27: read every reader's round counter *)
-    let cks = Array.make n 0 in
-    for k = 1 to n - 1 do
-      cks.(k) <- read_counter rg.c.(k)
-    done;
-    (* line 28 *)
-    let askers = ref [] in
-    for k = n - 1 downto 1 do
-      if cks.(k) > prev_c.(k) then askers := k :: !askers
-    done;
-    if !askers <> [] then begin
-      (* one HELP span per round actually serving askers *)
-      let sp =
+  (* one HELP span per round actually serving askers; the core marks
+     those rounds with Serving/Served notes *)
+  let sp = ref 0 in
+  let on_note : Machine.note -> unit = function
+    | Machine.Serving askers ->
         if Obs.enabled () then
-          Obs.span_open ~name:"HELP"
-            ~arg:(String.concat "," (List.map string_of_int !askers))
-            ()
-        else 0
-      in
-      (* line 30: read every witness set *)
-      let rsets = Array.init n (fun i -> read_vset rg.r.(i)) in
-      (* lines 31-32: become a witness of every value v that the writer
-         signed (v ∈ R_0) or that already has f+1 witnesses *)
-      let mine = ref (read_vset rg.r.(pid)) in
-      let candidates =
-        Array.fold_left (fun acc s -> VSet.union acc s) VSet.empty rsets
-      in
-      let adopted =
-        VSet.filter
-          (fun v ->
-            VSet.mem v rsets.(0)
-            || Quorum.has_one_correct rg.q
-                 (Array.fold_left
-                    (fun cnt s -> if VSet.mem v s then cnt + 1 else cnt)
-                    0 rsets))
-          candidates
-      in
-      let updated = VSet.union !mine adopted in
-      if not (VSet.equal updated !mine) then begin
-        Cell.write rg.r.(pid) (Univ.inj Codecs.vset updated);
-        mine := updated
-      end;
-      (* line 33 *)
-      let rj = read_vset rg.r.(pid) in
-      (* lines 34-36: answer each asker for its current round *)
-      List.iter
-        (fun k ->
-          Cell.write rg.rjk.(pid).(k)
-            (Univ.inj Codecs.vset_stamped (rj, cks.(k)));
-          prev_c.(k) <- cks.(k))
-        !askers;
-      if Obs.enabled () then Obs.span_close ~result:"done" ~name:"HELP" sp
-    end
-    else Sched.yield ()
-  done
+          sp :=
+            Obs.span_open ~name:"HELP"
+              ~arg:(String.concat "," (List.map string_of_int askers))
+              ()
+    | Machine.Served ->
+        if Obs.enabled () then Obs.span_close ~result:"done" ~name:"HELP" !sp
+  in
+  Drive.run ~on_note ~cell:(cell_of rg)
+    (Verifiable_core.help_prog ~n:rg.cfg.n ~q:rg.q ~pid)

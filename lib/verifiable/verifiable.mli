@@ -45,6 +45,11 @@ val alloc_with : Cell.allocator -> config -> regs
 val alloc : Lnd_shm.Space.t -> config -> regs
 (** [alloc_with (Cell.shm_allocator space)]. *)
 
+val cell_of : regs -> Verifiable_core.reg -> Cell.t
+(** Map the pure core's abstract register names onto this layout (used
+    by every driver that runs {!Verifiable_core} programs over these
+    cells). *)
+
 (** {2 Writer (p0)} *)
 
 type writer = {
