@@ -1,0 +1,223 @@
+(* Baseline comparison for the bench regression gate (`bench check`).
+
+   A committed BENCH_T*.json is parsed into a tiny JSON tree, flattened
+   into leaf paths ("chaos[1].steps", "configs[0].ops"), and diffed
+   against a freshly regenerated file under a per-path rule supplied by
+   the caller: Exact (byte-level value equality — the right rule for
+   everything the deterministic simulator produces), Pct tol (relative
+   tolerance for numbers), or Ignore (wall-clock fields). Structural
+   drift — a path present on one side only — always fails: a table that
+   silently loses a row is a regression too. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+(* --- minimal recursive-descent parser (ASCII JSON, as our writers emit) *)
+
+type st = { s : string; mutable i : int }
+
+let peek st = if st.i < String.length st.s then Some st.s.[st.i] else None
+
+let skip_ws st =
+  while
+    st.i < String.length st.s
+    && match st.s.[st.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.i <- st.i + 1
+  done
+
+let expect st c =
+  if peek st = Some c then st.i <- st.i + 1
+  else raise (Bad (Printf.sprintf "expected %c at offset %d" c st.i))
+
+let lit st word v =
+  if
+    st.i + String.length word <= String.length st.s
+    && String.sub st.s st.i (String.length word) = word
+  then (
+    st.i <- st.i + String.length word;
+    v)
+  else raise (Bad (Printf.sprintf "bad literal at offset %d" st.i))
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> raise (Bad "unterminated string")
+    | Some '"' -> st.i <- st.i + 1
+    | Some '\\' -> (
+        st.i <- st.i + 1;
+        match peek st with
+        | Some 'n' -> Buffer.add_char b '\n'; st.i <- st.i + 1; go ()
+        | Some 't' -> Buffer.add_char b '\t'; st.i <- st.i + 1; go ()
+        | Some 'r' -> Buffer.add_char b '\r'; st.i <- st.i + 1; go ()
+        | Some 'u' ->
+            (* keep escapes opaque: baselines never need the code point *)
+            Buffer.add_string b (String.sub st.s st.i 5);
+            st.i <- st.i + 5;
+            go ()
+        | Some c -> Buffer.add_char b c; st.i <- st.i + 1; go ()
+        | None -> raise (Bad "unterminated escape"))
+    | Some c ->
+        Buffer.add_char b c;
+        st.i <- st.i + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.i in
+  let numch c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while (match peek st with Some c -> numch c | None -> false) do
+    st.i <- st.i + 1
+  done;
+  match float_of_string_opt (String.sub st.s start (st.i - start)) with
+  | Some f -> f
+  | None -> raise (Bad (Printf.sprintf "bad number at offset %d" start))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | Some '{' ->
+      st.i <- st.i + 1;
+      skip_ws st;
+      if peek st = Some '}' then (
+        st.i <- st.i + 1;
+        Obj [])
+      else
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.i <- st.i + 1;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              st.i <- st.i + 1;
+              List.rev ((k, v) :: acc)
+          | _ -> raise (Bad (Printf.sprintf "bad object at offset %d" st.i))
+        in
+        Obj (members [])
+  | Some '[' ->
+      st.i <- st.i + 1;
+      skip_ws st;
+      if peek st = Some ']' then (
+        st.i <- st.i + 1;
+        Arr [])
+      else
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.i <- st.i + 1;
+              items (v :: acc)
+          | Some ']' ->
+              st.i <- st.i + 1;
+              List.rev (v :: acc)
+          | _ -> raise (Bad (Printf.sprintf "bad array at offset %d" st.i))
+        in
+        Arr (items [])
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> lit st "true" (Bool true)
+  | Some 'f' -> lit st "false" (Bool false)
+  | Some 'n' -> lit st "null" Null
+  | Some _ -> Num (parse_number st)
+  | None -> raise (Bad "empty input")
+
+let parse (s : string) : (json, string) result =
+  let st = { s; i = 0 } in
+  try
+    let v = parse_value st in
+    skip_ws st;
+    if st.i <> String.length s then Error "trailing garbage"
+    else Ok v
+  with Bad m -> Error m
+
+(* --- flatten + compare ------------------------------------------------ *)
+
+let flatten (j : json) : (string * json) list =
+  let acc = ref [] in
+  let rec go path = function
+    | Obj kvs ->
+        List.iter
+          (fun (k, v) ->
+            go (if path = "" then k else path ^ "." ^ k) v)
+          kvs
+    | Arr vs ->
+        List.iteri (fun i v -> go (Printf.sprintf "%s[%d]" path i) v) vs
+    | leaf -> acc := (path, leaf) :: !acc
+  in
+  go "" j;
+  List.rev !acc
+
+type rule = Exact | Pct of float | Ignore
+
+let rule_name = function
+  | Exact -> "exact"
+  | Pct p -> Printf.sprintf "±%g%%" p
+  | Ignore -> "ignored"
+
+let leaf_str = function
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Num f -> Printf.sprintf "%g" f
+  | Str s -> Printf.sprintf "%S" s
+  | Arr _ | Obj _ -> "<node>"
+
+let leaf_ok rule a b =
+  match rule with
+  | Ignore -> true
+  | Exact -> a = b
+  | Pct tol -> (
+      match (a, b) with
+      | Num x, Num y ->
+          let scale = Float.max (Float.abs x) 1e-9 in
+          Float.abs (x -. y) <= tol /. 100. *. scale
+      | _ -> a = b)
+
+(* One mismatch line per failing path; [] = within tolerance. *)
+let compare_flat ~(rules : string -> rule) (baseline : json) (fresh : json) :
+    string list =
+  let b = flatten baseline and f = flatten fresh in
+  let ftbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace ftbl k v) f;
+  let out = ref [] in
+  List.iter
+    (fun (k, bv) ->
+      let rule = rules k in
+      match Hashtbl.find_opt ftbl k with
+      | None ->
+          if rule <> Ignore then
+            out := Printf.sprintf "%s: missing from fresh run (was %s)" k
+                     (leaf_str bv) :: !out
+      | Some fv ->
+          Hashtbl.remove ftbl k;
+          if not (leaf_ok rule bv fv) then
+            out :=
+              Printf.sprintf "%s: baseline %s, fresh %s (rule: %s)" k
+                (leaf_str bv) (leaf_str fv) (rule_name rule)
+              :: !out)
+    b;
+  (* paths only the fresh run has *)
+  List.iter
+    (fun (k, fv) ->
+      if Hashtbl.mem ftbl k && rules k <> Ignore then
+        out := Printf.sprintf "%s: new in fresh run (%s)" k (leaf_str fv) :: !out)
+    f;
+  List.rev !out

@@ -408,6 +408,96 @@ let trace_cmd =
     Term.(
       const trace_cmd_run $ seed_arg $ crash $ full $ out $ chrome $ metrics)
 
+(* ---------------- profile ---------------- *)
+
+let profile_cmd_run seed proto_s backend_s out metrics_json =
+  let proto =
+    match Diff.proto_of_name proto_s with
+    | Some p -> p
+    | None ->
+        pr "unknown protocol %S (sticky|verifiable|testorset)\n" proto_s;
+        exit 2
+  in
+  let w = Diff.generate ~proto seed in
+  (* The sim records everything (bounded and deterministic: the folded
+     output is byte-identical across replays of the same seed); the
+     domains backend records operation spans only — its spinning help
+     daemons make the raw shared-memory event volume unbounded. *)
+  let r, ti =
+    match backend_s with
+    | "sim" -> Diff.sim_traced ~keep:(fun _ -> true) w
+    | "domains" -> Parallel.run_traced w
+    | s ->
+        pr "unknown backend %S (sim|domains)\n" s;
+        exit 2
+  in
+  let evs = Trace.events ti.Diff.t_trace in
+  let folded = Profile.to_folded evs in
+  (match out with
+  | "-" -> print_string folded
+  | file ->
+      let oc = open_out file in
+      output_string oc folded;
+      close_out oc;
+      Printf.eprintf "folded stacks: %d rows -> %s\n"
+        (List.length (Profile.stacks evs))
+        file);
+  (match metrics_json with
+  | None -> ()
+  | Some file ->
+      let m = Metrics.of_events ~dropped:ti.Diff.t_dropped evs in
+      let oc = open_out file in
+      output_string oc (Metrics.to_json m);
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "metrics snapshot -> %s\n" file);
+  match r.Diff.verdict with
+  | Ok () -> Printf.eprintf "ok   [%s] %s\n" backend_s (Diff.describe w)
+  | Error msg ->
+      Printf.eprintf "FAIL [%s] %s: %s\n" backend_s (Diff.describe w) msg;
+      exit 1
+
+let profile_cmd =
+  let proto =
+    Arg.(
+      value & opt string "sticky"
+      & info [ "proto" ] ~docv:"PROTO"
+          ~doc:"Protocol to profile (sticky|verifiable|testorset).")
+  in
+  let backend =
+    Arg.(
+      value & opt string "sim"
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Driver to profile: the deterministic simulator ($(b,sim)) or \
+             the OCaml 5 domains backend ($(b,domains)).")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the folded stacks to $(docv) ('-' = stdout).")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the trace-derived metrics registry as a JSON \
+             snapshot (deterministic, sorted keys).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a seed-derived register workload with the trace sink \
+          installed and export flamegraph folded stacks — per-span self \
+          time in logical steps, aggregated over the span tree (pipe into \
+          flamegraph.pl or load in speedscope). On the sim backend the \
+          output is byte-identical across replays of the same seed")
+    Term.(
+      const profile_cmd_run $ seed_arg $ proto $ backend $ out $ metrics_json)
+
 (* ---------------- audit ---------------- *)
 
 let audit_cmd_run seed count crash json strict =
@@ -743,7 +833,8 @@ let scenario_cmd =
           meets its recorded expectation (violation or pass)")
     Term.(const scenario_cmd_run $ files)
 
-let diff_cmd_run write_golden check_golden seeds from proto_s backend_s =
+let diff_cmd_run write_golden check_golden seeds from proto_s backend_s traced
+    trace_out =
   let protos =
     match proto_s with
     | None -> Diff.all_protos
@@ -772,15 +863,26 @@ let diff_cmd_run write_golden check_golden seeds from proto_s backend_s =
             mismatches;
           exit 1)
   | None, None ->
+      let traced = traced || trace_out <> None in
       let backends =
         match backend_s with
-        | "sim" -> [ ("sim", Diff.sim) ]
-        | "domains" -> [ ("domains", fun w -> Parallel.run w) ]
-        | "both" ->
-            [ ("sim", Diff.sim); ("domains", fun w -> Parallel.run w) ]
+        | "sim" -> [ "sim" ]
+        | "domains" -> [ "domains" ]
+        | "both" -> [ "sim"; "domains" ]
         | s ->
             pr "unknown backend %S (sim|domains|both)\n" s;
             exit 2
+      in
+      let exec bname w =
+        match (bname, traced) with
+        | "sim", false -> (Diff.sim w, None)
+        | "sim", true ->
+            let r, ti = Diff.sim_traced w in
+            (r, Some ti)
+        | _, false -> (Parallel.run w, None)
+        | _, true ->
+            let r, ti = Parallel.run_traced w in
+            (r, Some ti)
       in
       let failed = ref 0 in
       for seed = from to from + seeds - 1 do
@@ -788,15 +890,60 @@ let diff_cmd_run write_golden check_golden seeds from proto_s backend_s =
           (fun proto ->
             let w = Diff.generate ~proto seed in
             List.iter
-              (fun (bname, exec) ->
-                let r = exec w in
-                match r.Diff.verdict with
+              (fun bname ->
+                let r, ti = exec bname w in
+                (match r.Diff.verdict with
                 | Ok () ->
                     pr "ok   [%s] %s ops=%d steps=%d\n" bname (Diff.describe w)
                       r.Diff.ops r.Diff.steps
                 | Error m ->
                     incr failed;
-                    pr "FAIL [%s] %s: %s\n" bname (Diff.describe w) m)
+                    pr "FAIL [%s] %s: %s\n" bname (Diff.describe w) m);
+                match ti with
+                | None -> ()
+                | Some ti ->
+                    (* The trace-parity axis: the merged trace must be
+                       complete, well-nested, and fold — through
+                       Trace_replay — to the same number of operations
+                       and an accepted history whenever the direct one
+                       was accepted. *)
+                    let problems =
+                      (match ti.Diff.t_nesting with
+                      | Some m -> [ "ill-nested: " ^ m ]
+                      | None -> [])
+                      @ (if ti.Diff.t_dropped > 0 then
+                           [ Printf.sprintf "dropped=%d" ti.Diff.t_dropped ]
+                         else [])
+                      @ (if ti.Diff.t_ops <> r.Diff.ops then
+                           [
+                             Printf.sprintf "trace ops=%d direct ops=%d"
+                               ti.Diff.t_ops r.Diff.ops;
+                           ]
+                         else [])
+                      @
+                      match (r.Diff.verdict, ti.Diff.t_verdict) with
+                      | Ok (), Error m -> [ "trace verdict: " ^ m ]
+                      | _ -> []
+                    in
+                    (match problems with
+                    | [] ->
+                        pr "     trace[%s] events=%d ops=%d well-nested\n"
+                          bname ti.Diff.t_events ti.Diff.t_ops
+                    | ps ->
+                        incr failed;
+                        pr "FAIL trace[%s] %s: %s\n" bname (Diff.describe w)
+                          (String.concat "; " ps));
+                    match trace_out with
+                    | None -> ()
+                    | Some dir ->
+                        let file =
+                          Filename.concat dir
+                            (Printf.sprintf "diff_%s_seed%d_%s.jsonl"
+                               (Diff.proto_name proto) seed bname)
+                        in
+                        let oc = open_out file in
+                        output_string oc (Trace.to_jsonl ti.Diff.t_trace);
+                        close_out oc)
               backends)
           protos
       done;
@@ -845,6 +992,27 @@ let diff_cmd =
             "Which driver(s) to sweep: the deterministic simulator ($(b,sim)), \
              the OCaml 5 domains backend ($(b,domains)), or $(b,both).")
   in
+  let traced =
+    Arg.(
+      value & flag
+      & info [ "traced" ]
+          ~doc:
+            "Record each run through the per-domain arena sink and check \
+             trace parity: the merged trace must be complete and \
+             well-nested, and fold (via Trace_replay) to the same op count \
+             and an accepted history whenever the direct history was \
+             accepted.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "trace-out" ] ~docv:"DIR"
+          ~doc:
+            "Write each merged trace to \
+             $(docv)/diff_<proto>_seed<N>_<backend>.jsonl (implies \
+             $(b,--traced)).")
+  in
   Cmd.v
     (Cmd.info "diff"
        ~doc:
@@ -853,7 +1021,7 @@ let diff_cmd =
           check the sim against the committed golden baselines)")
     Term.(
       const diff_cmd_run $ write_golden $ check_golden $ seeds $ from $ proto
-      $ backend)
+      $ backend $ traced $ trace_out)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -866,6 +1034,6 @@ let () =
                 with Byzantine processes (Hu & Toueg, PODC 2025)")
           [
             verify_cmd; sticky_cmd; impossibility_cmd; sweep_cmd; fuzz_cmd;
-            chaos_cmd; trace_cmd; audit_cmd; explore_cmd; synth_cmd;
-            scenario_cmd; diff_cmd;
+            chaos_cmd; trace_cmd; profile_cmd; audit_cmd; explore_cmd;
+            synth_cmd; scenario_cmd; diff_cmd;
           ]))

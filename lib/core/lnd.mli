@@ -77,6 +77,7 @@ module Chaos = Lnd_fuzz.Chaos
 module Obs = Lnd_obs.Obs
 module Trace = Lnd_obs.Trace
 module Metrics = Lnd_obs.Metrics
+module Profile = Lnd_obs.Profile
 module Trace_replay = Lnd_history.Trace_replay
 
 (** {1 Accountability: forensic Byzantine blame attribution} *)

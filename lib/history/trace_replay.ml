@@ -71,6 +71,16 @@ let sticky_history evs =
           if result = "\xe2\x8a\xa5" (* ⊥ *) then Some (Val None)
           else Option.map (fun v -> Val (Some v)) (value_of result))
 
+let testorset_history evs =
+  let open Spec.Testorset_spec in
+  spans_to_history evs
+    ~parse_op:(fun name _arg ->
+      match name with "SET" -> Some Set | "TEST" -> Some Test | _ -> None)
+    ~parse_res:(fun op result ->
+      match op with
+      | Set -> if result = "done" then Some Done else None
+      | Test -> Option.map (fun b -> Bit b) (int_of_string_opt result))
+
 let accesses evs =
   let seq = ref (-1) in
   List.filter_map

@@ -23,6 +23,14 @@ val sticky_history :
   (Spec.Sticky_spec.op, Spec.Sticky_spec.res) History.t
 (** WRITE/READ spans as a sticky-register history. *)
 
+val testorset_history :
+  Lnd_obs.Obs.event list ->
+  (Spec.Testorset_spec.op, Spec.Testorset_spec.res) History.t
+(** SET/TEST spans as a test-or-set history. The WRITE/SIGN/READ/VERIFY
+    spans of the underlying register construction nest inside them and
+    are ignored here, so both Observation 25 constructions fold to the
+    same spec-level history. *)
+
 val accesses : Lnd_obs.Obs.event list -> Lnd_shm.Space.access list
 (** The shared-memory access sequence, renumbered from 0 — identical to
     {!Lnd_shm.Space.trace} output when the space's ring capacity was not

@@ -5,6 +5,7 @@ type hstats = {
   max : int;
   p50 : int;
   p95 : int;
+  p99 : int;
 }
 
 type t = {
@@ -59,7 +60,8 @@ let hstats_of samples =
     min = sorted.(0);
     max = sorted.(n - 1);
     p50 = nearest_rank sorted n 50;
-    p95 = nearest_rank sorted n 95 }
+    p95 = nearest_rank sorted n 95;
+    p99 = nearest_rank sorted n 99 }
 
 let histogram t name =
   match Hashtbl.find_opt t.hists name with
@@ -89,15 +91,74 @@ let dump t =
     (fun (k, v) ->
       let h = hstats_of !v in
       Buffer.add_string b
-        (Printf.sprintf "hist %s count=%d sum=%d min=%d max=%d p50=%d p95=%d\n"
-           k h.count h.sum h.min h.max h.p50 h.p95))
+        (Printf.sprintf
+           "hist %s count=%d sum=%d min=%d max=%d p50=%d p95=%d p99=%d\n" k
+           h.count h.sum h.min h.max h.p50 h.p95 h.p99))
     (List.filter (fun (_, v) -> !v <> []) (sorted t.hists));
+  Buffer.contents b
+
+(* --- JSON snapshot ----------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Same content as [dump], as one JSON object — sorted keys, so the
+   snapshot is deterministic and diffable. *)
+let to_json t =
+  let b = Buffer.create 1024 in
+  let sorted tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let obj name render entries =
+    Buffer.add_string b (Printf.sprintf "\"%s\":{" name);
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":" (json_escape k));
+        render v)
+      entries;
+    Buffer.add_char b '}'
+  in
+  Buffer.add_char b '{';
+  obj "counters" (fun v -> Buffer.add_string b (string_of_int !v))
+    (sorted t.counters);
+  Buffer.add_char b ',';
+  obj "gauges" (fun v -> Buffer.add_string b (string_of_int !v))
+    (sorted t.gauges);
+  Buffer.add_char b ',';
+  obj "hists"
+    (fun v ->
+      let h = hstats_of !v in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"p50\":%d,\
+            \"p95\":%d,\"p99\":%d}"
+           h.count h.sum h.min h.max h.p50 h.p95 h.p99))
+    (List.filter (fun (_, v) -> !v <> []) (sorted t.hists));
+  Buffer.add_char b '}';
   Buffer.contents b
 
 (* --- Standard derivation from a trace ---------------------------------- *)
 
-let of_events evs =
+let of_events ?(dropped = 0) evs =
   let m = create () in
+  (* Reconciliation: a trace that lost events on arena overflow says so
+     in its own metrics, so derived counts are never silently short. *)
+  if dropped > 0 then incr ~by:dropped m "trace.dropped";
   (* open span id -> (name, opened-at) for latency histograms *)
   let opens : (int, string * int) Hashtbl.t = Hashtbl.create 64 in
   List.iter

@@ -15,6 +15,7 @@ type hstats = {
   max : int;
   p50 : int;
   p95 : int;
+  p99 : int;
 }
 
 val create : unit -> t
@@ -34,11 +35,20 @@ val names : t -> string list
 val dump : t -> string
 (** One line per metric, sorted by name:
     [counter <name> <value>], [gauge <name> <value>],
-    [hist <name> count=.. sum=.. min=.. max=.. p50=.. p95=..]. *)
+    [hist <name> count=.. sum=.. min=.. max=.. p50=.. p95=.. p99=..]. *)
 
-val of_events : Obs.event list -> t
+val to_json : t -> string
+(** The same content as {!dump} as a single JSON object
+    [{"counters":{..},"gauges":{..},"hists":{..}}] with sorted keys —
+    a deterministic, diffable metrics snapshot. *)
+
+val of_events : ?dropped:int -> Obs.event list -> t
 (** Derive the standard metric set from a trace: [sched.*], [shm.*],
     [net.*], [rlink.*], [reg.*] (including the [reg.quorum.count]
     wait-depth histogram), [wal.*] (including [wal.fsync.latency] and
     [wal.bytes] journalled), [disk.*], and per-operation span counts and
-    step-latency histograms ([span.<NAME>.count] / [span.<NAME>.steps]). *)
+    step-latency histograms ([span.<NAME>.count] / [span.<NAME>.steps]).
+    [dropped] (default 0) is the recording trace's arena-overflow count
+    ({!Trace.dropped}); when positive it is surfaced as the
+    [trace.dropped] counter, so metrics derived from a known-incomplete
+    trace say so instead of under-counting silently. *)

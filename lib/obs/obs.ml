@@ -55,72 +55,102 @@ type sink = { emit : event -> unit }
 let fanout sinks =
   { emit = (fun e -> List.iter (fun s -> s.emit e) sinks) }
 
-let sink_r : sink option ref = ref None
-let clock_r : (unit -> int) ref = ref (fun () -> 0)
-let ambient_span = ref 0
-let ambient_pid = ref (-1)
-let next_span = ref 1
+(* The sink and clock hook are installed once, from the driving domain,
+   before any worker domain spawns, and then read from every domain —
+   so both live in Atomic cells (publication is a release/acquire
+   pair, never a data race). *)
+let sink_r : sink option Atomic.t = Atomic.make None
+let clock_r : (unit -> int) Atomic.t = Atomic.make (fun () -> 0)
 
-(* Parent of each still-open span, so [span_close] can restore the
-   ambient chain even when closes arrive out of stack order (each fiber
-   closes its own spans, but fibers interleave). *)
-let parents : (int, int) Hashtbl.t = Hashtbl.create 64
+(* Span ids must be unique across domains: a single fetch-and-add
+   counter. On one domain this yields the same 1, 2, 3, ... sequence the
+   pre-domains seam produced, so sim traces are unchanged. *)
+let next_span = Atomic.make 1
 
-let enabled () = !sink_r <> None
+(* Everything that follows the control flow of one domain — the ambient
+   span/pid and the parent links of the spans that domain opened — is
+   per-domain state in DLS, so domains never race on each other's span
+   chains. Within a domain the ambient still follows the fiber, not the
+   call stack: Sched saves and restores it at every switch. *)
+type ctx = {
+  mutable ambient_span : int;
+  mutable ambient_pid : int;
+  parents : (int, int) Hashtbl.t;
+      (* Parent of each still-open span this domain opened, so
+         [span_close] can restore the ambient chain even when closes
+         arrive out of stack order (each fiber closes its own spans, but
+         fibers interleave). *)
+}
+
+let ctx_key =
+  Domain.DLS.new_key (fun () ->
+      { ambient_span = 0; ambient_pid = -1; parents = Hashtbl.create 64 })
+
+let ctx () = Domain.DLS.get ctx_key
+
+let reset_ctx () =
+  let c = ctx () in
+  c.ambient_span <- 0;
+  c.ambient_pid <- -1;
+  Hashtbl.reset c.parents
+
+let enabled () = Atomic.get sink_r <> None
 
 let install ?clock s =
-  sink_r := Some s;
-  (match clock with Some c -> clock_r := c | None -> ());
-  ambient_span := 0;
-  ambient_pid := -1;
-  next_span := 1;
-  Hashtbl.reset parents
+  Atomic.set sink_r (Some s);
+  (match clock with Some c -> Atomic.set clock_r c | None -> ());
+  Atomic.set next_span 1;
+  reset_ctx ()
 
 let uninstall () =
-  sink_r := None;
-  clock_r := (fun () -> 0);
-  ambient_span := 0;
-  ambient_pid := -1
+  Atomic.set sink_r None;
+  Atomic.set clock_r (fun () -> 0);
+  Atomic.set next_span 1;
+  reset_ctx ()
 
-let set_clock c = clock_r := c
-let now () = !clock_r ()
+let set_clock c = Atomic.set clock_r c
+let now () = (Atomic.get clock_r) ()
 
 let emit ?pid kind =
-  match !sink_r with
+  match Atomic.get sink_r with
   | None -> ()
   | Some s ->
-      let pid = match pid with Some p -> p | None -> !ambient_pid in
-      s.emit { at = now (); pid; span = !ambient_span; kind }
+      let c = ctx () in
+      let pid = match pid with Some p -> p | None -> c.ambient_pid in
+      s.emit { at = now (); pid; span = c.ambient_span; kind }
 
 let span_open ?pid ~name ?arg () =
-  match !sink_r with
+  match Atomic.get sink_r with
   | None -> 0
   | Some s ->
-      let id = !next_span in
-      incr next_span;
-      let parent = !ambient_span in
-      Hashtbl.replace parents id parent;
-      let pid = match pid with Some p -> p | None -> !ambient_pid in
-      s.emit { at = now (); pid; span = id; kind = Span_open { name; arg; parent } };
-      ambient_span := id;
+      let c = ctx () in
+      let id = Atomic.fetch_and_add next_span 1 in
+      let parent = c.ambient_span in
+      Hashtbl.replace c.parents id parent;
+      let pid = match pid with Some p -> p | None -> c.ambient_pid in
+      s.emit
+        { at = now (); pid; span = id; kind = Span_open { name; arg; parent } };
+      c.ambient_span <- id;
       id
 
 let span_close ?pid ?result ~name id =
-  match !sink_r with
+  match Atomic.get sink_r with
   | None -> ()
   | Some s ->
       if id <> 0 then begin
-        let parent = try Hashtbl.find parents id with Not_found -> 0 in
-        Hashtbl.remove parents id;
-        let pid = match pid with Some p -> p | None -> !ambient_pid in
+        let c = ctx () in
+        let parent = try Hashtbl.find c.parents id with Not_found -> 0 in
+        Hashtbl.remove c.parents id;
+        let pid = match pid with Some p -> p | None -> c.ambient_pid in
         s.emit
           { at = now (); pid; span = id;
             kind = Span_close { name; result; aborted = false } };
-        ambient_span := parent
+        c.ambient_span <- parent
       end
 
-let ambient () = !ambient_span
+let ambient () = (ctx ()).ambient_span
 
 let set_ambient ~span ~pid =
-  ambient_span := span;
-  ambient_pid := pid
+  let c = ctx () in
+  c.ambient_span <- span;
+  c.ambient_pid <- pid

@@ -15,9 +15,19 @@
     saves and restores it at every fiber switch, so concurrent operations
     interleave without stealing each other's children.
 
+    Domain safety: the sink and clock hook live in [Atomic] cells
+    (installed by the driving domain before workers spawn, read
+    everywhere), span ids come from one fetch-and-add counter so they
+    are unique across domains, and the ambient span/pid plus the
+    parent links of open spans are per-domain state in [Domain.DLS] —
+    each domain owns its span chain and domains never race on each
+    other's ambient. The sink itself must be domain-safe when domains
+    emit concurrently (see {!Trace.arena}).
+
     Determinism contract: with a sink installed, a fixed seed produces a
-    byte-identical event stream; with no sink, instrumented code behaves
-    identically to uninstrumented code (same scheduling, same output). *)
+    byte-identical event stream on the deterministic simulator; with no
+    sink, instrumented code behaves identically to uninstrumented code
+    (same scheduling, same output). *)
 
 type access = [ `Read | `Write ]
 
@@ -112,11 +122,15 @@ val fanout : sink list -> sink
     installed) is untouched and still allocation-free. *)
 
 val install : ?clock:(unit -> int) -> sink -> unit
-(** Install a sink and reset span state. At most one sink is active;
-    installing replaces the previous one. *)
+(** Install a sink and reset span state (the global span counter and the
+    calling domain's ambient/parent context). At most one sink is
+    active; installing replaces the previous one. *)
 
 val uninstall : unit -> unit
-(** Remove the sink: all probes become no-ops again. *)
+(** Remove the sink: all probes become no-ops again. Resets the clock
+    hook, the span counter and the calling domain's ambient/parent
+    context, so install/uninstall cycles within one process do not leak
+    span ids or parent links into the next trace. *)
 
 val enabled : unit -> bool
 (** Cheap guard for call sites: skip argument construction when no sink
@@ -150,5 +164,7 @@ val ambient : unit -> int
 (** The ambient span id (what an [emit] would be tagged with). *)
 
 val set_ambient : span:int -> pid:int -> unit
-(** Swap the ambient span and pid wholesale. The scheduler calls this at
-    each fiber switch so spans follow fibers, not the host call stack. *)
+(** Swap the calling domain's ambient span and pid wholesale. The
+    scheduler calls this at each fiber switch so spans follow fibers,
+    not the host call stack; the domains backend calls it before each
+    process turn so events land under that process's span. *)

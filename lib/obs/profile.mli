@@ -1,0 +1,20 @@
+(** Trace-derived profiling: flamegraph "folded stack" export.
+
+    Folds the span tree of a recorded event stream into one line per
+    distinct call stack, weighted by {e self} time in logical clock
+    steps: a span's inclusive interval ([close.at - open.at]) minus the
+    inclusive time of its direct children. Stacks are rooted at the
+    opening process ([p<pid>]) and follow the span's ancestor chain
+    ([parent] links recorded at open), e.g. [p0;domain;WRITE 42].
+
+    The output is aggregated and sorted, so it is deterministic for a
+    deterministic trace (byte-identical across replays of the same sim
+    seed) and ready for flamegraph.pl, inferno or speedscope. Aborted
+    spans contribute the interval up to their synthesized close
+    ({!Trace.finish}); spans never closed contribute nothing. *)
+
+val stacks : Obs.event list -> (string * int) list
+(** [(folded stack, total self time)] rows, sorted by stack. *)
+
+val to_folded : Obs.event list -> string
+(** The rows of {!stacks}, one ["stack value\n"] line each. *)

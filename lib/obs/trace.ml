@@ -1,56 +1,155 @@
 module Univ = Lnd_support.Univ
 
-type t = {
-  mutable rev : Obs.event list;
-  mutable count : int;
-  keep : Obs.event -> bool;
-  opens : (int, string * int) Hashtbl.t; (* open span id -> (name, pid) *)
-  mutable last_at : int;
-  mutable finished : bool;
+(* --- Per-domain event arenas ------------------------------------------- *)
+
+(* One preallocated buffer owned by exactly one domain: the owner is the
+   only writer of [len]/[dropped], so the record hot path touches no
+   shared state and allocates no heap words. The merge reads the slots
+   after the worker domains have joined. *)
+type slot = {
+  buf : Obs.event array;
+  mutable len : int;
+  mutable dropped : int;
+  dom : int; (* Domain id of the owning domain, for slot reuse *)
 }
 
-let create ?(keep = fun _ -> true) () =
-  { rev = []; count = 0; keep; opens = Hashtbl.create 64; last_at = 0;
-    finished = false }
+type t = {
+  id : int; (* unique arena-set id, keys the per-domain slot cache *)
+  keep : Obs.event -> bool;
+  capacity : int;
+  mu : Mutex.t; (* guards slot registration only, never the hot path *)
+  mutable slots : slot list; (* reverse registration order *)
+  mutable nslots : int;
+  mutable finished : bool;
+  mutable extra : Obs.event list; (* aborted closes appended by [finish] *)
+}
+
+let ids = Atomic.make 0
+let default_capacity = 1 lsl 20
+
+let dummy_event =
+  { Obs.at = 0; pid = -1; span = 0; kind = Obs.Link_stale { src = -1 } }
+
+let create ?(keep = fun _ -> true) ?(capacity = default_capacity) () =
+  { id = Atomic.fetch_and_add ids 1;
+    keep;
+    capacity;
+    mu = Mutex.create ();
+    slots = [];
+    nslots = 0;
+    finished = false;
+    extra = [] }
+
+(* One cached (arena id, slot) pair per domain: after the first event a
+   domain records into a trace, every further record hits the cache and
+   never takes the lock. A domain interleaving two live traces thrashes
+   the cache through the registration lock but never duplicates slots
+   (the slot registered for this domain is found and reused); memory
+   pinned by stale cache entries is bounded by one buffer per domain. *)
+type cache = { mutable owner : int; mutable cached : slot option }
+
+let cache_key = Domain.DLS.new_key (fun () -> { owner = -1; cached = None })
+let self_dom () = (Domain.self () :> int)
+
+let slot_for t =
+  let c = Domain.DLS.get cache_key in
+  match c.cached with
+  | Some s when c.owner = t.id -> s
+  | _ ->
+      let dom = self_dom () in
+      Mutex.lock t.mu;
+      let s =
+        match List.find_opt (fun s -> s.dom = dom) t.slots with
+        | Some s -> s
+        | None ->
+            let s =
+              { buf = Array.make t.capacity dummy_event;
+                len = 0;
+                dropped = 0;
+                dom }
+            in
+            t.slots <- s :: t.slots;
+            t.nslots <- t.nslots + 1;
+            s
+      in
+      Mutex.unlock t.mu;
+      c.owner <- t.id;
+      c.cached <- Some s;
+      s
 
 let record t (e : Obs.event) =
-  t.rev <- e :: t.rev;
-  t.count <- t.count + 1;
-  t.last_at <- e.at
+  let s = slot_for t in
+  if s.len < t.capacity then begin
+    s.buf.(s.len) <- e;
+    s.len <- s.len + 1
+  end
+  else s.dropped <- s.dropped + 1
 
 let sink t =
   { Obs.emit =
       (fun e ->
         match e.kind with
-        | Span_open { name; _ } ->
-            Hashtbl.replace t.opens e.span (name, e.pid);
-            record t e
-        | Span_close _ ->
-            Hashtbl.remove t.opens e.span;
-            record t e
+        | Span_open _ | Span_close _ -> record t e
         | _ -> if t.keep e then record t e) }
+
+(* --- Deterministic merge ----------------------------------------------- *)
+
+(* A single-domain trace is already in emission order, which the
+   deterministic simulator pins byte-for-byte — return it untouched. A
+   multi-domain trace merges by the (atomic, fetch-and-add) clock stamp;
+   the sort is stable over slot registration order, so equal stamps —
+   impossible when the domains backend installs the tick clock, since
+   every stamp is unique — still break ties deterministically for a
+   fixed registration order. *)
+let merged t =
+  let slots = List.rev t.slots in
+  let evs =
+    List.concat_map (fun s -> Array.to_list (Array.sub s.buf 0 s.len)) slots
+  in
+  if t.nslots > 1 then
+    List.stable_sort
+      (fun (a : Obs.event) (b : Obs.event) -> Int.compare a.at b.at)
+      evs
+  else evs
 
 let finish t =
   if not t.finished then begin
     t.finished <- true;
+    let evs = merged t in
+    let opens : (int, string * int) Hashtbl.t = Hashtbl.create 64 in
+    let last_at = ref 0 in
+    List.iter
+      (fun (e : Obs.event) ->
+        if e.at > !last_at then last_at := e.at;
+        match e.kind with
+        | Span_open { name; _ } -> Hashtbl.replace opens e.span (name, e.pid)
+        | Span_close _ -> Hashtbl.remove opens e.span
+        | _ -> ())
+      evs;
     (* Children always carry a larger id than their parent (ids are
        allocated at open time), so closing in descending id order keeps
        the stream well-nested. *)
     let dangling =
-      Hashtbl.fold (fun id info acc -> (id, info) :: acc) t.opens []
+      Hashtbl.fold (fun id info acc -> (id, info) :: acc) opens []
       |> List.sort (fun (a, _) (b, _) -> compare b a)
     in
-    List.iter
-      (fun (id, (name, pid)) ->
-        Hashtbl.remove t.opens id;
-        record t
-          { Obs.at = t.last_at; pid; span = id;
-            kind = Span_close { name; result = None; aborted = true } })
-      dangling
+    t.extra <-
+      List.map
+        (fun (id, (name, pid)) ->
+          { Obs.at = !last_at;
+            pid;
+            span = id;
+            kind = Obs.Span_close { name; result = None; aborted = true } })
+        dangling
   end
 
-let events t = List.rev t.rev
-let size t = t.count
+let events t = merged t @ t.extra
+
+let size t =
+  List.fold_left (fun acc s -> acc + s.len) (List.length t.extra) t.slots
+
+let dropped t = List.fold_left (fun acc s -> acc + s.dropped) 0 t.slots
+let domains t = t.nslots
 
 (* --- JSONL export ------------------------------------------------------ *)
 
@@ -272,7 +371,7 @@ let event_to_json e =
   Buffer.contents b
 
 let to_jsonl t =
-  let b = Buffer.create (64 * t.count) in
+  let b = Buffer.create (64 * size t) in
   List.iter
     (fun e ->
       add_event_json b e;
@@ -283,7 +382,7 @@ let to_jsonl t =
 (* --- Chrome trace export ----------------------------------------------- *)
 
 let to_chrome t =
-  let b = Buffer.create (96 * t.count) in
+  let b = Buffer.create (96 * size t) in
   Buffer.add_string b "[";
   let first = ref true in
   List.iter
@@ -371,6 +470,16 @@ let check_nesting evs =
           (String.concat "," (List.map string_of_int leaked))
   | Some _ -> ());
   !violation
+
+let check t =
+  let d = dropped t in
+  if d > 0 then
+    Some
+      (Printf.sprintf
+         "trace known-incomplete: %d event(s) dropped on arena overflow \
+          (capacity %d per domain) — well-nestedness not checkable"
+         d t.capacity)
+  else check_nesting (events t)
 
 (* --- Golden diff ------------------------------------------------------- *)
 

@@ -27,6 +27,9 @@ module Policy = Lnd_runtime.Policy
 module History = Lnd_history.History
 module Monitors = Lnd_history.Monitors
 module Byzlin = Lnd_history.Byzlin
+module Trace_replay = Lnd_history.Trace_replay
+module Obs = Lnd_obs.Obs
+module Trace = Lnd_obs.Trace
 module Byz_script = Lnd_byz.Byz_script
 
 type proto = Sticky | Verifiable | Testorset
@@ -494,3 +497,58 @@ let check_golden path : (int * string * string) list =
     | [], g :: gs -> pair (i + 1) [] gs ((i, "<missing>", g) :: acc)
   in
   pair 1 expected got []
+
+(* ---------------- Trace parity (both drivers) ---------------- *)
+
+(* Keep only operation spans. The help daemons spin on the domains
+   backend, so their Shm_access volume is unbounded and nondeterministic
+   — it would overflow any fixed arena — while the spans the parity fold
+   actually consumes are bounded by the workload. *)
+let parity_keep (e : Obs.event) : bool =
+  match e.kind with
+  | Obs.Span_open _ | Obs.Span_close _ -> true
+  | _ -> false
+
+type trace_info = {
+  t_ops : int;
+  t_verdict : (unit, string) result;
+  t_nesting : string option;
+  t_dropped : int;
+  t_events : int;
+  t_trace : Trace.t;
+}
+
+let fold_trace (w : work) (tr : Trace.t) : trace_info =
+  let byz = byzantine_pids w in
+  let correct pid = not (List.mem pid byz) in
+  let evs = Trace.events tr in
+  let t_ops, t_verdict =
+    match w.proto with
+    | Sticky ->
+        let h = Trace_replay.sticky_history evs in
+        ( List.length (History.complete_entries h),
+          check_sticky_history ~correct h )
+    | Verifiable ->
+        let h = Trace_replay.verifiable_history evs in
+        ( List.length (History.complete_entries h),
+          check_verifiable_history ~correct h )
+    | Testorset ->
+        let h = Trace_replay.testorset_history evs in
+        ( List.length (History.complete_entries h),
+          check_testorset_history ~correct h )
+  in
+  {
+    t_ops;
+    t_verdict;
+    t_nesting = Trace.check tr;
+    t_dropped = Trace.dropped tr;
+    t_events = Trace.size tr;
+    t_trace = tr;
+  }
+
+let sim_traced ?(keep = parity_keep) (w : work) : run * trace_info =
+  let tr = Trace.create ~keep () in
+  Obs.install (Trace.sink tr);
+  let r = Fun.protect ~finally:Obs.uninstall (fun () -> sim w) in
+  Trace.finish tr;
+  (r, fold_trace w tr)

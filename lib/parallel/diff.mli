@@ -107,6 +107,39 @@ val sim : work -> run
 val sim_line : work -> string
 (** [describe] + verdict + canonical history: one golden-baseline line. *)
 
+(** {2 Trace parity}
+
+    A traced run derives a {e second}, independent history from the
+    recorded operation spans ({!Lnd_history.Trace_replay}) and judges it
+    with the same checkers as the direct one. Operation spans bracket
+    the recorded [[inv, ret]] intervals on both backends, so the
+    trace-derived precedence order is a subset of the direct history's
+    and a direct [Ok] forces a trace [Ok]. *)
+
+val parity_keep : Lnd_obs.Obs.event -> bool
+(** Keep only operation spans: the help daemons spin on the domains
+    backend, so their [Shm_access] volume is unbounded and would
+    overflow any fixed arena, while span volume is bounded by the
+    workload. *)
+
+type trace_info = {
+  t_ops : int;  (** completed operations in the trace-derived history *)
+  t_verdict : (unit, string) result;  (** same checkers as {!run} *)
+  t_nesting : string option;  (** {!Lnd_obs.Trace.check} verdict *)
+  t_dropped : int;  (** arena-overflow drops (0 = trace complete) *)
+  t_events : int;  (** merged events, including synthesized closes *)
+  t_trace : Lnd_obs.Trace.t;  (** the finished trace, for export *)
+}
+
+val fold_trace : work -> Lnd_obs.Trace.t -> trace_info
+(** Fold a finished trace of [work] into the spec history of its
+    protocol and judge it. Call {!Lnd_obs.Trace.finish} first. *)
+
+val sim_traced : ?keep:(Lnd_obs.Obs.event -> bool) -> work -> run * trace_info
+(** {!sim} with an arena sink installed for the duration ([keep]
+    defaults to {!parity_keep}); the golden-baseline path stays
+    untraced. *)
+
 (** {2 Golden baselines (sim driver)} *)
 
 val golden_seed_from : int

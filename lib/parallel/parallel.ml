@@ -28,6 +28,8 @@ module V_core = Lnd_verifiable.Verifiable_core
 module T_core = Lnd_testorset.Testorset_core
 module B_core = Lnd_byz.Byz_script_core
 module VSet = Value.Set
+module Obs = Lnd_obs.Obs
+module Trace = Lnd_obs.Trace
 open Machine
 
 (* The value broken cores claim; never written by any workload, so the
@@ -43,6 +45,22 @@ let merge_history (recs : ('op, 'res) History.entry list array) :
 
 let entry pid op ~inv ~ret res : ('op, 'res) History.entry =
   { History.pid; op; inv; ret = Some (res, ret) }
+
+(* One HELP span per round actually serving askers (the cores mark those
+   rounds with Serving/Served notes), mirroring the sim-side protocol
+   wrappers; one closure per daemon, since the span id must survive from
+   Serving to Served across turns. *)
+let help_note () : Machine.note -> unit =
+  let sp = ref 0 in
+  function
+  | Machine.Serving askers ->
+      if Obs.enabled () then
+        sp :=
+          Obs.span_open ~name:"HELP"
+            ~arg:(String.concat "," (List.map string_of_int askers))
+            ()
+  | Machine.Served ->
+      if Obs.enabled () then Obs.span_close ~result:"done" ~name:"HELP" !sp
 
 let correct_of (w : Diff.work) : bool array =
   let correct = Array.make w.Diff.n true in
@@ -119,13 +137,15 @@ let run_sticky ~broken (w : Diff.work) : Diff.run =
   let help pid =
     Domains.daemon
       ~label:(Printf.sprintf "help%d" pid)
-      ~cell
+      ~on_note:(help_note ()) ~cell
       (S_core.help_prog ~n ~q ~pid)
   in
   Domains.add_process d ~pid:0 ~daemons:[ help 0 ]
     (List.init w.Diff.writes (fun i ->
          let v = Diff.value_pool.(i mod Array.length Diff.value_pool) in
          Domains.job ~cell
+           ~span:("WRITE", Some v)
+           ~render:(fun () -> "done")
            ~finish:(fun ~inv ~ret () -> record 0 (S.Write v) ~inv ~ret S.Done)
            (fun () -> S_core.write_prog ~n ~q v)));
   List.iter
@@ -149,6 +169,9 @@ let run_sticky ~broken (w : Diff.work) : Diff.run =
           (function
             | Diff.I_read ->
                 Domains.job ~cell
+                  ~span:("READ", None)
+                  ~render:(fun (res, _) ->
+                    match res with None -> "\xe2\x8a\xa5" | Some v -> "v:" ^ v)
                   ~finish:(fun ~inv ~ret (res, ck') ->
                     ck := ck';
                     record pid S.Read ~inv ~ret (S.Val res))
@@ -215,7 +238,7 @@ let run_verifiable ~broken (w : Diff.work) : Diff.run =
   let help pid =
     Domains.daemon
       ~label:(Printf.sprintf "help%d" pid)
-      ~cell
+      ~on_note:(help_note ()) ~cell
       (V_core.help_prog ~n ~q ~pid)
   in
   let written = ref VSet.empty in
@@ -225,11 +248,15 @@ let run_verifiable ~broken (w : Diff.work) : Diff.run =
             let v = Diff.value_pool.(i mod Array.length Diff.value_pool) in
             [
               Domains.job ~cell
+                ~span:("WRITE", Some v)
+                ~render:(fun () -> "done")
                 ~finish:(fun ~inv ~ret () ->
                   written := VSet.add v !written;
                   record 0 (V.Write v) ~inv ~ret V.Done)
                 (fun () -> V_core.write_prog v);
               Domains.job ~cell
+                ~span:("SIGN", Some v)
+                ~render:string_of_bool
                 ~finish:(fun ~inv ~ret ok ->
                   record 0 (V.Sign v) ~inv ~ret (V.Signed ok))
                 (fun () -> V_core.sign_prog ~written:!written v);
@@ -255,6 +282,8 @@ let run_verifiable ~broken (w : Diff.work) : Diff.run =
           (function
             | Diff.I_read ->
                 Domains.job ~cell
+                  ~span:("READ", None)
+                  ~render:(fun v -> "v:" ^ v)
                   ~finish:(fun ~inv ~ret v ->
                     record pid V.Read ~inv ~ret (V.Val v))
                   (fun () ->
@@ -264,6 +293,8 @@ let run_verifiable ~broken (w : Diff.work) : Diff.run =
                     else V_core.read_prog)
             | Diff.I_verify v ->
                 Domains.job ~cell
+                  ~span:("VERIFY", Some v)
+                  ~render:(fun (ok, _) -> string_of_bool ok)
                   ~finish:(fun ~inv ~ret (ok, ck') ->
                     ck := ck';
                     record pid (V.Verify v) ~inv ~ret (V.Verified ok))
@@ -307,6 +338,8 @@ let run_testorset ~broken (w : Diff.work) : Diff.run =
       let written = ref VSet.empty in
       let set_job () =
         Domains.job ~cell
+          ~span:("SET", None)
+          ~render:(fun _ -> "done")
           ~finish:(fun ~inv ~ret (signed, written') ->
             written := written';
             if not signed then failwith "SET: sign failed for correct setter";
@@ -332,6 +365,8 @@ let run_testorset ~broken (w : Diff.work) : Diff.run =
       in
       let set_job () =
         Domains.job ~cell
+          ~span:("SET", None)
+          ~render:(fun () -> "done")
           ~finish:(fun ~inv ~ret () -> record 0 T.Set ~inv ~ret T.Done)
           (fun () -> T_core.set_sticky_prog ~n ~q)
       in
@@ -347,7 +382,9 @@ let run_testorset ~broken (w : Diff.work) : Diff.run =
     end
   in
   let help pid =
-    Domains.daemon ~label:(Printf.sprintf "help%d" pid) ~cell (help_prog pid)
+    Domains.daemon
+      ~label:(Printf.sprintf "help%d" pid)
+      ~on_note:(help_note ()) ~cell (help_prog pid)
   in
   Domains.add_process d ~pid:0 ~daemons:[ help 0 ]
     (List.init w.Diff.writes (fun _ -> set_job ()));
@@ -365,6 +402,8 @@ let run_testorset ~broken (w : Diff.work) : Diff.run =
           (function
             | Diff.I_test ->
                 Domains.job ~cell
+                  ~span:("TEST", None)
+                  ~render:(fun (bit, _) -> string_of_int bit)
                   ~finish:(fun ~inv ~ret (bit, ck') ->
                     ck := ck';
                     record pid T.Test ~inv ~ret (T.Bit bit))
@@ -393,6 +432,21 @@ let run ?(broken = false) (w : Diff.work) : Diff.run =
   | Diff.Sticky -> run_sticky ~broken w
   | Diff.Verifiable -> run_verifiable ~broken w
   | Diff.Testorset -> run_testorset ~broken w
+
+(* Run with a per-domain arena sink installed: every domain records into
+   its own preallocated buffer, the arenas merge on the run's unique
+   fetch-and-add stamps, and the merged trace folds — through
+   Trace_replay — into a second, independently derived history judged by
+   the same checkers as the direct one. Operation spans bracket the
+   recorded [inv, ret] intervals, so the trace verdict must agree
+   whenever the direct verdict is Ok. *)
+let run_traced ?(broken = false) ?(keep = Diff.parity_keep) (w : Diff.work) :
+    Diff.run * Diff.trace_info =
+  let tr = Trace.create ~keep () in
+  Obs.install (Trace.sink tr);
+  let r = Fun.protect ~finally:Obs.uninstall (fun () -> run ~broken w) in
+  Trace.finish tr;
+  (r, Diff.fold_trace w tr)
 
 let line ?broken (w : Diff.work) : string =
   let r = run ?broken w in

@@ -21,6 +21,21 @@ val run : ?broken:bool -> Diff.work -> Diff.run
     impossible bit 2. The conformance suite uses it to prove the
     checkers reject divergent behaviour. *)
 
+val run_traced :
+  ?broken:bool ->
+  ?keep:(Lnd_obs.Obs.event -> bool) ->
+  Diff.work ->
+  Diff.run * Diff.trace_info
+(** [run] with a per-domain arena sink installed for the duration:
+    domains record into preallocated per-domain buffers, the arenas
+    merge deterministically on the run's unique fetch-and-add clock
+    stamps, and the merged trace folds (via
+    {!Lnd_history.Trace_replay}) into a second, independently derived
+    history judged by the same checkers — see {!Diff.fold_trace}.
+    [keep] defaults to {!Diff.parity_keep} (operation spans only).
+    Operation spans bracket the recorded [[inv, ret]] intervals, so on
+    an [Ok] direct verdict the trace verdict is [Ok] too. *)
+
 val line : ?broken:bool -> Diff.work -> string
 (** [describe] + verdict + rendered history (same shape as
     {!Diff.sim_line}); for the CLI. Not stable across runs — the domains

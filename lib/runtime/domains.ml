@@ -20,6 +20,7 @@
    [Error] instead of a hang. *)
 
 open Lnd_support
+module Obs = Lnd_obs.Obs
 
 (* ---------------- Shared registers ---------------- *)
 
@@ -29,16 +30,23 @@ module Dcell = struct
   let make ~name ~init : t = { name; m = Mutex.create (); v = init }
   let name (c : t) = c.name
 
+  (* Shm_access probes fire after the mutex is released: the event is a
+     record of the access, not part of the critical section, and the
+     per-domain arena sink must never run under a cell lock. *)
   let read (c : t) : Univ.t =
     Mutex.lock c.m;
     let v = c.v in
     Mutex.unlock c.m;
+    if Obs.enabled () then
+      Obs.emit (Obs.Shm_access { access = `Read; reg = c.name; value = v });
     v
 
   let write (c : t) (u : Univ.t) : unit =
     Mutex.lock c.m;
     c.v <- u;
-    Mutex.unlock c.m
+    Mutex.unlock c.m;
+    if Obs.enabled () then
+      Obs.emit (Obs.Shm_access { access = `Write; reg = c.name; value = u })
 end
 
 (* ---------------- Logical clock ---------------- *)
@@ -56,11 +64,16 @@ type job =
   | Job : {
       prog : unit -> ('reg, 'a) Machine.prog;
       cell : 'reg -> Dcell.t;
+      span : string * string option; (* Obs span name/arg; "" = none *)
+      render : ('a -> string) option;
+      on_note : Machine.note -> unit;
       finish : inv:int -> ret:int -> 'a -> unit;
     }
       -> job
 
-let job ~cell ~finish prog = Job { prog; cell; finish }
+let job ?(span = ("", None)) ?render ?(on_note = fun _ -> ()) ~cell ~finish
+    prog =
+  Job { prog; cell; span; render; on_note; finish }
 
 (* A daemon never returns a result; [critical = false] marks machines
    (scripted adversaries) whose failure must not fail the run, matching
@@ -71,13 +84,17 @@ type daemon =
       critical : bool;
       prog : ('reg, unit) Machine.prog;
       cell : 'reg -> Dcell.t;
+      on_note : Machine.note -> unit;
     }
       -> daemon
 
-let daemon ~label ?(critical = true) ~cell prog =
-  Daemon { label; critical; prog; cell }
+let daemon ~label ?(critical = true) ?(on_note = fun _ -> ()) ~cell prog =
+  Daemon { label; critical; prog; cell; on_note }
 
-(* A machine in flight. *)
+(* A machine in flight. [ospan] is the machine's ambient Obs span, saved
+   across turns the way Sched saves it across fiber switches: jobs start
+   under their operation span, daemons at top level, and note callbacks
+   (HELP rounds) may push/pop spans in between. *)
 type runnable =
   | Run : {
       label : string;
@@ -85,6 +102,8 @@ type runnable =
       mutable st : ('reg, 'a) Machine.prog;
       mutable ev : Machine.event;
       cell : 'reg -> Dcell.t;
+      onote : Machine.note -> unit;
+      mutable ospan : int;
       fin : 'a -> unit;
       mutable dead : bool;
     }
@@ -104,6 +123,7 @@ let create ?(step_budget = default_step_budget) () : t =
   { clock = Atomic.make 1; step_budget; procs = [] }
 
 let now (t : t) : int = Atomic.get t.clock
+let clock (t : t) : clock = t.clock
 
 let add_process (t : t) ~pid ?(daemons = []) (jobs : job list) : unit =
   if List.exists (fun p -> p.pid = pid) t.procs then
@@ -120,7 +140,12 @@ exception Abort of string
    yields — between domains, every shared access races for real. *)
 let turn ~steps ~budget ~pid (Run m) : [ `Yielded | `Done | `Dead ] =
   if m.dead then `Dead
-  else
+  else begin
+    (* The ambient span follows the machine across turns, the way Sched
+       carries it across fiber switches: restore before stepping, save
+       after (note callbacks may have pushed/popped HELP spans). *)
+    if Obs.enabled () then Obs.set_ambient ~span:m.ospan ~pid;
+    let save () = if Obs.enabled () then m.ospan <- Obs.ambient () in
     try
       let rec go () =
         incr steps;
@@ -134,7 +159,7 @@ let turn ~steps ~budget ~pid (Run m) : [ `Yielded | `Done | `Dead ] =
           (fun a ->
             match a with
             | Machine.A_write (r, u) -> Dcell.write (m.cell r) u
-            | Machine.A_note _ -> ()
+            | Machine.A_note n -> m.onote n
             | Machine.A_read r -> m.ev <- Machine.Got (Dcell.read (m.cell r))
             | Machine.A_yield ->
                 m.ev <- Machine.Ack;
@@ -145,19 +170,28 @@ let turn ~steps ~budget ~pid (Run m) : [ `Yielded | `Done | `Dead ] =
           acts;
         match !out with `Continue -> go () | (`Yielded | `Done) as r -> r
       in
-      go ()
+      let r = go () in
+      save ();
+      r
     with
     | Abort _ as e -> raise e
     | e ->
         m.dead <- true;
+        save ();
         if m.critical then
           raise
             (Abort
                (Printf.sprintf "correct machine %s failed: %s" m.label
                   (Printexc.to_string e)))
         else `Dead
+  end
 
 let run (t : t) : (int, string) result =
+  (* Traced runs stamp every event through the same fetch-and-add clock
+     that stamps operation intervals: stamps are unique across domains,
+     so the per-domain arenas merge into one total order no matter how
+     the domains raced. *)
+  if Obs.enabled () then Obs.set_clock (fun () -> tick t.clock);
   let procs = List.sort (fun a b -> compare a.pid b.pid) t.procs in
   let total_jobs =
     List.fold_left (fun acc p -> acc + List.length p.jobs) 0 procs
@@ -167,6 +201,19 @@ let run (t : t) : (int, string) result =
   let steps_total = Atomic.make 0 in
   let body (p : proc) () =
     let steps = ref 0 in
+    (* Per-domain root span: every operation span of this process nests
+       under it, so a merged multi-domain trace keeps one subtree per
+       domain. Daemons stay at top level (parent 0), mirroring the
+       simulator's daemon fibers — they are abandoned at teardown and
+       their dangling spans are abort-closed by Trace.finish. *)
+    let dspan =
+      if Obs.enabled () then begin
+        Obs.set_ambient ~span:0 ~pid:p.pid;
+        Obs.span_open ~pid:p.pid ~name:"domain"
+          ~arg:(Printf.sprintf "p%d" p.pid) ()
+      end
+      else 0
+    in
     let daemons =
       List.map
         (fun (Daemon d) ->
@@ -177,6 +224,8 @@ let run (t : t) : (int, string) result =
               st = d.prog;
               ev = Machine.Start;
               cell = d.cell;
+              onote = d.on_note;
+              ospan = 0;
               fin = (fun () -> ());
               dead = false;
             })
@@ -197,6 +246,20 @@ let run (t : t) : (int, string) result =
          (match (!current, !jobs) with
          | None, Job j :: rest ->
              jobs := rest;
+             let name, arg = j.span in
+             (* The operation span must BRACKET the [inv, ret] interval:
+                open before the inv tick, close after the ret tick. The
+                trace-derived precedence order is then a subset of the
+                direct history's, so folding the trace back into a
+                history can never add precedence pairs the checkers
+                didn't already judge. *)
+             let ospan =
+               if name <> "" && Obs.enabled () then begin
+                 Obs.set_ambient ~span:dspan ~pid:p.pid;
+                 Obs.span_open ~pid:p.pid ~name ?arg ()
+               end
+               else dspan
+             in
              let inv = tick t.clock in
              current :=
                Some
@@ -207,10 +270,16 @@ let run (t : t) : (int, string) result =
                       st = j.prog ();
                       ev = Machine.Start;
                       cell = j.cell;
+                      onote = j.on_note;
+                      ospan;
                       fin =
                         (fun a ->
                           let ret = tick t.clock in
                           j.finish ~inv ~ret a;
+                          if name <> "" && ospan <> dspan then
+                            Obs.span_close ~pid:p.pid
+                              ?result:(Option.map (fun r -> r a) j.render)
+                              ~name ospan;
                           Atomic.decr remaining);
                       dead = false;
                     })
@@ -228,6 +297,13 @@ let run (t : t) : (int, string) result =
          if (not (has_current ())) && not (has_jobs ()) then Domain.cpu_relax ()
        done
      with Abort m -> ignore (Atomic.compare_and_set aborted None (Some m)));
+    (* Close the domain root span on a clean exit; an aborted run leaves
+       it (and any open operation span) dangling for Trace.finish to
+       abort-close, so the incomplete run is visible in the trace. *)
+    (match !current with
+    | None when dspan <> 0 && Atomic.get aborted = None ->
+        Obs.span_close ~pid:p.pid ~name:"domain" dspan
+    | _ -> ());
     ignore (Atomic.fetch_and_add steps_total !steps)
   in
   let spawned = List.map (fun p -> Domain.spawn (body p)) procs in

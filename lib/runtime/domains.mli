@@ -32,10 +32,20 @@ type job
     result. Jobs of one process run sequentially, in order. *)
 
 val job :
+  ?span:string * string option ->
+  ?render:('a -> string) ->
+  ?on_note:(Machine.note -> unit) ->
   cell:('reg -> Dcell.t) ->
   finish:(inv:int -> ret:int -> 'a -> unit) ->
   (unit -> ('reg, 'a) Machine.prog) ->
   job
+(** [span] names the Obs operation span (name, optional argument) the
+    job runs under when a sink is installed; it is opened {e before} the
+    invocation tick and closed — with [render result] — {e after} the
+    response tick, so the traced interval brackets [[inv, ret]] and
+    trace-derived precedence is a subset of the direct history's.
+    [on_note] receives the core's protocol annotations in program order
+    (default: ignore), mirroring {!Drive.run}. *)
 
 type daemon
 (** A background machine (help loop, scripted adversary). Daemons are
@@ -46,6 +56,7 @@ type daemon
 val daemon :
   label:string ->
   ?critical:bool ->
+  ?on_note:(Machine.note -> unit) ->
   cell:('reg -> Dcell.t) ->
   ('reg, unit) Machine.prog ->
   daemon
@@ -57,6 +68,14 @@ val create : ?step_budget:int -> unit -> t
     divergence into [Error] instead of a hang. *)
 
 val now : t -> int
+
+val clock : t -> clock
+(** The run's logical clock. A traced run installs
+    [Obs.install ~clock:(fun () -> tick (clock t))] so every event gets
+    a {e unique} stamp from the same fetch-and-add counter that stamps
+    operation intervals: the merged multi-domain trace is then totally
+    ordered by [at], independent of how the domains raced. *)
+
 val add_process : t -> pid:int -> ?daemons:daemon list -> job list -> unit
 
 val run : t -> (int, string) result

@@ -10,6 +10,7 @@ open Lnd_support
 open Lnd_shm
 open Lnd_runtime
 module T = Lnd_history.Spec.Testorset_spec
+module Obs = Lnd_obs.Obs
 
 let one : Value.t = "1"
 
@@ -77,8 +78,12 @@ let make ?(policy : Policy.t option) ?(byzantine : int list = []) ~impl ~n ~f
   in
   { n; f; space; sched; backend; history = Lnd_history.History.create (); correct }
 
-(* SET, by the setter (pid 0); recorded. *)
+(* SET, by the setter (pid 0); recorded. The SET span brackets the
+   recorded [inv, ret] interval (the underlying WRITE/SIGN spans nest
+   inside it), so a trace folded by Trace_replay.testorset_history
+   carries no precedence pair the direct history lacks. *)
 let op_set (t : t) : unit =
+  let sp = if Obs.enabled () then Obs.span_open ~name:"SET" () else 0 in
   Lnd_history.History.record t.history ~pid:0 T.Set (fun () ->
       (match t.backend with
       | B_sticky (_, w, _) -> Lnd_sticky.Sticky.write w one
@@ -87,27 +92,34 @@ let op_set (t : t) : unit =
           let signed = Lnd_verifiable.Verifiable.sign w one in
           assert signed);
       T.Done)
-  |> ignore
+  |> ignore;
+  if Obs.enabled () then Obs.span_close ~result:"done" ~name:"SET" sp
 
 (* TEST, by any tester (pid >= 1); recorded. Returns 0 or 1. *)
 let op_test (t : t) ~pid : int =
-  match
-    Lnd_history.History.record t.history ~pid T.Test (fun () ->
-        let bit =
-          match t.backend with
-          | B_sticky (_, _, readers) -> (
-              let rd = Option.get readers.(pid) in
-              match Lnd_sticky.Sticky.read rd with
-              | Some v when Value.equal v one -> 1
-              | Some _ | None -> 0)
-          | B_verifiable (_, _, readers) ->
-              let rd = Option.get readers.(pid) in
-              if Lnd_verifiable.Verifiable.verify rd one then 1 else 0
-        in
-        T.Bit bit)
-  with
-  | T.Bit b -> b
-  | T.Done -> assert false
+  let sp = if Obs.enabled () then Obs.span_open ~name:"TEST" () else 0 in
+  let bit =
+    match
+      Lnd_history.History.record t.history ~pid T.Test (fun () ->
+          let bit =
+            match t.backend with
+            | B_sticky (_, _, readers) -> (
+                let rd = Option.get readers.(pid) in
+                match Lnd_sticky.Sticky.read rd with
+                | Some v when Value.equal v one -> 1
+                | Some _ | None -> 0)
+            | B_verifiable (_, _, readers) ->
+                let rd = Option.get readers.(pid) in
+                if Lnd_verifiable.Verifiable.verify rd one then 1 else 0
+          in
+          T.Bit bit)
+    with
+    | T.Bit b -> b
+    | T.Done -> assert false
+  in
+  if Obs.enabled () then
+    Obs.span_close ~result:(string_of_int bit) ~name:"TEST" sp;
+  bit
 
 let client t ~pid ~name body : Sched.fiber = Sched.spawn t.sched ~pid ~name body
 let run ?max_steps ?until t = Sched.run ?max_steps ?until t.sched

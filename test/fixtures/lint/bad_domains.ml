@@ -1,0 +1,11 @@
+(* Lint fixture: parallel-backend code narrating domain progress to the
+   std streams instead of recording typed events through the Obs sink —
+   the trace-parity gate depends on runs staying silent and
+   byte-identical under the Null sink. Parsed by the lint tests, never
+   built. *)
+
+let narrate_merge ~dom ~events =
+  print_endline "merging domain arena";
+  Printf.printf "domain %d recorded %d events\n" dom events;
+  Format.eprintf "arena overflow on domain %d@." dom;
+  prerr_endline "dropped events!"

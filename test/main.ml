@@ -31,6 +31,7 @@ let () =
       ("regular-registers", Test_regular.tests);
       ("trace-invariants", Test_trace_invariants.tests);
       ("observability", Test_obs.tests);
+      ("multi-domain observability", Test_obs_domains.tests);
       ("audit", Test_audit.tests);
       ("composition", Test_composition.tests);
       ("policies", Test_policies.tests);

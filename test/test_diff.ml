@@ -46,17 +46,45 @@ let check_backend ~backend w = function
       Alcotest.failf "%s driver rejected workload [%s]: %s" backend
         (Diff.describe w) m
 
+(* One traced execution must tell the same story twice: the direct
+   history (recorded by the driver) and the trace-derived history
+   (operation spans folded back through Trace_replay) are judged by the
+   same checkers, and op spans bracket the [inv, ret] intervals, so a
+   direct Ok forces a trace Ok. The trace itself must be complete (no
+   arena drops) and well-nested. *)
+let check_parity ~backend w (r : Diff.run) (ti : Diff.trace_info) =
+  check_backend ~backend w r.Diff.verdict;
+  (match ti.Diff.t_verdict with
+  | Ok () -> ()
+  | Error m ->
+      Alcotest.failf
+        "%s trace-derived history rejected for [%s] (direct was accepted): %s"
+        backend (Diff.describe w) m);
+  (match ti.Diff.t_nesting with
+  | None -> ()
+  | Some m ->
+      Alcotest.failf "%s trace ill-nested for [%s]: %s" backend
+        (Diff.describe w) m);
+  if ti.Diff.t_dropped > 0 then
+    Alcotest.failf "%s trace dropped %d events for [%s]" backend
+      ti.Diff.t_dropped (Diff.describe w);
+  if ti.Diff.t_ops <> r.Diff.ops then
+    Alcotest.failf
+      "%s trace-derived history has %d ops, direct has %d, for [%s]" backend
+      ti.Diff.t_ops r.Diff.ops (Diff.describe w)
+
 (* The headline: the same seed-derived workloads — honest, Byzantine
    (scripted genomes) and mixed — through both drivers, every history
-   accepted by the same spec-level checkers. *)
+   accepted by the same spec-level checkers, and on each driver the
+   trace-derived history agrees with the direct one. *)
 let test_agreement proto () =
   List.iter
     (fun seed ->
       let w = Diff.generate ~proto seed in
-      let s = Diff.sim w in
-      check_backend ~backend:"sim" w s.Diff.verdict;
-      let p = Parallel.run w in
-      check_backend ~backend:"domains" w p.Diff.verdict;
+      let s, st = Diff.sim_traced w in
+      check_parity ~backend:"sim" w s st;
+      let p, pt = Parallel.run_traced w in
+      check_parity ~backend:"domains" w p pt;
       if p.Diff.ops <> s.Diff.ops then
         Alcotest.failf
           "backends completed different op counts for [%s]: sim=%d domains=%d"
@@ -76,12 +104,22 @@ let test_broken proto seed () =
       "fixture seed %d grew past byzlin_op_cap (%d ops): pick another seed"
       seed ops.Diff.ops;
   check_backend ~backend:"domains" w (Parallel.run w).Diff.verdict;
-  match (Parallel.run ~broken:true w).Diff.verdict with
+  let b, bt = Parallel.run_traced ~broken:true w in
+  (match b.Diff.verdict with
   | Error _ -> ()
   | Ok () ->
       Alcotest.failf
         "broken %s core was ACCEPTED on [%s]: the conformance suite cannot \
          detect divergence"
+        (Diff.proto_name proto) (Diff.describe w));
+  (* The spans render the value the core actually (falsely) returned, so
+     the lie survives the round-trip and the trace checker rejects too. *)
+  match bt.Diff.t_verdict with
+  | Error _ -> ()
+  | Ok () ->
+      Alcotest.failf
+        "broken %s core was accepted through the TRACE on [%s]: spans do not \
+         carry the lying results"
         (Diff.proto_name proto) (Diff.describe w)
 
 (* The committed counterexamples replay through the pure-core sim driver

@@ -93,6 +93,19 @@ let test_audit_fixture () =
     [ ("determinism", 8); ("quorum-arithmetic", 10); ("obs-seam", 12) ]
     (lint "bad_audit.ml")
 
+(* The parallel backend is held to the same silence contract as the
+   protocol cores: a stray print in the domains driver or the merge
+   path would break the byte-identical golden baselines. *)
+let test_domains_fixture () =
+  check "parallel-backend printing flagged"
+    [
+      ("obs-seam", 8);
+      ("obs-seam", 9);
+      ("obs-seam", 10);
+      ("obs-seam", 11);
+    ]
+    (lint "bad_domains.ml")
+
 let test_suppressed_ok () =
   check "justified [@lnd.allow] silences the finding" []
     (lint "suppressed_ok.ml")
@@ -138,6 +151,13 @@ let test_default_ctx () =
   Alcotest.(check bool) "explore: randomness still banned" true e.Rules.rng_free;
   Alcotest.(check bool) "explore: no seam rule (below the transport)" false
     e.Rules.seam;
+  let dm = Rules.default_ctx ~path:"lib/runtime/domains.ml" in
+  Alcotest.(check bool) "domains: obs rule on (Null sink must stay silent)"
+    true dm.Rules.obs;
+  let pl = Rules.default_ctx ~path:"lib/parallel/parallel.ml" in
+  Alcotest.(check bool) "parallel: obs rule on" true pl.Rules.obs;
+  Alcotest.(check bool) "parallel: ordered-iteration rule on" true
+    pl.Rules.ordered_iter;
   let b = Rules.default_ctx ~path:"bin/lnd_cli.ml" in
   Alcotest.(check bool) "bin: no .mli demanded" false b.Rules.need_mli;
   Alcotest.(check bool) "bin: no seam rule" false b.Rules.seam;
@@ -172,6 +192,8 @@ let tests =
     Alcotest.test_case "model-checker determinism fixture" `Quick
       test_explore_fixture;
     Alcotest.test_case "auditor-contract fixture" `Quick test_audit_fixture;
+    Alcotest.test_case "parallel-backend obs fixture" `Quick
+      test_domains_fixture;
     Alcotest.test_case "justified suppression lints clean" `Quick
       test_suppressed_ok;
     Alcotest.test_case "bare suppression is flagged" `Quick

@@ -185,10 +185,23 @@ let test_metrics_registry () =
       Alcotest.(check int) "count" 5 h.Metrics.count;
       Alcotest.(check int) "sum" 25 h.Metrics.sum;
       Alcotest.(check int) "p50 nearest-rank" 5 h.Metrics.p50;
-      Alcotest.(check int) "p95 nearest-rank" 9 h.Metrics.p95);
+      Alcotest.(check int) "p95 nearest-rank" 9 h.Metrics.p95;
+      Alcotest.(check int) "p99 nearest-rank" 9 h.Metrics.p99);
   Alcotest.(check string) "deterministic dump"
-    "counter x 5\ngauge g 7\nhist h count=5 sum=25 min=1 max=9 p50=5 p95=9\n"
-    (Metrics.dump m)
+    "counter x 5\ngauge g 7\nhist h count=5 sum=25 min=1 max=9 p50=5 p95=9 \
+     p99=9\n"
+    (Metrics.dump m);
+  Jsonchk.check ~what:"metrics JSON snapshot" (Metrics.to_json m);
+  Alcotest.(check string) "deterministic JSON snapshot"
+    "{\"counters\":{\"x\":5},\"gauges\":{\"g\":7},\"hists\":{\"h\":{\"count\":5,\
+     \"sum\":25,\"min\":1,\"max\":9,\"p50\":5,\"p95\":9,\"p99\":9}}}"
+    (Metrics.to_json m);
+  (* arena-overflow reconciliation: a lossy trace surfaces its drop
+     count; a complete one adds no key *)
+  Alcotest.(check int) "trace.dropped surfaced" 3
+    (Metrics.counter (Metrics.of_events ~dropped:3 []) "trace.dropped");
+  Alcotest.(check int) "no dropped key when complete" 0
+    (Metrics.counter (Metrics.of_events []) "trace.dropped")
 
 (* ---- golden-trace regression ---- *)
 

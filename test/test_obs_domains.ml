@@ -1,0 +1,279 @@
+(* Multi-domain observability (lib/obs arenas + merge): a committed
+   golden JSONL trace for a real 4-domain run, merge-determinism across
+   repeated runs, a property test that the deterministic merge is
+   monotone in the clock stamp with stable tie-breaking, and format
+   checks for the profiling exports built on merged traces.
+
+   The golden workload is token-passing: four spawned domains take
+   strictly serialized turns (an atomic token gates every emission), so
+   even though the domains are real, every clock stamp, span id and
+   arena registration is reproducible and the merged JSONL is
+   byte-identical run to run. To regenerate the fixture after an
+   intentional format change:
+     LND_REGEN=1 dune exec test/main.exe -- test multi-domain
+   (run from _build/default/test, then copy fixtures/traces/ back). *)
+
+module Obs = Lnd_obs.Obs
+module Trace = Lnd_obs.Trace
+module Metrics = Lnd_obs.Metrics
+module Profile = Lnd_obs.Profile
+module Rng = Lnd_support.Rng
+module Diff = Lnd_parallel.Diff
+
+(* ---- serialized token-passing harness ---- *)
+
+(* Run [turns] turns across [ndom] spawned domains. Turn [t] belongs to
+   [owner t]; its domain spins on the token, runs [act t] (which may
+   emit), and passes the token on. Returns the finished trace. *)
+let token_run ?keep ?capacity ~ndom ~turns ~owner ~act () =
+  let tr = Trace.create ?keep ?capacity () in
+  let token = Atomic.make 0 in
+  let clk = Atomic.make 0 in
+  Obs.install ~clock:(fun () -> Atomic.get clk) (Trace.sink tr);
+  let worker d () =
+    for t = 0 to turns - 1 do
+      if owner t = d then (
+        while Atomic.get token <> t do
+          Domain.cpu_relax ()
+        done;
+        act ~clk t;
+        Atomic.set token (t + 1))
+    done
+  in
+  let doms = List.init ndom (fun d -> Domain.spawn (worker d)) in
+  Fun.protect ~finally:Obs.uninstall (fun () -> List.iter Domain.join doms);
+  Trace.finish tr;
+  tr
+
+(* ---- golden 4-domain trace ---- *)
+
+(* Each turn: a TOKEN span holding one Reg_round event, stamps from a
+   fetch-and-add clock so every stamp is unique and the merge is the
+   total clock order. 3 rounds x 4 domains = 12 spans in 4 arenas. *)
+let golden_trace () =
+  let tick clk = ignore (Atomic.fetch_and_add clk 1) in
+  token_run ~ndom:4 ~turns:12
+    ~owner:(fun t -> t mod 4)
+    ~act:(fun ~clk t ->
+      let pid = t mod 4 in
+      tick clk;
+      let sp =
+        Obs.span_open ~pid ~name:"TOKEN" ~arg:(string_of_int (t / 4)) ()
+      in
+      tick clk;
+      Obs.emit ~pid (Obs.Reg_round { reg = 0; round = "hold"; rid = t });
+      tick clk;
+      Obs.span_close ~pid ~name:"TOKEN" ~result:"passed" sp)
+    ()
+
+let fixture = Filename.concat "fixtures/traces" "domains_token4.jsonl"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_golden_domains () =
+  let tr = golden_trace () in
+  let actual = Trace.to_jsonl tr in
+  Alcotest.(check int) "all four domains registered arenas" 4
+    (Trace.domains tr);
+  Alcotest.(check int) "complete (nothing dropped)" 0 (Trace.dropped tr);
+  Alcotest.(check (option string)) "merged trace is well-nested" None
+    (Trace.check tr);
+  Jsonchk.check_jsonl ~what:"4-domain JSONL" actual;
+  (* merge determinism: a second real 4-domain run is byte-identical *)
+  let again = Trace.to_jsonl (golden_trace ()) in
+  (match Trace.diff ~expected:actual ~actual:again with
+  | None -> ()
+  | Some d -> Alcotest.failf "same workload, different merged trace:\n%s" d);
+  if Sys.getenv_opt "LND_REGEN" = Some "1" then (
+    let oc = open_out_bin fixture in
+    output_string oc actual;
+    close_out oc);
+  match Trace.diff ~expected:(read_file fixture) ~actual with
+  | None -> ()
+  | Some d ->
+      Alcotest.failf
+        "4-domain trace diverged from fixture (LND_REGEN=1 to regenerate if \
+         intentional):\n\
+         %s"
+        d
+
+(* ---- merge order: monotone stamps, stable tie-breaking ---- *)
+
+(* Seeded schedules with a coarse clock that deliberately produces stamp
+   collisions across domains. The oracle is computed from the schedule:
+   the merge must equal a stable sort on [at] of the arenas concatenated
+   in registration order — equivalently (1) stamps are non-decreasing,
+   (2) each domain's events keep their emission order, (3) equal stamps
+   order by arena registration. Each emitted event carries a unique id
+   in its [fid] so the merged order is fully observable. *)
+let test_merge_monotone () =
+  for seed = 1 to 25 do
+    let rng = Rng.create (0x9e3779b9 + seed) in
+    let ndom = 2 + Rng.int rng 3 in
+    let turns = ndom + Rng.int rng 20 in
+    (* first [ndom] turns visit every domain once in a seeded order, so
+       arena registration order is [perm]; later turns are arbitrary *)
+    let perm = Array.init ndom (fun i -> i) in
+    Rng.shuffle rng perm;
+    let owners =
+      Array.init turns (fun t ->
+          if t < ndom then perm.(t) else Rng.int rng ndom)
+    in
+    (* per-turn script: (advance clock first?, events to emit) *)
+    let uid = ref 0 in
+    let script =
+      Array.init turns (fun _ ->
+          let n = 1 + Rng.int rng 3 in
+          Array.init n (fun _ ->
+              let u = !uid in
+              incr uid;
+              (Rng.bool rng, u)))
+    in
+    let tr =
+      token_run ~ndom ~turns
+        ~owner:(fun t -> owners.(t))
+        ~act:(fun ~clk t ->
+          Array.iter
+            (fun (adv, u) ->
+              if adv then ignore (Atomic.fetch_and_add clk 1);
+              Obs.emit ~pid:owners.(t)
+                (Obs.Sched_spawn { fid = u; fname = "e"; daemon = false }))
+            script.(t))
+        ()
+    in
+    (* oracle: replay the schedule into per-domain arenas, stable-sort *)
+    let arenas = Array.make ndom [] in
+    let now = ref 0 in
+    Array.iteri
+      (fun t evs ->
+        Array.iter
+          (fun (adv, u) ->
+            if adv then incr now;
+            arenas.(owners.(t)) <- (!now, u) :: arenas.(owners.(t)))
+          evs)
+      script;
+    let expected =
+      List.stable_sort
+        (fun (a, _) (b, _) -> compare a b)
+        (List.concat_map
+           (fun d -> List.rev arenas.(d))
+           (Array.to_list perm))
+    in
+    let got =
+      List.filter_map
+        (fun (e : Obs.event) ->
+          match e.kind with
+          | Obs.Sched_spawn { fid; _ } -> Some (e.at, fid)
+          | _ -> None)
+        (Trace.events tr)
+    in
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "seed %d: merge = stable sort on stamps" seed)
+      expected got;
+    (* and the merge is a pure function of the trace *)
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: merge idempotent" seed)
+      true
+      (Trace.events tr = Trace.events tr)
+  done
+
+(* ---- overflow stays loud through the merge ---- *)
+
+let test_overflow_loud () =
+  let tr =
+    token_run ~capacity:4 ~ndom:2 ~turns:4
+      ~owner:(fun t -> t mod 2)
+      ~act:(fun ~clk:_ t ->
+        for i = 0 to 3 do
+          Obs.emit ~pid:(t mod 2)
+            (Obs.Sched_spawn { fid = (10 * t) + i; fname = "e"; daemon = false })
+        done)
+      ()
+  in
+  Alcotest.(check bool) "events were dropped" true (Trace.dropped tr > 0);
+  match Trace.check tr with
+  | Some msg ->
+      Alcotest.(check bool) "incompleteness named in the verdict" true
+        (String.length msg > 0)
+  | None -> Alcotest.fail "known-incomplete trace passed Trace.check"
+
+(* ---- profiling exports ---- *)
+
+(* Folded-stack grammar: every line is "frame(;frame)* <int>", the root
+   frame is the process ("p<pid>"), values are non-negative, and lines
+   arrive sorted (the export is deterministic by construction). *)
+let check_folded ~what folded =
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' folded)
+  in
+  Alcotest.(check bool) (what ^ ": non-empty") true (lines <> []);
+  List.iter
+    (fun line ->
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "%s: no value separator in %S" what line
+      | Some i ->
+          let stack = String.sub line 0 i in
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          (match int_of_string_opt v with
+          | Some n when n >= 0 -> ()
+          | _ -> Alcotest.failf "%s: bad self-time %S in %S" what v line);
+          (match String.split_on_char ';' stack with
+          | root :: _ when String.length root > 1 && root.[0] = 'p' -> ()
+          | _ -> Alcotest.failf "%s: root frame not a process in %S" what line))
+    lines;
+  Alcotest.(check (list string)) (what ^ ": sorted") (List.sort compare lines)
+    lines
+
+let test_profile_folded () =
+  let w = Diff.generate ~proto:Diff.Sticky 1 in
+  let _, ti = Diff.sim_traced ~keep:(fun _ -> true) w in
+  let evs = Lnd_obs.Trace.events ti.Diff.t_trace in
+  let folded = Profile.to_folded evs in
+  check_folded ~what:"sim folded stacks" folded;
+  (* deterministic: same seed, same export *)
+  let _, ti2 = Diff.sim_traced ~keep:(fun _ -> true) w in
+  let folded2 =
+    Profile.to_folded (Lnd_obs.Trace.events ti2.Diff.t_trace)
+  in
+  Alcotest.(check string) "profile is deterministic" folded folded2;
+  (* the metrics snapshot from the same trace parses as JSON *)
+  Jsonchk.check ~what:"metrics snapshot from traced run"
+    (Metrics.to_json (Metrics.of_events ~dropped:ti.Diff.t_dropped evs))
+
+(* Nested spans attribute self time to the inner frame: a parent holding
+   the clock for 2 steps around a child holding it for 3 must fold to
+   p1;A 2 and p1;A;B 3. *)
+let test_profile_self_time () =
+  let tr = Trace.create () in
+  let clk = ref 0 in
+  Obs.install ~clock:(fun () -> !clk) (Trace.sink tr);
+  Fun.protect ~finally:Obs.uninstall (fun () ->
+      let a = Obs.span_open ~pid:1 ~name:"A" () in
+      incr clk;
+      let b = Obs.span_open ~pid:1 ~name:"B" () in
+      clk := !clk + 3;
+      Obs.span_close ~pid:1 ~name:"B" ~result:"done" b;
+      incr clk;
+      Obs.span_close ~pid:1 ~name:"A" ~result:"done" a);
+  Trace.finish tr;
+  Alcotest.(check string) "self time excludes children"
+    "p1;A 2\np1;A;B 3\n"
+    (Profile.to_folded (Trace.events tr))
+
+let tests =
+  [
+    Alcotest.test_case "golden 4-domain trace (token passing)" `Quick
+      test_golden_domains;
+    Alcotest.test_case "merge: monotone stamps, stable ties" `Quick
+      test_merge_monotone;
+    Alcotest.test_case "arena overflow fails the merged check" `Quick
+      test_overflow_loud;
+    Alcotest.test_case "folded-stack export: grammar + determinism" `Quick
+      test_profile_folded;
+    Alcotest.test_case "folded-stack export: self-time attribution" `Quick
+      test_profile_self_time;
+  ]
